@@ -1,0 +1,163 @@
+(* Benchmark harness: regenerates every table of the paper plus the
+   ablation studies indexed in DESIGN.md, and (with "micro") runs bechamel
+   microbenchmarks of the compiler phases and simulator primitives.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything (default sizes)
+     dune exec bench/main.exe -- table1       -- just Table 1
+     dune exec bench/main.exe -- table2
+     dune exec bench/main.exe -- ablate
+     dune exec bench/main.exe -- sweep
+     dune exec bench/main.exe -- micro
+     dune exec bench/main.exe -- all --full   -- paper-shaped sizes (slow) *)
+
+open Ccdp_workloads
+open Ccdp_core
+
+type sizes = { n : int; iters : int; pes : int list; abl_pes : int }
+
+let default_sizes = { n = 64; iters = 2; pes = [ 1; 2; 4; 8; 16; 32; 64 ]; abl_pes = 16 }
+let full_sizes = { n = 128; iters = 3; pes = [ 1; 2; 4; 8; 16; 32; 64 ]; abl_pes = 32 }
+
+let ppf = Format.std_formatter
+
+let header title =
+  Format.fprintf ppf "@.=== %s ===@.@." title
+
+let tables sizes =
+  header
+    (Printf.sprintf
+       "Paper Tables 1 and 2 (n=%d, iters=%d; simulated T3D; every run \
+        numerically verified against sequential execution)"
+       sizes.n sizes.iters);
+  let ws = Suite.spec_four ~n:sizes.n ~iters:sizes.iters () in
+  let spec = { Experiment.default_spec with Experiment.pes = sizes.pes } in
+  let rows = Experiment.evaluate ~spec ws in
+  Experiment.print_table1 ppf rows;
+  Experiment.print_table2 ppf rows;
+  Format.fprintf ppf
+    "Paper Table 2 reference bands: MXM 64.5-89.8%%, VPENTA 4.4-23.9%%, \
+     TOMCATV 44.8-69.6%%, SWIM 2.5-13.2%%.@."
+
+let extras_table sizes =
+  header "Extra kernels (same protocol)";
+  let ws =
+    [
+      Extras.jacobi ~n:sizes.n ~iters:sizes.iters;
+      Extras.dynamic ~n:sizes.n;
+      Extras.opaque_sweep ~n:sizes.n;
+      Extras.triad ~n:sizes.n;
+    ]
+  in
+  let spec = { Experiment.default_spec with Experiment.pes = sizes.pes } in
+  let rows = Experiment.evaluate ~spec ws in
+  Experiment.print_table2 ppf rows
+
+let ablations sizes =
+  header "Ablation studies (DESIGN.md experiments A-C)";
+  let ws = Suite.spec_four ~n:sizes.n ~iters:sizes.iters () in
+  Experiment.ablation_target ~n_pes:sizes.abl_pes ws ppf;
+  Experiment.ablation_technique ~n_pes:sizes.abl_pes ws ppf;
+  Experiment.ablation_coherence ~n_pes:sizes.abl_pes ws ppf;
+  Experiment.ablation_prefetch_clean ~n_pes:sizes.abl_pes ws ppf;
+  Experiment.ablation_vpg_levels ~n_pes:sizes.abl_pes ws ppf;
+  Experiment.ablation_topology ~n_pes:64 ws ppf
+
+let sweeps sizes =
+  header "Parameter sweeps (DESIGN.md experiment D)";
+  let tom = Tomcatv.workload ~n:sizes.n ~iters:sizes.iters in
+  let mxm = Mxm.workload ~n:sizes.n in
+  Experiment.sweep_remote ~n_pes:sizes.abl_pes tom ppf;
+  Experiment.sweep_remote ~n_pes:sizes.abl_pes mxm ppf;
+  (* the queue only matters on the software-pipelined path *)
+  Experiment.sweep_queue ~n_pes:sizes.abl_pes (Extras.opaque_sweep ~n:sizes.n) ppf;
+  Experiment.sweep_cache ~n_pes:sizes.abl_pes
+    (Mxm.workload ~n:sizes.n) ppf
+
+(* ---- bechamel microbenchmarks -------------------------------------- *)
+
+let micro () =
+  header "Microbenchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let w = Tomcatv.workload ~n:32 ~iters:1 in
+  let cfg16 = Ccdp_machine.Config.t3d ~n_pes:16 in
+  let inlined = Ccdp_ir.Program.inline w.Workload.program in
+  let ep = Ccdp_ir.Epoch.partition inlined.Ccdp_ir.Program.main in
+  let infos = Ccdp_analysis.Ref_info.collect ep in
+  let compiled32 = Pipeline.compile cfg16 w.Workload.program in
+  let jac = Extras.jacobi ~n:24 ~iters:1 in
+  let jac_compiled = Pipeline.compile (Ccdp_machine.Config.t3d ~n_pes:4) jac.Workload.program in
+  let cache = Ccdp_machine.Cache.of_config cfg16 in
+  let payload = Array.make cfg16.Ccdp_machine.Config.line_words 1.0 in
+  let sec_a =
+    Ccdp_ir.Section.of_dims
+      [ Ccdp_ir.Section.dim ~lo:0 ~hi:500 ~step:3; Ccdp_ir.Section.dim ~lo:0 ~hi:500 ~step:2 ]
+  in
+  let sec_b =
+    Ccdp_ir.Section.of_dims
+      [ Ccdp_ir.Section.dim ~lo:1 ~hi:400 ~step:7; Ccdp_ir.Section.dim ~lo:3 ~hi:900 ~step:5 ]
+  in
+  let tests =
+    [
+      Test.make ~name:"section.inter (2-D strided)"
+        (Staged.stage (fun () -> Ccdp_ir.Section.inter sec_a sec_b));
+      Test.make ~name:"cache fill+read line"
+        (Staged.stage (fun () ->
+             ignore (Ccdp_machine.Cache.fill cache ~line:17 payload);
+             Ccdp_machine.Cache.read cache ~addr:68));
+      Test.make ~name:"stale analysis (tomcatv n=32, 16 PEs)"
+        (Staged.stage (fun () ->
+             let region = Ccdp_analysis.Region.make inlined ~n_pes:16 in
+             Ccdp_analysis.Stale.analyze region infos));
+      Test.make ~name:"full pipeline compile (tomcatv n=32)"
+        (Staged.stage (fun () -> Pipeline.compile cfg16 w.Workload.program));
+      Test.make ~name:"interp jacobi n=24 CCDP (4 PEs)"
+        (Staged.stage (fun () ->
+             Ccdp_runtime.Interp.run
+               (Ccdp_machine.Config.t3d ~n_pes:4)
+               jac_compiled.Pipeline.program ~plan:jac_compiled.Pipeline.plan
+               ~mode:Ccdp_runtime.Memsys.Ccdp ()));
+      Test.make ~name:"epoch partition + ref collection (tomcatv)"
+        (Staged.stage (fun () ->
+             Ccdp_analysis.Ref_info.collect
+               (Ccdp_ir.Epoch.partition inlined.Ccdp_ir.Program.main)));
+      (let text = Ccdp_core.Craft_emit.to_string compiled32 in
+       Test.make ~name:"CRAFT parse (tomcatv source)"
+         (Staged.stage (fun () -> Ccdp_ir.Craft_parse.program text)));
+      Test.make ~name:"CRAFT emit (tomcatv)"
+        (Staged.stage (fun () -> Ccdp_core.Craft_emit.to_string compiled32));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+    let raw = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Format.fprintf ppf "%-45s %12.0f ns/run@." name est
+          | _ -> Format.fprintf ppf "%-45s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let sizes = if full then full_sizes else default_sizes in
+  let has cmd = List.mem cmd args in
+  let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro") in
+  if all || has "table1" || has "table2" then tables sizes;
+  if all then extras_table sizes;
+  if all || has "ablate" then ablations sizes;
+  if all || has "sweep" then sweeps sizes;
+  if has "micro" then micro ()

@@ -1,0 +1,236 @@
+(* ccdp: command-line driver for the CCDP reproduction.
+
+   Subcommands: list, analyze, run, table1, table2, ablate, sweep. *)
+
+open Cmdliner
+open Ccdp_workloads
+
+let workloads_of ~n ~iters = Suite.all ~n ~iters ()
+
+(* ---- common options ---- *)
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Problem size (matrix edge).")
+
+let iters_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "iters" ] ~docv:"I" ~doc:"Time-loop iterations (TOMCATV/SWIM/Jacobi).")
+
+let pes_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
+    & info [ "pes" ] ~docv:"P,..." ~doc:"Machine widths for the tables.")
+
+let pe_arg =
+  Arg.(value & opt int 16 & info [ "p"; "pe" ] ~docv:"P" ~doc:"Machine width.")
+
+let verify_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "verify" ] ~docv:"BOOL"
+        ~doc:"Check every run against the sequential execution.")
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,ccdp list)).")
+
+let mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "seq" -> Ok Ccdp_runtime.Memsys.Seq
+    | "base" -> Ok Ccdp_runtime.Memsys.Base
+    | "ccdp" -> Ok Ccdp_runtime.Memsys.Ccdp
+    | "inv" | "invalidate" -> Ok Ccdp_runtime.Memsys.Invalidate
+    | "inc" | "incoherent" -> Ok Ccdp_runtime.Memsys.Incoherent
+    | "hscd" -> Ok Ccdp_runtime.Memsys.Hscd
+    | _ -> Error (`Msg ("unknown mode " ^ s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Ccdp_runtime.Memsys.mode_name m))
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Ccdp_runtime.Memsys.Ccdp
+    & info [ "mode" ] ~docv:"MODE" ~doc:"seq | base | ccdp | inv | inc | hscd.")
+
+(* ---- commands ---- *)
+
+let list_cmd =
+  let run n iters =
+    List.iter
+      (fun (w : Workload.t) -> Printf.printf "%-10s %s\n" w.name w.descr)
+      (workloads_of ~n ~iters)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads")
+    Term.(const run $ n_arg $ iters_arg)
+
+let analyze_cmd =
+  let run name n iters pe =
+    let w = Workload.find (workloads_of ~n ~iters) name in
+    let cfg = Ccdp_machine.Config.t3d ~n_pes:pe in
+    let compiled = Ccdp_core.Pipeline.compile cfg w.program in
+    Format.printf "%a@." Ccdp_core.Pipeline.report compiled
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the compiler pipeline and print its report")
+    Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg)
+
+let run_cmd =
+  let run name n iters pe mode verify =
+    let w = Workload.find (workloads_of ~n ~iters) name in
+    let r = Ccdp_core.Experiment.run_mode ~n_pes:pe mode w in
+    Format.printf "%a@." Ccdp_runtime.Interp.pp_result r;
+    Format.printf "%a@." Ccdp_runtime.Metrics.pp (Ccdp_runtime.Metrics.of_result r);
+    if verify then
+      let v = Ccdp_runtime.Verify.against_sequential w.program ~init:(fun _ -> ()) r in
+      Format.printf "%a@." Ccdp_runtime.Verify.pp_report v
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute one workload on the machine model")
+    Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg $ verify_arg)
+
+let eval_rows n iters pes verify spec_four =
+  let ws = if spec_four then Suite.spec_four ~n ~iters () else workloads_of ~n ~iters in
+  let spec = { Ccdp_core.Experiment.default_spec with pes; verify } in
+  Ccdp_core.Experiment.evaluate ~spec ws
+
+let spec_four_arg =
+  Arg.(
+    value & flag
+    & info [ "spec-four" ]
+        ~doc:"Restrict to the paper's four benchmarks (MXM, VPENTA, TOMCATV, SWIM).")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV instead.")
+
+let table1_cmd =
+  let run n iters pes verify spec4 csv =
+    let rows = eval_rows n iters pes verify spec4 in
+    if csv then Ccdp_core.Experiment.csv_rows Format.std_formatter rows
+    else Ccdp_core.Experiment.print_table1 Format.std_formatter rows
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce paper Table 1 (speedups)")
+    Term.(
+      const run $ n_arg $ iters_arg $ pes_arg $ verify_arg $ spec_four_arg
+      $ csv_arg)
+
+let table2_cmd =
+  let run n iters pes verify spec4 csv =
+    let rows = eval_rows n iters pes verify spec4 in
+    if csv then Ccdp_core.Experiment.csv_rows Format.std_formatter rows
+    else Ccdp_core.Experiment.print_table2 Format.std_formatter rows
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Reproduce paper Table 2 (CCDP improvement over BASE)")
+    Term.(
+      const run $ n_arg $ iters_arg $ pes_arg $ verify_arg $ spec_four_arg
+      $ csv_arg)
+
+let ablate_cmd =
+  let which_arg =
+    Arg.(
+      value
+      & opt (enum [ ("target", `Target); ("sched", `Sched); ("coherence", `Coh) ]) `Coh
+      & info [ "which" ] ~docv:"KIND" ~doc:"target | sched | coherence.")
+  in
+  let run n iters pe which =
+    let ws = Suite.spec_four ~n ~iters () in
+    match which with
+    | `Target -> Ccdp_core.Experiment.ablation_target ~n_pes:pe ws Format.std_formatter
+    | `Sched -> Ccdp_core.Experiment.ablation_technique ~n_pes:pe ws Format.std_formatter
+    | `Coh -> Ccdp_core.Experiment.ablation_coherence ~n_pes:pe ws Format.std_formatter
+  in
+  Cmd.v (Cmd.info "ablate" ~doc:"Ablation studies (DESIGN.md index)")
+    Term.(const run $ n_arg $ iters_arg $ pe_arg $ which_arg)
+
+let load_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"CRAFT-dialect source file.")
+  in
+  let run path pe mode verify =
+    let program = Ccdp_ir.Craft_parse.file path in
+    let cfg = Ccdp_machine.Config.t3d ~n_pes:pe in
+    let compiled = Ccdp_core.Pipeline.compile cfg program in
+    Format.printf "%a@.@." Ccdp_core.Pipeline.report compiled;
+    let plan =
+      match mode with
+      | Ccdp_runtime.Memsys.Ccdp -> compiled.Ccdp_core.Pipeline.plan
+      | _ -> Ccdp_analysis.Annot.empty ()
+    in
+    let r =
+      Ccdp_runtime.Interp.run cfg compiled.Ccdp_core.Pipeline.program ~plan
+        ~mode ()
+    in
+    Format.printf "%a@." Ccdp_runtime.Interp.pp_result r;
+    if verify then
+      let v = Ccdp_runtime.Verify.against_sequential program ~init:(fun _ -> ()) r in
+      Format.printf "%a@." Ccdp_runtime.Verify.pp_report v
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Parse a CRAFT-dialect source file, compile and execute it")
+    Term.(const run $ file_arg $ pe_arg $ mode_arg $ verify_arg)
+
+let emit_cmd =
+  let run name n iters pe =
+    let w = Workload.find (workloads_of ~n ~iters) name in
+    let cfg = Ccdp_machine.Config.t3d ~n_pes:pe in
+    let compiled = Ccdp_core.Pipeline.compile cfg w.program in
+    Ccdp_core.Craft_emit.emit Format.std_formatter compiled;
+    Format.print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Print the compiled program as CRAFT-style Fortran with CCDP              prefetch annotations")
+    Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg)
+
+let profile_cmd =
+  let run name n iters pe mode =
+    let w = Workload.find (workloads_of ~n ~iters) name in
+    let r = Ccdp_core.Experiment.run_mode ~n_pes:pe mode w in
+    let p = Ccdp_ir.Program.inline w.Workload.program in
+    let ep = Ccdp_ir.Epoch.partition p.Ccdp_ir.Program.main in
+    Ccdp_runtime.Interp.pp_profile Format.std_formatter ep r;
+    Format.print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Per-epoch cycle breakdown of one run")
+    Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg)
+
+let parallelize_cmd =
+  let run name n iters =
+    let w = Workload.find (workloads_of ~n ~iters) name in
+    let p = Ccdp_ir.Program.inline w.Workload.program in
+    let _, report = Ccdp_analysis.Parallelize.transform p in
+    Format.printf "%a@." Ccdp_analysis.Parallelize.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "parallelize"
+       ~doc:"Run the Polaris-style dependence test over a workload")
+    Term.(const run $ workload_arg $ n_arg $ iters_arg)
+
+let sweep_cmd =
+  let run n iters pe name =
+    let w = Workload.find (workloads_of ~n ~iters) name in
+    Ccdp_core.Experiment.sweep_remote ~n_pes:pe w Format.std_formatter;
+    Ccdp_core.Experiment.sweep_queue ~n_pes:pe w Format.std_formatter
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Latency and queue-capacity sweeps")
+    Term.(const run $ n_arg $ iters_arg $ pe_arg $ workload_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "ccdp" ~version:"1.0"
+       ~doc:"Compiler-directed cache coherence with data prefetching (Lim & Yew, IPPS'97)")
+    [
+      list_cmd; analyze_cmd; run_cmd; table1_cmd; table2_cmd; ablate_cmd;
+      sweep_cmd; parallelize_cmd; profile_cmd; emit_cmd; load_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/auto_parallel.ml: Annot Builder Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_runtime Dist Format Interp Memsys Parallelize Pipeline Program Stale Stmt Verify

@@ -1,0 +1,1 @@
+examples/coherence_schemes.ml: Ccdp_analysis Ccdp_core Ccdp_machine Ccdp_runtime Ccdp_workloads Format Interp List Memsys Metrics Pipeline Tomcatv Verify Workload

@@ -1,0 +1,1 @@
+examples/custom_stencil.ml: Builder Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_runtime Dist Format Interp Memsys Pipeline Stmt Verify

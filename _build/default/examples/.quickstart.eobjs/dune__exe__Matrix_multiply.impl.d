@@ -1,0 +1,1 @@
+examples/matrix_multiply.ml: Ccdp_analysis Ccdp_core Ccdp_machine Ccdp_runtime Ccdp_workloads Config Experiment Format Interp List Memsys Mxm Pipeline Stats Workload

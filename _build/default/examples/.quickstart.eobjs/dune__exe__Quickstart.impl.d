@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ccdp_analysis Ccdp_core Ccdp_machine Ccdp_runtime Ccdp_workloads Extras Format Interp List Memsys Pipeline Printf Verify Workload

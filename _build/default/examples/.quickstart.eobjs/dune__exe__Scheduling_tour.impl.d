@@ -1,0 +1,1 @@
+examples/scheduling_tour.ml: Affine Bound Builder Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Dist Format Pipeline Stmt

@@ -1,0 +1,1 @@
+lib/analysis/annot.ml: Format Hashtbl List Printf Stale String

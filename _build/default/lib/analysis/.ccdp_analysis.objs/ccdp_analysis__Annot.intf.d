@@ -1,0 +1,1 @@
+lib/analysis/annot.mli: Format Hashtbl Stale

@@ -1,0 +1,1 @@
+lib/analysis/iterspace.ml: Bound Ccdp_craft Ccdp_ir List Section Stmt

@@ -1,0 +1,1 @@
+lib/analysis/iterspace.mli: Ccdp_ir

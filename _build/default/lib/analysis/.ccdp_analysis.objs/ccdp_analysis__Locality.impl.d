@@ -1,0 +1,1 @@
+lib/analysis/locality.ml: Affine Array Array_decl Ccdp_ir List Ref_info Reference

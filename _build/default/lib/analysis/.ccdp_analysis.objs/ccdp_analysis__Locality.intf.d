@@ -1,0 +1,1 @@
+lib/analysis/locality.mli: Ccdp_ir Ref_info

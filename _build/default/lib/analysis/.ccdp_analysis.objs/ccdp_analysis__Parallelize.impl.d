@@ -1,0 +1,1 @@
+lib/analysis/parallelize.ml: Affine Array Bound Ccdp_ir Fexpr Format Iterspace List Printf Program Reference Set Stmt String

@@ -1,0 +1,1 @@
+lib/analysis/parallelize.mli: Ccdp_ir Format

@@ -1,0 +1,1 @@
+lib/analysis/ref_info.ml: Ccdp_ir Epoch Fexpr Format Hashtbl List Reference Stmt

@@ -1,0 +1,1 @@
+lib/analysis/ref_info.mli: Ccdp_ir Format Hashtbl

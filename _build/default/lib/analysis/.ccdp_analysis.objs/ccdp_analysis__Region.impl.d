@@ -1,0 +1,1 @@
+lib/analysis/region.ml: Array_decl Ccdp_craft Ccdp_ir Hashtbl Iterspace List Program Ref_info Reference Section String

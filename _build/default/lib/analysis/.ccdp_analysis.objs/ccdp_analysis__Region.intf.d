@@ -1,0 +1,1 @@
+lib/analysis/region.mli: Ccdp_craft Ccdp_ir Iterspace Ref_info

@@ -1,0 +1,1 @@
+lib/analysis/schedule.ml: Annot Array_decl Ccdp_ir Ccdp_machine Config Format Hashtbl Iterspace List Locality Printf Ref_info Reference Region Section Stmt String Target Volume

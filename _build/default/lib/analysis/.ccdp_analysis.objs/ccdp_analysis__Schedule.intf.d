@@ -1,0 +1,1 @@
+lib/analysis/schedule.mli: Annot Ccdp_machine Format Ref_info Region Stale Target

@@ -1,0 +1,1 @@
+lib/analysis/stale.ml: Array_decl Ccdp_ir Dist Format Hashtbl List Printf Ref_info Reference Region Section Stmt String

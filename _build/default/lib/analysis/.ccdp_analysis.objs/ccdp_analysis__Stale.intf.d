@@ -1,0 +1,1 @@
+lib/analysis/stale.mli: Format Hashtbl Ref_info Region

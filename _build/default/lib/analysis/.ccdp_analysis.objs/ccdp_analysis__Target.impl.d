@@ -1,0 +1,1 @@
+lib/analysis/target.ml: Annot Ccdp_ir Ccdp_machine Format Hashtbl List Locality Printf Ref_info Reference Region Stale Stmt

@@ -1,0 +1,1 @@
+lib/analysis/target.mli: Annot Ccdp_ir Ccdp_machine Format Hashtbl Locality Ref_info Region Stale

@@ -1,0 +1,1 @@
+lib/analysis/volume.ml: Array_decl Ccdp_ir Ccdp_machine Iterspace List Reference Stmt

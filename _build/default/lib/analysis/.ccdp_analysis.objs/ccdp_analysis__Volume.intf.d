@@ -1,0 +1,1 @@
+lib/analysis/volume.mli: Ccdp_ir Ccdp_machine Iterspace

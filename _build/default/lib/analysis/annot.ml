@@ -1,0 +1,116 @@
+type cls = Normal | Lead | Covered of int | Bypass
+
+type op =
+  | Vector of { ref_id : int; loop_id : int; group : int list; inner : int option }
+  | Pipelined of { ref_id : int; loop_id : int; distance : int; every : int }
+  | Back of { ref_id : int; cycles : int }
+
+type plan = {
+  classes : (int, cls) Hashtbl.t;
+  ops : (int, op) Hashtbl.t;
+  vectors_of_loop : (int, op list) Hashtbl.t;
+  pipelined_of_loop : (int, op list) Hashtbl.t;
+  stale : Stale.result;
+}
+
+let empty () =
+  {
+    classes = Hashtbl.create 4;
+    ops = Hashtbl.create 4;
+    vectors_of_loop = Hashtbl.create 4;
+    pipelined_of_loop = Hashtbl.create 4;
+    stale =
+      {
+        Stale.verdicts = Hashtbl.create 4;
+        n_reads = 0;
+        n_stale = 0;
+        diags = [];
+      };
+  }
+
+let cls_of plan id =
+  match Hashtbl.find_opt plan.classes id with Some c -> c | None -> Normal
+
+let op_of plan id = Hashtbl.find_opt plan.ops id
+
+let vectors_at plan loop_id =
+  match Hashtbl.find_opt plan.vectors_of_loop loop_id with
+  | Some l -> l
+  | None -> []
+
+let pipelined_at plan loop_id =
+  match Hashtbl.find_opt plan.pipelined_of_loop loop_id with
+  | Some l -> l
+  | None -> []
+
+type counts = {
+  n_normal : int;
+  n_lead : int;
+  n_covered : int;
+  n_bypass : int;
+  n_vector : int;
+  n_pipelined : int;
+  n_back : int;
+}
+
+let count plan =
+  let n_normal = ref 0 and n_lead = ref 0 and n_covered = ref 0 and n_bypass = ref 0 in
+  Hashtbl.iter
+    (fun _ c ->
+      match c with
+      | Normal -> incr n_normal
+      | Lead -> incr n_lead
+      | Covered _ -> incr n_covered
+      | Bypass -> incr n_bypass)
+    plan.classes;
+  let n_vector = ref 0 and n_pipelined = ref 0 and n_back = ref 0 in
+  Hashtbl.iter
+    (fun _ op ->
+      match op with
+      | Vector _ -> incr n_vector
+      | Pipelined _ -> incr n_pipelined
+      | Back _ -> incr n_back)
+    plan.ops;
+  {
+    n_normal = !n_normal;
+    n_lead = !n_lead;
+    n_covered = !n_covered;
+    n_bypass = !n_bypass;
+    n_vector = !n_vector;
+    n_pipelined = !n_pipelined;
+    n_back = !n_back;
+  }
+
+let pp_counts ppf c =
+  Format.fprintf ppf
+    "classes: %d normal, %d lead, %d covered, %d bypass; ops: %d vector, %d \
+     pipelined, %d moved-back"
+    c.n_normal c.n_lead c.n_covered c.n_bypass c.n_vector c.n_pipelined c.n_back
+
+let pp_op ppf = function
+  | Vector { ref_id; loop_id; group; inner } ->
+      Format.fprintf ppf "ref %d: vector prefetch before loop %d (group %s)%s"
+        ref_id loop_id
+        (String.concat "," (List.map string_of_int group))
+        (match inner with
+        | Some l -> Printf.sprintf " sweeping inner loop %d" l
+        | None -> "")
+  | Pipelined { ref_id; loop_id; distance; every } ->
+      Format.fprintf ppf
+        "ref %d: software-pipelined in loop %d, %d iterations ahead%s" ref_id
+        loop_id distance
+        (if every > 1 then Printf.sprintf ", issued every %d iterations" every
+         else "")
+  | Back { ref_id; cycles } ->
+      Format.fprintf ppf "ref %d: moved back %d cycles" ref_id cycles
+
+let pp ppf plan =
+  Format.fprintf ppf "@[<v>%a" pp_counts (count plan);
+  let ops = Hashtbl.fold (fun _ op acc -> op :: acc) plan.ops [] in
+  let key = function
+    | Vector { ref_id; _ } | Pipelined { ref_id; _ } | Back { ref_id; _ } -> ref_id
+  in
+  List.iter
+    (fun op -> Format.fprintf ppf "@,%a" pp_op op)
+    (List.sort (fun a b -> compare (key a) (key b)) ops);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Analysis output consumed by the runtime.
+
+    The compiler pipeline classifies every read reference and attaches at
+    most one prefetch operation per {e leading} reference. The runtime
+    dispatches on the class at every dynamic reference and on the loop
+    tables when it enters a loop. *)
+
+type cls =
+  | Normal  (** not potentially stale: ordinary cached read *)
+  | Lead  (** potentially stale, prefetched (an op exists for it) *)
+  | Covered of int
+      (** potentially stale but covered by the leading reference with the
+          given id: ordinary read of a line the lead prefetches *)
+  | Bypass
+      (** potentially stale, not worth/possible to prefetch: read around the
+          cache straight from memory (paper Section 3's fallback) *)
+
+type op =
+  | Vector of { ref_id : int; loop_id : int; group : int list; inner : int option }
+      (** block-prefetch the whole per-PE section of the group before
+          entering the loop (VPG, SHMEM-get style). [inner] marks a
+          two-level pull (Gornish's multi-level algorithm, which the paper
+          deliberately restricts — available for the ablation study): the
+          section additionally sweeps that nested loop *)
+  | Pipelined of { ref_id : int; loop_id : int; distance : int; every : int }
+      (** issue a cache-line prefetch [distance] iterations ahead (SP),
+          once per [every] iterations — Mowry's strip-mining of the issue
+          to one prefetch per cache line when the reference walks with a
+          sub-line stride (self-spatial locality) *)
+  | Back of { ref_id : int; cycles : int }
+      (** the prefetch was moved back [cycles] before the reference (MBP) *)
+
+type plan = {
+  classes : (int, cls) Hashtbl.t;  (** read ref id -> class *)
+  ops : (int, op) Hashtbl.t;  (** lead ref id -> its op *)
+  vectors_of_loop : (int, op list) Hashtbl.t;  (** loop id -> Vector ops *)
+  pipelined_of_loop : (int, op list) Hashtbl.t;  (** loop id -> Pipelined ops *)
+  stale : Stale.result;
+}
+
+(** A plan with every read Normal and no ops (BASE / sequential runs). *)
+val empty : unit -> plan
+
+val cls_of : plan -> int -> cls
+val op_of : plan -> int -> op option
+val vectors_at : plan -> int -> op list
+val pipelined_at : plan -> int -> op list
+
+type counts = {
+  n_normal : int;
+  n_lead : int;
+  n_covered : int;
+  n_bypass : int;
+  n_vector : int;
+  n_pipelined : int;
+  n_back : int;
+}
+
+val count : plan -> counts
+val pp_counts : Format.formatter -> counts -> unit
+val pp : Format.formatter -> plan -> unit

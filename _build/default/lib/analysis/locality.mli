@@ -1,0 +1,41 @@
+(** Group-spatial locality detection (paper Section 4.2).
+
+    Uniformly generated references — same array, identical subscript
+    coefficient vectors, differing only in constants — walk the address
+    space in lockstep, separated by fixed word offsets. When those offsets
+    fit within one cache line, prefetching only the {e leading} reference
+    (the first one to touch each line in traversal order) brings the line
+    for the whole group; the rest are issued as normal reads.
+
+    Arrays are assumed line-aligned (the paper's compiler-option
+    assumption). In loops, membership uses the paper's same-line mapping
+    heuristic [|delta| < line_words] with the lead chosen by traversal
+    direction; in straight-line code the test is exact same-line
+    containment of constant addresses (or identical addresses), because no
+    later iteration will fetch the next line. *)
+
+type group = {
+  lead : Ref_info.t;
+  covered : Ref_info.t list;  (** non-leading members, syntactic order *)
+  span_words : int;  (** max |offset(member) - offset(lead)| *)
+  stride_words : int;  (** words the group advances per innermost iteration *)
+}
+
+(** Constant part of the linearized word offset of a reference (row-major),
+    [None] when any subscript is non-affine in the available variables
+    (never happens for affine IR, kept total for safety). *)
+val word_offset : Ccdp_ir.Array_decl.t -> Ccdp_ir.Reference.t -> int
+
+(** d(address)/d(var) in words: how far the reference moves per unit of the
+    given variable. *)
+val stride_wrt : Ccdp_ir.Array_decl.t -> Ccdp_ir.Reference.t -> var:string -> int
+
+(** Partition references (all from the same loop/segment) into leading /
+    covered groups. [inner_var] is the innermost loop variable with its
+    step, [None] for straight-line segments. *)
+val group :
+  decl_of:(string -> Ccdp_ir.Array_decl.t) ->
+  line_words:int ->
+  inner_var:(string * int) option ->
+  Ref_info.t list ->
+  group list

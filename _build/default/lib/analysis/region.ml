@@ -1,0 +1,122 @@
+open Ccdp_ir
+
+type t = {
+  program : Program.t;
+  np : int;
+  layouts : (string, Ccdp_craft.Layout.t) Hashtbl.t;
+  memo_all : (int, Section.t) Hashtbl.t;
+  memo_pe : (int * int, Section.t) Hashtbl.t;
+}
+
+let make program ~n_pes =
+  let layouts = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Array_decl.t) ->
+      Hashtbl.replace layouts a.name (Ccdp_craft.Layout.make ~n_pes a))
+    program.Program.arrays;
+  {
+    program;
+    np = n_pes;
+    layouts;
+    memo_all = Hashtbl.create 64;
+    memo_pe = Hashtbl.create 256;
+  }
+
+let n_pes t = t.np
+let layout t name = Hashtbl.find t.layouts name
+let decl t name = Program.find_array t.program name
+let params t = t.program.Program.params
+
+let env_of t (i : Ref_info.t) =
+  Iterspace.of_loops ~params:(params t) (Ref_info.scope_loops i)
+
+let section_all t (i : Ref_info.t) =
+  let key = i.ref_.Reference.id in
+  match Hashtbl.find_opt t.memo_all key with
+  | Some s -> s
+  | None ->
+      let s = Section.of_subscripts i.ref_.Reference.subs (env_of t i) in
+      Hashtbl.replace t.memo_all key s;
+      s
+
+let section_pe t (i : Ref_info.t) ~pe =
+  let key = (i.ref_.Reference.id, pe) in
+  match Hashtbl.find_opt t.memo_pe key with
+  | Some s -> s
+  | None ->
+      let s =
+        match i.par_loop with
+        | None -> if pe = 0 then section_all t i else Section.empty
+        | Some par -> (
+            let env = env_of t i in
+            match Iterspace.restrict_pe env par ~n_pes:t.np ~pe with
+            | None -> Section.empty
+            | Some env' -> Section.of_subscripts i.ref_.Reference.subs env')
+      in
+      Hashtbl.replace t.memo_pe key s;
+      s
+
+(* Must-access: Empty unless the PE restriction is exact AND the subscript
+   section is provably exact — an under-approximation is the only sound
+   thing to rely on ("this PE definitely wrote these elements"). *)
+let section_pe_must t (i : Ref_info.t) ~pe =
+  let exact_of env =
+    match Section.of_subscripts_exact i.ref_.Reference.subs env with
+    | Some s -> s
+    | None -> Section.empty
+  in
+  match i.par_loop with
+  | None -> if pe = 0 then exact_of (env_of t i) else Section.empty
+  | Some par -> (
+      match Iterspace.restrict_pe_info (env_of t i) par ~n_pes:t.np ~pe with
+      | Iterspace.Idle | Iterspace.Widened _ -> Section.empty
+      | Iterspace.Exact env' -> exact_of env')
+
+let section_all_must t (i : Ref_info.t) =
+  match i.par_loop with
+  | None -> (
+      match Section.of_subscripts_exact i.ref_.Reference.subs (env_of t i) with
+      | Some s -> s
+      | None -> Section.empty)
+  | Some par -> (
+      (* exact union over PEs is not representable; settle for the exact
+         full-range section when the loop bounds resolve (every iteration
+         runs on some PE regardless of the schedule) *)
+      let env = env_of t i in
+      match
+        ( Iterspace.bound_range par.Ccdp_ir.Stmt.lo env,
+          Iterspace.bound_range par.Ccdp_ir.Stmt.hi env )
+      with
+      | Some _, Some _ -> (
+          match Section.of_subscripts_exact i.ref_.Reference.subs env with
+          | Some s -> s
+          | None -> Section.empty)
+      | _ -> Section.empty)
+
+let aligned t ~(reader : Ref_info.t) ~(writer : Ref_info.t) =
+  String.equal reader.ref_.Reference.array_name writer.ref_.Reference.array_name
+  &&
+  let w_all = section_all t writer in
+  let ok = ref true in
+  for pe = 0 to t.np - 1 do
+    if !ok then begin
+      let r_pe = section_pe t reader ~pe in
+      let touched = Section.inter r_pe w_all in
+      (* the reader side is a may-set (conservatively large); the writer
+         side must be a must-set: elements the PE provably wrote itself *)
+      if not (Section.contains (section_pe_must t writer ~pe) touched) then
+        ok := false
+    end
+  done;
+  !ok
+
+let all_local t (i : Ref_info.t) =
+  let lay = layout t i.ref_.Reference.array_name in
+  let ok = ref true in
+  for pe = 0 to t.np - 1 do
+    if !ok then
+      let s = section_pe t i ~pe in
+      if not (Section.contains (Ccdp_craft.Layout.owned_section lay pe) s) then
+        ok := false
+  done;
+  !ok

@@ -1,0 +1,39 @@
+(** Stale reference analysis (paper Section 4.1, after Choi–Yew).
+
+    A read reference is {e potentially stale} when a PE's cached copy of the
+    data it touches may be older than the value in main memory. In the
+    epoch model, memory is updated at every boundary and caches are not
+    invalidated, so the only source of staleness is a write in a {e
+    preceding} epoch (program order, or the back-edge of a serial structure
+    loop around the epochs) whose region overlaps the read and which the
+    reading PE did not perform itself (the owner-computes {!Region.aligned}
+    test).
+
+    A later {e aligned covering} write masks the staleness: if, strictly
+    between the suspect write and the read (in a straight-line epoch
+    sequence), the region in question is fully rewritten by a write the
+    read is aligned with, each reading PE's copy is its own fresh one.
+
+    The analysis is sound and conservative: unknown bounds, non-affine
+    subscripts and dynamic schedules all widen toward [Stale]. *)
+
+type verdict =
+  | Clean
+  | Stale of { writer_ref : int; writer_epoch : int }
+      (** one witness write (the first found) *)
+
+type result = {
+  verdicts : (int, verdict) Hashtbl.t;  (** every read ref id *)
+  n_reads : int;
+  n_stale : int;
+  diags : string list;  (** warnings (e.g. writes to replicated arrays) *)
+}
+
+val analyze : Region.t -> Ref_info.t list -> result
+
+val verdict : result -> int -> verdict
+
+(** Read ref ids that are potentially stale — the set P of paper Fig. 1. *)
+val stale_ids : result -> int list
+
+val pp_result : Format.formatter -> result -> unit

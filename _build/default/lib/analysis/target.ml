@@ -1,0 +1,133 @@
+open Ccdp_ir
+
+type lsc = {
+  epoch : int;
+  inner : Stmt.loop option;
+  groups : Locality.group list;
+}
+
+type t = { classes : (int, Annot.cls) Hashtbl.t; lscs : lsc list }
+
+let analyze ?(innermost_only = true) ?(group_spatial = true)
+    ?(prefetch_clean = false) region cfg infos stale =
+  let classes = Hashtbl.create 64 in
+  (* candidates for prefetching, bucketed by (epoch, innermost loop) *)
+  let buckets : (int * int option, Ref_info.t list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let bucket_order = ref [] in
+  let prefetchable_clean (i : Ref_info.t) =
+    (* clean reads worth latency-hiding prefetches: innermost-loop reads of
+       distributed shared data (replicated/private data is always cached
+       local; prefetching it buys nothing) *)
+    prefetch_clean && i.in_innermost
+    &&
+    let d = Region.decl region i.ref_.Reference.array_name in
+    d.Ccdp_ir.Array_decl.shared
+    && d.Ccdp_ir.Array_decl.dist <> Ccdp_ir.Dist.Replicated
+  in
+  List.iter
+    (fun (i : Ref_info.t) ->
+      if not i.write then
+        let id = i.ref_.Reference.id in
+        match Stale.verdict stale id with
+        | Stale.Clean when not (prefetchable_clean i) ->
+            Hashtbl.replace classes id Annot.Normal
+        | Stale.Clean | Stale.Stale _ ->
+            if
+              Stale.verdict stale id <> Stale.Clean
+              && innermost_only && i.loops <> [] && not i.in_innermost
+            then
+              (* located in a loop nest but not in the innermost loop:
+                 eliminated from S (Fig. 1 step 1) *)
+              Hashtbl.replace classes id Annot.Bypass
+            else begin
+              let key =
+                ( i.epoch,
+                  match i.innermost with
+                  | Some l when i.in_innermost -> Some l.Stmt.loop_id
+                  | Some _ | None -> None )
+              in
+              match Hashtbl.find_opt buckets key with
+              | Some l -> l := !l @ [ i ]
+              | None ->
+                  Hashtbl.replace buckets key (ref [ i ]);
+                  bucket_order := key :: !bucket_order
+            end)
+    infos;
+  let decl_of name = Region.decl region name in
+  let lscs =
+    List.rev_map
+      (fun key ->
+        let members = !(Hashtbl.find buckets key) in
+        let epoch, _ = key in
+        let inner =
+          match members with
+          | { Ref_info.in_innermost = true; innermost = Some l; _ } :: _ -> Some l
+          | _ -> None
+        in
+        let inner_var =
+          match inner with
+          | Some l -> Some (l.Stmt.var, l.Stmt.step)
+          | None -> None
+        in
+        let groups =
+          if group_spatial then
+            Locality.group ~decl_of ~line_words:cfg.Ccdp_machine.Config.line_words
+              ~inner_var members
+          else
+            List.map
+              (fun (m : Ref_info.t) ->
+                let stride =
+                  match inner_var with
+                  | None -> 0
+                  | Some (var, step) ->
+                      abs
+                        (Locality.stride_wrt
+                           (decl_of m.ref_.Reference.array_name)
+                           m.ref_ ~var
+                        * step)
+                in
+                {
+                  Locality.lead = m;
+                  covered = [];
+                  span_words = 0;
+                  stride_words = stride;
+                })
+              members
+        in
+        List.iter
+          (fun (g : Locality.group) ->
+            let lead_id = g.lead.ref_.Reference.id in
+            Hashtbl.replace classes lead_id Annot.Lead;
+            List.iter
+              (fun (m : Ref_info.t) ->
+                Hashtbl.replace classes m.ref_.Reference.id (Annot.Covered lead_id))
+              g.covered)
+          groups;
+        { epoch; inner; groups })
+      !bucket_order
+  in
+  { classes; lscs }
+
+let cls_of t id =
+  match Hashtbl.find_opt t.classes id with Some c -> c | None -> Annot.Normal
+
+let pp ppf t =
+  let leads = List.concat_map (fun l -> l.groups) t.lscs in
+  Format.fprintf ppf "@[<v>prefetch target analysis: %d LSCs, %d leading references"
+    (List.length t.lscs) (List.length leads);
+  List.iter
+    (fun lsc ->
+      Format.fprintf ppf "@,epoch %d %s: %d groups" lsc.epoch
+        (match lsc.inner with
+        | Some l -> Printf.sprintf "inner loop %s(id %d)" l.Stmt.var l.Stmt.loop_id
+        | None -> "serial segment")
+        (List.length lsc.groups);
+      List.iter
+        (fun (g : Locality.group) ->
+          Format.fprintf ppf "@,  lead %a covers %d refs (span %d words)"
+            Reference.pp g.lead.ref_ (List.length g.covered) g.span_words)
+        lsc.groups)
+    t.lscs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Prefetch target analysis — the paper's Figure 1, verbatim.
+
+    Input: the set P of potentially-stale references. The algorithm (a)
+    keeps only references located in innermost loops or serial code
+    segments — a stale reference buried in a non-innermost position is not
+    worth prefetching and is demoted to a bypass-cache read (Section 3's
+    correctness fallback); (b) within each inner loop or serial code
+    segment, detects group-spatial locality among uniformly generated
+    references and eliminates the non-leading members from the prefetch set
+    (they become normal reads covered by the leader's line). *)
+
+(** One "LSC" of the paper: an inner loop or serial code segment holding
+    prefetch targets. *)
+type lsc = {
+  epoch : int;
+  inner : Ccdp_ir.Stmt.loop option;  (** [None]: serial code segment *)
+  groups : Locality.group list;
+}
+
+type t = {
+  classes : (int, Annot.cls) Hashtbl.t;  (** every read reference *)
+  lscs : lsc list;
+}
+
+(** [innermost_only:false] keeps non-innermost stale references as targets
+    (scheduled as serial-segment MBP) and [group_spatial:false] disables the
+    covered-member elimination — both exist for the ablation studies.
+    [prefetch_clean:true] implements the paper's stated future work
+    (Section 6: "we should be able to obtain further performance
+    improvement by prefetching the non-stale references as well"): clean
+    innermost-loop reads of distributed shared arrays also enter the
+    prefetch sets as ordinary latency-hiding prefetches. The paper's
+    published algorithm is the default. *)
+val analyze :
+  ?innermost_only:bool ->
+  ?group_spatial:bool ->
+  ?prefetch_clean:bool ->
+  Region.t -> Ccdp_machine.Config.t -> Ref_info.t list -> Stale.result -> t
+
+val cls_of : t -> int -> Annot.cls
+val pp : Format.formatter -> t -> unit

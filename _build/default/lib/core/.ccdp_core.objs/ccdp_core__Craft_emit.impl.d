@@ -1,0 +1,1 @@
+lib/core/craft_emit.ml: Affine Annot Array Array_decl Bound Ccdp_analysis Ccdp_ir Dist Fexpr Format Hashtbl List Pipeline Printf Program Reference Stmt String

@@ -1,0 +1,1 @@
+lib/core/craft_emit.mli: Format Pipeline

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Ccdp_analysis Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_workloads Config Interp List Memsys Pipeline Printf Report Stats Verify Workload

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Ccdp_analysis Ccdp_machine Ccdp_runtime Ccdp_workloads Format

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Annot Ccdp_analysis Ccdp_ir Ccdp_machine Epoch Format List Program Ref_info Region Schedule Stale Target

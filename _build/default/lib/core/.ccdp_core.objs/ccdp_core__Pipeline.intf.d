@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ccdp_analysis Ccdp_ir Ccdp_machine Format

@@ -1,0 +1,179 @@
+open Ccdp_ir
+open Ccdp_analysis
+
+let dist_directive (a : Array_decl.t) =
+  match a.dist with
+  | Dist.Replicated -> Printf.sprintf "CDIR$ REPLICATED %s" a.name
+  | Dist.Dims dims ->
+      let part =
+        Array.to_list dims
+        |> List.map (function
+             | Dist.Block -> ":BLOCK"
+             | Dist.Cyclic -> ":CYCLIC"
+             | Dist.Block_cyclic w -> Printf.sprintf ":BLOCK(%d)" w
+             | Dist.Degenerate -> ":")
+        |> String.concat ", "
+      in
+      Printf.sprintf "CDIR$ SHARED %s(%s)" a.name part
+
+let sched_comment = function
+  | Stmt.Static_block -> "BLOCK"
+  | Stmt.Static_aligned e -> Printf.sprintf "ALIGNED(%d)" e
+  | Stmt.Static_cyclic -> "CYCLIC"
+  | Stmt.Dynamic c -> Printf.sprintf "DYNAMIC(%d)" c
+
+let fortran_ref (r : Reference.t) =
+  Printf.sprintf "%s(%s)" r.array_name
+    (String.concat ", "
+       (Array.to_list (Array.map Affine.to_string r.subs)))
+
+let rec fortran_expr (e : Fexpr.t) =
+  match e with
+  | Fexpr.Const c -> Printf.sprintf "%g" c
+  | Fexpr.Ivar v -> String.uppercase_ascii v
+  | Fexpr.Svar v -> String.uppercase_ascii v
+  | Fexpr.Ref r -> fortran_ref r
+  | Fexpr.Unop (Fexpr.Neg, a) -> Printf.sprintf "(-%s)" (fortran_expr a)
+  | Fexpr.Unop (Fexpr.Sqrt, a) -> Printf.sprintf "SQRT(%s)" (fortran_expr a)
+  | Fexpr.Unop (Fexpr.Abs, a) -> Printf.sprintf "ABS(%s)" (fortran_expr a)
+  | Fexpr.Binop (op, a, b) ->
+      let sym =
+        match op with
+        | Fexpr.Add -> " + "
+        | Fexpr.Sub -> " - "
+        | Fexpr.Mul -> "*"
+        | Fexpr.Div -> "/"
+        | Fexpr.Min -> ", "
+        | Fexpr.Max -> ", "
+      in
+      (match op with
+      | Fexpr.Min -> Printf.sprintf "MIN(%s%s%s)" (fortran_expr a) sym (fortran_expr b)
+      | Fexpr.Max -> Printf.sprintf "MAX(%s%s%s)" (fortran_expr a) sym (fortran_expr b)
+      | _ -> Printf.sprintf "(%s%s%s)" (fortran_expr a) sym (fortran_expr b))
+
+let cmp_sym = function
+  | Stmt.Lt -> ".LT."
+  | Stmt.Le -> ".LE."
+  | Stmt.Gt -> ".GT."
+  | Stmt.Ge -> ".GE."
+  | Stmt.Eq -> ".EQ."
+  | Stmt.Ne -> ".NE."
+
+let bound_str = function
+  | Bound.Known e -> Affine.to_string e
+  | Bound.Opaque e -> Printf.sprintf "%s !runtime" (Affine.to_string e)
+  | Bound.Unknown -> "?"
+
+(* classification comment for the reads of one statement *)
+let read_annotations (plan : Annot.plan) s =
+  List.filter_map
+    (fun (r : Reference.t) ->
+      match Annot.cls_of plan r.id with
+      | Annot.Normal -> None
+      | Annot.Lead -> (
+          match Annot.op_of plan r.id with
+          | Some (Annot.Back { cycles; _ }) ->
+              Some
+                (Printf.sprintf "C$CCDP MOVED-BACK PREFETCH %s (%d CYCLES EARLY)"
+                   (fortran_ref r) cycles)
+          | Some (Annot.Pipelined _ | Annot.Vector _) | None -> None)
+      | Annot.Covered lead ->
+          Some
+            (Printf.sprintf "C$CCDP %s COVERED BY LEADING REF %d" (fortran_ref r)
+               lead)
+      | Annot.Bypass ->
+          Some (Printf.sprintf "C$CCDP BYPASS-CACHE READ %s" (fortran_ref r)))
+    (Stmt.direct_reads s)
+
+let emit ppf (c : Pipeline.t) =
+  let plan = c.Pipeline.plan in
+  let p = c.Pipeline.program in
+  let refs_by_id = Hashtbl.create 64 in
+  ignore
+    (Stmt.fold_refs
+       (fun () ~write:_ (r : Reference.t) -> Hashtbl.replace refs_by_id r.id r)
+       () p.Program.main);
+  let line fmt = Format.fprintf ppf (fmt ^^ "@,") in
+  let rec stmt ind s =
+    let pad = String.make ind ' ' in
+    List.iter (fun a -> line "%s" a) (read_annotations plan s);
+    match s with
+    | Stmt.Assign (r, e) -> line "%s%s = %s" pad (fortran_ref r) (fortran_expr e)
+    | Stmt.Sassign (v, e) ->
+        line "%s%s = %s" pad (String.uppercase_ascii v) (fortran_expr e)
+    | Stmt.If (cond, a, b) ->
+        let cs =
+          match cond with
+          | Stmt.Icond (op, x, y) ->
+              Printf.sprintf "%s %s %s" (Affine.to_string x) (cmp_sym op)
+                (Affine.to_string y)
+          | Stmt.Fcond (op, x, y) ->
+              Printf.sprintf "%s %s %s" (fortran_expr x) (cmp_sym op)
+                (fortran_expr y)
+        in
+        line "%sIF (%s) THEN" pad cs;
+        List.iter (stmt (ind + 2)) a;
+        if b <> [] then begin
+          line "%sELSE" pad;
+          List.iter (stmt (ind + 2)) b
+        end;
+        line "%sENDIF" pad
+    | Stmt.Call (name, args) ->
+        line "%sCALL %s(%s)" pad
+          (String.uppercase_ascii name)
+          (String.concat ", " (List.map (fun (_, a) -> Affine.to_string a) args))
+    | Stmt.For l ->
+        (match l.kind with
+        | Stmt.Doall sched ->
+            line "CDIR$ DOSHARED (%s) !%s" (String.uppercase_ascii l.var)
+              (sched_comment sched)
+        | Stmt.Serial -> ());
+        (* prefetch operations staged at this loop *)
+        List.iter
+          (fun op ->
+            match op with
+            | Annot.Vector { ref_id; group; _ } ->
+                let r = Hashtbl.find refs_by_id ref_id in
+                line "C$CCDP VECTOR PREFETCH %s OVER %s%s" (fortran_ref r)
+                  (String.uppercase_ascii l.var)
+                  (if group = [] then ""
+                   else Printf.sprintf " (COVERS %d MORE REFS)" (List.length group))
+            | Annot.Pipelined _ | Annot.Back _ -> ())
+          (Annot.vectors_at plan l.loop_id);
+        List.iter
+          (fun op ->
+            match op with
+            | Annot.Pipelined { ref_id; distance; every; _ } ->
+                let r = Hashtbl.find refs_by_id ref_id in
+                line "C$CCDP SOFTWARE-PIPELINED PREFETCH %s, %d ITERATIONS AHEAD%s"
+                  (fortran_ref r) distance
+                  (if every > 1 && every < max_int then
+                     Printf.sprintf ", ISSUED PER LINE" else "")
+            | Annot.Vector _ | Annot.Back _ -> ())
+          (Annot.pipelined_at plan l.loop_id);
+        line "%sDO %s = %s, %s%s" pad
+          (String.uppercase_ascii l.var)
+          (bound_str l.lo) (bound_str l.hi)
+          (if l.step = 1 then "" else Printf.sprintf ", %d" l.step);
+        List.iter (stmt (ind + 2)) l.body;
+        line "%sENDDO" pad
+  in
+  Format.fprintf ppf "@[<v>";
+  line "      PROGRAM %s" (String.uppercase_ascii p.Program.name);
+  List.iter (fun (k, v) -> line "      PARAMETER (%s = %d)" (String.uppercase_ascii k) v)
+    p.Program.params;
+  List.iter
+    (fun (a : Array_decl.t) ->
+      line "      REAL*8 %s(%s)" a.name
+        (String.concat ", " (Array.to_list (Array.map string_of_int a.dims)));
+      if a.shared then line "%s" (dist_directive a))
+    p.Program.arrays;
+  line "C";
+  line "C     CCDP plan: %s"
+    (Format.asprintf "%a" Annot.pp_counts (Annot.count plan));
+  line "C";
+  List.iter (stmt 6) p.Program.main;
+  line "      END";
+  Format.fprintf ppf "@]"
+
+let to_string c = Format.asprintf "%a" emit c

@@ -1,0 +1,12 @@
+(** CRAFT-flavoured source emission.
+
+    Renders a compiled program the way the paper's hand-transformed codes
+    looked: Fortran-style loops, `CDIR$ SHARED` distribution directives,
+    `CDIR$ DOSHARED` on parallel loops, and `C$CCDP` comments carrying the
+    classification and the scheduled prefetch operations. Pseudo-Fortran —
+    0-based subscripts and the IR's operators are kept — but close enough
+    that a reader of the paper can see exactly where every prefetch landed.
+*)
+
+val emit : Format.formatter -> Pipeline.t -> unit
+val to_string : Pipeline.t -> string

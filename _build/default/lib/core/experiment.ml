@@ -1,0 +1,465 @@
+open Ccdp_machine
+open Ccdp_runtime
+open Ccdp_workloads
+
+type row = {
+  workload : string;
+  pes : int;
+  seq_cycles : int;
+  base_cycles : int;
+  ccdp_cycles : int;
+  base_ok : bool;
+  ccdp_ok : bool;
+  ccdp_stats : Stats.t;
+}
+
+let base_speedup r = float_of_int r.seq_cycles /. float_of_int r.base_cycles
+let ccdp_speedup r = float_of_int r.seq_cycles /. float_of_int r.ccdp_cycles
+
+let improvement r =
+  100.0 *. (float_of_int (r.base_cycles - r.ccdp_cycles) /. float_of_int r.base_cycles)
+
+type spec = { pes : int list; verify : bool; tuning : Ccdp_analysis.Schedule.tuning }
+
+let default_spec =
+  {
+    pes = [ 1; 2; 4; 8; 16; 32; 64 ];
+    verify = true;
+    tuning = Ccdp_analysis.Schedule.default_tuning;
+  }
+
+let run_mode ?tuning ~n_pes mode (w : Workload.t) =
+  let cfg = Config.t3d ~n_pes in
+  match mode with
+  | Memsys.Ccdp ->
+      let compiled = Pipeline.compile cfg ?tuning w.program in
+      Interp.run cfg compiled.Pipeline.program ~plan:compiled.Pipeline.plan
+        ~mode ()
+  | Memsys.Seq ->
+      let cfg = Config.t3d ~n_pes:1 in
+      Interp.run cfg
+        (Ccdp_ir.Program.inline w.program)
+        ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
+  | Memsys.Base | Memsys.Invalidate | Memsys.Incoherent | Memsys.Hscd ->
+      Interp.run cfg
+        (Ccdp_ir.Program.inline w.program)
+        ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
+
+let evaluate ?(spec = default_spec) workloads =
+  List.concat_map
+    (fun (w : Workload.t) ->
+      let seq = run_mode ~n_pes:1 Memsys.Seq w in
+      let check (r : Interp.result) =
+        if not spec.verify then true
+        else
+          (Verify.compare_states ~expected:seq.Interp.sys ~got:r.Interp.sys
+             (Ccdp_ir.Program.inline w.program))
+            .Verify.ok
+      in
+      List.map
+        (fun n_pes ->
+          let base = run_mode ~n_pes Memsys.Base w in
+          let ccdp = run_mode ~tuning:spec.tuning ~n_pes Memsys.Ccdp w in
+          {
+            workload = w.name;
+            pes = n_pes;
+            seq_cycles = seq.Interp.cycles;
+            base_cycles = base.Interp.cycles;
+            ccdp_cycles = ccdp.Interp.cycles;
+            base_ok = check base;
+            ccdp_ok = check ccdp;
+            ccdp_stats = ccdp.Interp.stats;
+          })
+        spec.pes)
+    workloads
+
+let workload_names rows =
+  List.fold_left
+    (fun acc r -> if List.mem r.workload acc then acc else acc @ [ r.workload ])
+    [] rows
+
+let pe_counts rows =
+  List.sort_uniq compare (List.map (fun (r : row) -> r.pes) rows)
+
+let print_table1 ppf rows =
+  let names = workload_names rows in
+  let headers =
+    "#PEs"
+    :: List.concat_map (fun n -> [ n ^ " BASE"; n ^ " CCDP" ]) names
+  in
+  let body =
+    List.map
+      (fun p ->
+        string_of_int p
+        :: List.concat_map
+             (fun name ->
+               match
+                 List.find_opt
+                   (fun (r : row) -> r.workload = name && r.pes = p)
+                   rows
+               with
+               | Some r ->
+                   let tag b = if b then "" else "!" in
+                   [
+                     Report.fx (base_speedup r) ^ tag r.base_ok;
+                     Report.fx (ccdp_speedup r) ^ tag r.ccdp_ok;
+                   ]
+               | None -> [ "-"; "-" ])
+             names)
+      (pe_counts rows)
+  in
+  Report.table ppf
+    ~title:
+      "Table 1. Speedups over sequential execution time ('!' marks a failed \
+       numeric verification)"
+    ~headers body
+
+let print_table2 ppf rows =
+  let names = workload_names rows in
+  let headers = "#PEs" :: names in
+  let body =
+    List.map
+      (fun p ->
+        string_of_int p
+        :: List.map
+             (fun name ->
+               match
+                 List.find_opt
+                   (fun (r : row) -> r.workload = name && r.pes = p)
+                   rows
+               with
+               | Some r -> Report.fpct (improvement r)
+               | None -> "-")
+             names)
+      (pe_counts rows)
+  in
+  Report.table ppf
+    ~title:"Table 2. Improvement in execution time of CCDP codes over BASE codes"
+    ~headers body
+
+let csv_rows ppf rows =
+  Report.csv ppf
+    ~headers:
+      [
+        "workload"; "pes"; "seq_cycles"; "base_cycles"; "ccdp_cycles";
+        "base_speedup"; "ccdp_speedup"; "improvement_pct"; "base_verified";
+        "ccdp_verified";
+      ]
+    (List.map
+       (fun (r : row) ->
+         [
+           r.workload;
+           string_of_int r.pes;
+           string_of_int r.seq_cycles;
+           string_of_int r.base_cycles;
+           string_of_int r.ccdp_cycles;
+           Printf.sprintf "%.4f" (base_speedup r);
+           Printf.sprintf "%.4f" (ccdp_speedup r);
+           Printf.sprintf "%.2f" (improvement r);
+           string_of_bool r.base_ok;
+           string_of_bool r.ccdp_ok;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ccdp_cycles_with ~n_pes ?tuning ?innermost_only ?group_spatial
+    (w : Workload.t) =
+  let cfg = Config.t3d ~n_pes in
+  let compiled =
+    Pipeline.compile cfg ?tuning ?innermost_only ?group_spatial w.program
+  in
+  (Interp.run cfg compiled.Pipeline.program ~plan:compiled.Pipeline.plan
+     ~mode:Memsys.Ccdp ())
+    .Interp.cycles
+
+let ablation_target ?(n_pes = 16) workloads ppf =
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let full = ccdp_cycles_with ~n_pes w in
+        let no_group = ccdp_cycles_with ~n_pes ~group_spatial:false w in
+        let all_stale =
+          ccdp_cycles_with ~n_pes ~group_spatial:false ~innermost_only:false w
+        in
+        [
+          w.name;
+          string_of_int full;
+          string_of_int no_group;
+          string_of_int all_stale;
+          Report.fpct (100. *. float_of_int (no_group - full) /. float_of_int full);
+          Report.fpct (100. *. float_of_int (all_stale - full) /. float_of_int full);
+        ])
+      workloads
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation A (%d PEs): prefetch target analysis off (cycles; lower is \
+          better)" n_pes)
+    ~headers:
+      [
+        "workload"; "full"; "no group-spatial"; "no target analysis";
+        "groups save"; "target saves";
+      ]
+    rows
+
+let ablation_technique ?(n_pes = 16) workloads ppf =
+  let open Ccdp_analysis.Schedule in
+  let t0 = default_tuning in
+  let variants =
+    [
+      ("all", t0);
+      ("VPG only", { t0 with allow_sp = false; allow_mbp = false });
+      ("SP only", { t0 with allow_vpg = false; allow_mbp = false });
+      ("MBP only", { t0 with allow_vpg = false; allow_sp = false });
+    ]
+  in
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        w.name
+        :: List.map
+             (fun (_, tuning) ->
+               string_of_int (ccdp_cycles_with ~n_pes ~tuning w))
+             variants)
+      workloads
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation B (%d PEs): single scheduling technique (cycles)" n_pes)
+    ~headers:("workload" :: List.map fst variants)
+    rows
+
+let ablation_coherence ?(n_pes = 16) workloads ppf =
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let base = (run_mode ~n_pes Memsys.Base w).Interp.cycles in
+        let inv = (run_mode ~n_pes Memsys.Invalidate w).Interp.cycles in
+        let hscd = (run_mode ~n_pes Memsys.Hscd w).Interp.cycles in
+        let ccdp = (run_mode ~n_pes Memsys.Ccdp w).Interp.cycles in
+        [
+          w.name;
+          string_of_int base;
+          string_of_int inv;
+          string_of_int hscd;
+          string_of_int ccdp;
+          Report.fpct (100. *. float_of_int (base - ccdp) /. float_of_int base);
+          Report.fpct (100. *. float_of_int (inv - ccdp) /. float_of_int inv);
+          Report.fpct (100. *. float_of_int (hscd - ccdp) /. float_of_int hscd);
+        ])
+      workloads
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation C (%d PEs): coherence schemes (cycles; uncached BASE, \
+          epoch-invalidate, version-based HSCD, CCDP)" n_pes)
+    ~headers:
+      [ "workload"; "BASE"; "INV"; "HSCD"; "CCDP"; "vs BASE"; "vs INV";
+        "vs HSCD" ]
+    rows
+
+let ablation_prefetch_clean ?(n_pes = 16) workloads ppf =
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let cfg = Config.t3d ~n_pes in
+        let run ?prefetch_clean () =
+          let c = Pipeline.compile cfg ?prefetch_clean w.program in
+          let r =
+            Interp.run cfg c.Pipeline.program ~plan:c.Pipeline.plan
+              ~mode:Memsys.Ccdp ()
+          in
+          r
+        in
+        let ccdp = run () in
+        let plus = run ~prefetch_clean:true () in
+        [
+          w.name;
+          string_of_int ccdp.Interp.cycles;
+          string_of_int plus.Interp.cycles;
+          Report.fpct
+            (100.
+            *. float_of_int (ccdp.Interp.cycles - plus.Interp.cycles)
+            /. float_of_int ccdp.Interp.cycles);
+          string_of_int (Stats.total_prefetches plus.Interp.stats);
+        ])
+      workloads
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf
+         "Experiment E (%d PEs): CCDP + prefetching of non-stale references           (the paper's future work)" n_pes)
+    ~headers:[ "workload"; "CCDP"; "CCDP+clean"; "extra gain"; "prefetches" ]
+    rows
+
+let ablation_vpg_levels ?(n_pes = 16) workloads ppf =
+  let open Ccdp_analysis.Schedule in
+  let run tuning (w : Workload.t) =
+    let cfg = Config.t3d ~n_pes in
+    let c = Pipeline.compile cfg ~tuning w.program in
+    Interp.run cfg c.Pipeline.program ~plan:c.Pipeline.plan ~mode:Memsys.Ccdp ()
+  in
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let one = run default_tuning w in
+        let two = run { default_tuning with vpg_levels = 2 } w in
+        [
+          w.name;
+          string_of_int one.Interp.cycles;
+          string_of_int two.Interp.cycles;
+          Report.fpct
+            (100.
+            *. float_of_int (one.Interp.cycles - two.Interp.cycles)
+            /. float_of_int one.Interp.cycles);
+          string_of_int two.Interp.stats.Stats.pf_evicted;
+        ])
+      workloads
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf
+         "Experiment G (%d PEs): one-level vs multi-level vector-prefetch           pulling (the paper's Gornish modification)" n_pes)
+    ~headers:[ "workload"; "1-level"; "2-level"; "2-level gain"; "evicted" ]
+    rows
+
+let ablation_topology ?(n_pes = 64) workloads ppf =
+  let run cfg mode (w : Workload.t) =
+    match mode with
+    | Memsys.Ccdp ->
+        let c = Pipeline.compile cfg w.program in
+        (Interp.run cfg c.Pipeline.program ~plan:c.Pipeline.plan ~mode ())
+          .Interp.cycles
+    | _ ->
+        (Interp.run cfg
+           (Ccdp_ir.Program.inline w.program)
+           ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ())
+          .Interp.cycles
+  in
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let flat = Config.t3d ~n_pes and torus = Config.t3d_torus ~n_pes in
+        let bf = run flat Memsys.Base w and bt = run torus Memsys.Base w in
+        let cf = run flat Memsys.Ccdp w and ct = run torus Memsys.Ccdp w in
+        [
+          w.name;
+          string_of_int bf;
+          string_of_int bt;
+          string_of_int cf;
+          string_of_int ct;
+          Report.fpct (100. *. float_of_int (bt - ct) /. float_of_int bt);
+        ])
+      workloads
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf
+         "Experiment F (%d PEs): uniform remote latency vs 3-D torus distance           model (cycles)" n_pes)
+    ~headers:
+      [ "workload"; "BASE flat"; "BASE torus"; "CCDP flat"; "CCDP torus";
+        "torus improvement" ]
+    rows
+
+let sweep_with_cfg (w : Workload.t) cfg =
+  let compiled = Pipeline.compile cfg w.Workload.program in
+  let ccdp =
+    (Interp.run cfg compiled.Pipeline.program ~plan:compiled.Pipeline.plan
+       ~mode:Memsys.Ccdp ())
+      .Interp.cycles
+  in
+  let base =
+    (Interp.run cfg compiled.Pipeline.program
+       ~plan:(Ccdp_analysis.Annot.empty ()) ~mode:Memsys.Base ())
+      .Interp.cycles
+  in
+  (base, ccdp)
+
+let sweep_cache ?(n_pes = 16) ?(points = [ 512; 1024; 2048; 4096; 8192 ])
+    (w : Workload.t) ppf =
+  let rows =
+    List.map
+      (fun cache_words ->
+        let cfg = { (Config.t3d ~n_pes) with Config.cache_words } in
+        let run mode =
+          match mode with
+          | Memsys.Ccdp ->
+              let c = Pipeline.compile cfg w.Workload.program in
+              (Interp.run cfg c.Pipeline.program ~plan:c.Pipeline.plan ~mode ())
+                .Interp.cycles
+          | _ ->
+              (Interp.run cfg
+                 (Ccdp_ir.Program.inline w.Workload.program)
+                 ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ())
+                .Interp.cycles
+        in
+        [
+          string_of_int cache_words;
+          string_of_int (run Memsys.Invalidate);
+          string_of_int (run Memsys.Hscd);
+          string_of_int (run Memsys.Ccdp);
+        ])
+      points
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf "Sweep: cache capacity, %s at %d PEs (cycles)"
+         w.Workload.name n_pes)
+    ~headers:[ "cache (words)"; "INV"; "HSCD"; "CCDP" ]
+    rows
+
+let sweep_remote ?(n_pes = 16) ?(points = [ 30; 60; 90; 150; 300; 600 ])
+    (w : Workload.t) ppf =
+  let rows =
+    List.map
+      (fun remote ->
+        let cfg = { (Config.t3d ~n_pes) with Config.remote } in
+        let base, ccdp = sweep_with_cfg w cfg in
+        [
+          string_of_int remote;
+          string_of_int base;
+          string_of_int ccdp;
+          Report.fpct (100. *. float_of_int (base - ccdp) /. float_of_int base);
+        ])
+      points
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf "Sweep: remote latency, %s at %d PEs" w.Workload.name
+         n_pes)
+    ~headers:[ "remote (cyc)"; "BASE"; "CCDP"; "improvement" ]
+    rows
+
+let sweep_queue ?(n_pes = 16) ?(points = [ 4; 8; 16; 32; 64 ]) (w : Workload.t)
+    ppf =
+  let rows =
+    List.map
+      (fun q ->
+        let cfg =
+          { (Config.t3d ~n_pes) with Config.prefetch_queue_words = q }
+        in
+        let compiled = Pipeline.compile cfg w.Workload.program in
+        let r =
+          Interp.run cfg compiled.Pipeline.program ~plan:compiled.Pipeline.plan
+            ~mode:Memsys.Ccdp ()
+        in
+        [
+          string_of_int q;
+          string_of_int r.Interp.cycles;
+          string_of_int r.Interp.stats.Stats.pf_dropped;
+          string_of_int r.Interp.stats.Stats.pf_late;
+        ])
+      points
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf "Sweep: prefetch queue capacity, %s at %d PEs"
+         w.Workload.name n_pes)
+    ~headers:[ "queue (words)"; "CCDP cycles"; "dropped"; "late" ]
+    rows

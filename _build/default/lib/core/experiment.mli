@@ -1,0 +1,98 @@
+(** Experiment harness: regenerates the paper's Tables 1 and 2 plus the
+    ablation studies indexed in DESIGN.md.
+
+    Every parallel run is verified against the sequential execution (a wrong
+    answer under any coherence scheme is an experiment failure, not a data
+    point). Speedups are ratios of simulated machine cycles. *)
+
+type row = {
+  workload : string;
+  pes : int;
+  seq_cycles : int;
+  base_cycles : int;
+  ccdp_cycles : int;
+  base_ok : bool;
+  ccdp_ok : bool;
+  ccdp_stats : Ccdp_machine.Stats.t;
+}
+
+val base_speedup : row -> float
+val ccdp_speedup : row -> float
+
+(** Improvement in execution time of the CCDP code over the BASE code,
+    percent (paper Table 2). *)
+val improvement : row -> float
+
+type spec = {
+  pes : int list;
+  verify : bool;
+  tuning : Ccdp_analysis.Schedule.tuning;
+}
+
+val default_spec : spec
+
+(** Run one workload at one machine width under one mode; compiles with the
+    spec's tuning for CCDP-plan modes. *)
+val run_mode :
+  ?tuning:Ccdp_analysis.Schedule.tuning ->
+  n_pes:int ->
+  Ccdp_runtime.Memsys.mode ->
+  Ccdp_workloads.Workload.t ->
+  Ccdp_runtime.Interp.result
+
+(** Full BASE/CCDP/sequential matrix over the spec's PE counts. *)
+val evaluate : ?spec:spec -> Ccdp_workloads.Workload.t list -> row list
+
+(** Paper Table 1: speedups over sequential execution time. *)
+val print_table1 : Format.formatter -> row list -> unit
+
+(** Paper Table 2: % improvement of CCDP over BASE. *)
+val print_table2 : Format.formatter -> row list -> unit
+
+(** Machine-readable export of the evaluation rows (one line per
+    workload/width with speedups, improvement and verification flags). *)
+val csv_rows : Format.formatter -> row list -> unit
+
+(** Ablation A: prefetch target analysis disabled (every potentially-stale
+    reference prefetched individually) vs the full scheme. *)
+val ablation_target :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
+(** Ablation B: scheduling restricted to a single technique. *)
+val ablation_technique :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
+(** Ablation C: CCDP vs epoch-boundary invalidation vs BASE. *)
+val ablation_coherence :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
+(** Experiment E (the paper's future work, Section 6): additionally
+    prefetch the non-stale references as pure latency hiding. *)
+val ablation_prefetch_clean :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
+(** Experiment G: the paper's one-level vector-prefetch pulling restriction
+    vs Gornish's multi-level pulling (with the staging-displacement hazard
+    modelled). *)
+val ablation_vpg_levels :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
+(** Experiment F: uniform remote latency vs the 3-D torus distance model. *)
+val ablation_topology :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
+(** Sweeps: remote latency and prefetch-queue capacity (shape studies). *)
+val sweep_remote :
+  ?n_pes:int -> ?points:int list -> Ccdp_workloads.Workload.t -> Format.formatter ->
+  unit
+
+val sweep_queue :
+  ?n_pes:int -> ?points:int list -> Ccdp_workloads.Workload.t -> Format.formatter ->
+  unit
+
+(** Cache-capacity sweep across the coherence schemes: blanket invalidation
+    wastes retention that version-based HSCD and CCDP keep as capacity
+    grows. *)
+val sweep_cache :
+  ?n_pes:int -> ?points:int list -> Ccdp_workloads.Workload.t -> Format.formatter ->
+  unit

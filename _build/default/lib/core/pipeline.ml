@@ -1,0 +1,37 @@
+open Ccdp_ir
+open Ccdp_analysis
+
+type t = {
+  program : Program.t;
+  epochs : Epoch.t;
+  infos : Ref_info.t list;
+  region : Region.t;
+  stale : Stale.result;
+  target : Target.t;
+  plan : Annot.plan;
+  decisions : Schedule.decision list;
+}
+
+let compile cfg ?tuning ?innermost_only ?group_spatial ?prefetch_clean program =
+  let program = Program.inline program in
+  let epochs = Epoch.partition program.Program.main in
+  let infos = Ref_info.collect epochs in
+  let region = Region.make program ~n_pes:cfg.Ccdp_machine.Config.n_pes in
+  let stale = Stale.analyze region infos in
+  let target =
+    Target.analyze ?innermost_only ?group_spatial ?prefetch_clean region cfg
+      infos stale
+  in
+  let plan, decisions = Schedule.analyze region cfg ?tuning infos stale target in
+  { program; epochs; infos; region; stale; target; plan; decisions }
+
+let report ppf t =
+  Format.fprintf ppf "@[<v>== %s ==@,%a@,@,-- epochs --@,%a@,@,-- %a@,@,%a@,@,\
+                      -- scheduling --@,%a@,-- plan --@,%a@]"
+    t.program.Program.name
+    (fun ppf () ->
+      Format.fprintf ppf "%d references (%d reads)" (List.length t.infos)
+        t.stale.Stale.n_reads)
+    ()
+    Epoch.pp t.epochs Stale.pp_result t.stale Target.pp t.target
+    Schedule.pp_decisions t.decisions Annot.pp t.plan

@@ -1,0 +1,31 @@
+(** The CCDP compiler pipeline (paper Section 3.2).
+
+    [compile] runs the three phases end to end on a program for a given
+    machine: interprocedural inlining and epoch partitioning, stale
+    reference analysis, prefetch target analysis, prefetch scheduling. The
+    result bundles every intermediate so that reports, tests and the
+    runtime all see the same facts. *)
+
+type t = {
+  program : Ccdp_ir.Program.t;  (** inlined *)
+  epochs : Ccdp_ir.Epoch.t;
+  infos : Ccdp_analysis.Ref_info.t list;
+  region : Ccdp_analysis.Region.t;
+  stale : Ccdp_analysis.Stale.result;
+  target : Ccdp_analysis.Target.t;
+  plan : Ccdp_analysis.Annot.plan;
+  decisions : Ccdp_analysis.Schedule.decision list;
+}
+
+val compile :
+  Ccdp_machine.Config.t ->
+  ?tuning:Ccdp_analysis.Schedule.tuning ->
+  ?innermost_only:bool ->
+  ?group_spatial:bool ->
+  ?prefetch_clean:bool ->
+  Ccdp_ir.Program.t ->
+  t
+
+(** Human-readable compilation report: epoch structure, stale counts,
+    target groups, scheduling decisions. *)
+val report : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/craft/layout.ml: Array Array_decl Ccdp_ir Dist Format List Section

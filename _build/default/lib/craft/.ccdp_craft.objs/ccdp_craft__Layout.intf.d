@@ -1,0 +1,1 @@
+lib/craft/layout.mli: Ccdp_ir Format

@@ -1,0 +1,1 @@
+lib/craft/loop_sched.ml: Ccdp_ir List Stmt

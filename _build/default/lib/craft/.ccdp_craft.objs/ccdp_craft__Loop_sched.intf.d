@@ -1,0 +1,1 @@
+lib/craft/loop_sched.mli: Ccdp_ir

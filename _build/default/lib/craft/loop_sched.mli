@@ -1,0 +1,31 @@
+(** DOALL loop scheduling: which PE runs which iterations.
+
+    For static schedules the assignment is a compile-time triplet, which the
+    analyses use to build per-PE access regions and the runtime uses to
+    drive execution. Dynamic (self-scheduled) loops have no compile-time
+    assignment — the analyses must be conservative (paper Fig. 2, case 3)
+    and the runtime assigns chunks greedily to the least-loaded PE. *)
+
+(** Iteration-value triplet [(first, last, stride)], empty when [None]. *)
+type triplet = int * int * int
+
+(** Static per-PE iteration triplet; [None] for dynamic schedules or when
+    the PE receives no iterations. [lo], [hi] are inclusive iteration
+    values; [step] the loop step. *)
+val triplet_of_pe :
+  Ccdp_ir.Stmt.sched -> n_pes:int -> pe:int -> lo:int -> hi:int -> step:int ->
+  triplet option
+
+(** Is the assignment known at compile time? *)
+val is_static : Ccdp_ir.Stmt.sched -> bool
+
+(** Total iterations of [lo..hi step]. *)
+val trip_count : lo:int -> hi:int -> step:int -> int
+
+(** Chunks of a dynamic schedule in issue order: list of triplets. *)
+val dynamic_chunks : chunk:int -> lo:int -> hi:int -> step:int -> triplet list
+
+(** PE owning a given iteration under a static schedule. *)
+val pe_of_iter :
+  Ccdp_ir.Stmt.sched -> n_pes:int -> lo:int -> hi:int -> step:int -> int ->
+  int option

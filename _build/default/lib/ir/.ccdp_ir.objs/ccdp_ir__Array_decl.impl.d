@@ -1,0 +1,1 @@
+lib/ir/array_decl.ml: Array Dist Format Printf String

@@ -1,0 +1,1 @@
+lib/ir/bound.ml: Affine Format

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Affine Array Array_decl Bound Fexpr List Printf Program Reference Stmt String

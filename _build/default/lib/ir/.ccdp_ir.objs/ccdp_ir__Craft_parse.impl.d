@@ -1,0 +1,1 @@
+lib/ir/craft_parse.ml: Affine Array Bound Builder Dist Fexpr Hashtbl List Printf Program Stmt String

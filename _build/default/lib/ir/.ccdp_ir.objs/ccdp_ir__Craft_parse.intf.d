@@ -1,0 +1,1 @@
+lib/ir/craft_parse.mli: Program

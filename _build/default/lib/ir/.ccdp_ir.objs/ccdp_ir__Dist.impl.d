@@ -1,0 +1,1 @@
+lib/ir/dist.ml: Array Format Printf

@@ -1,0 +1,1 @@
+lib/ir/epoch.ml: Format List Stmt

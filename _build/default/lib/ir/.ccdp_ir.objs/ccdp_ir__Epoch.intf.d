@@ -1,0 +1,1 @@
+lib/ir/epoch.mli: Format Stmt

@@ -1,0 +1,1 @@
+lib/ir/fexpr.ml: Affine Float Format List Reference

@@ -1,0 +1,1 @@
+lib/ir/fexpr.mli: Affine Format Reference

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Array_decl Format Hashtbl List Option Printf Reference Stmt String

@@ -1,0 +1,1 @@
+lib/ir/section.ml: Affine Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/section.mli: Affine Format

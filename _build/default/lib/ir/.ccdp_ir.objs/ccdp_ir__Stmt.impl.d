@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Affine Bound Fexpr Format List Printf Reference

@@ -1,0 +1,1 @@
+lib/ir/stmt.mli: Affine Bound Fexpr Format Reference

@@ -1,0 +1,35 @@
+type t = Known of Affine.t | Opaque of Affine.t | Unknown
+
+let known e = Known e
+let of_int n = Known (Affine.const n)
+let of_var v = Known (Affine.var v)
+let opaque e = Opaque e
+let unknown = Unknown
+let is_known = function Known _ -> true | Opaque _ | Unknown -> false
+
+let eval b env =
+  match b with
+  | Known e -> Affine.eval_alist e env
+  | Opaque _ | Unknown -> None
+
+let eval_exec b lookup =
+  match b with
+  | Known e | Opaque e -> Affine.eval e lookup
+  | Unknown -> invalid_arg "Bound.eval_exec: unknown bound is not executable"
+
+let subst_env b env =
+  match b with
+  | Known e -> Known (Affine.subst_env e env)
+  | Opaque e -> Opaque (Affine.subst_env e env)
+  | Unknown -> Unknown
+
+let equal a b =
+  match (a, b) with
+  | Known x, Known y | Opaque x, Opaque y -> Affine.equal x y
+  | Unknown, Unknown -> true
+  | (Known _ | Opaque _ | Unknown), _ -> false
+
+let pp ppf = function
+  | Known e -> Affine.pp ppf e
+  | Opaque e -> Format.fprintf ppf "opaque(%a)" Affine.pp e
+  | Unknown -> Format.pp_print_string ppf "?"

@@ -1,0 +1,34 @@
+(** Loop bounds.
+
+    A bound is an affine expression in enclosing induction variables and
+    program parameters, statically [Unknown], or [Opaque] — an affine
+    expression the {e runtime} can evaluate but which the analyses must
+    treat as unknown (modelling bounds computed at run time, e.g. read from
+    input). Unknown/opaque bounds force the conservative branches of the
+    prefetch scheduling algorithm (paper Fig. 2: serial loops with unknown
+    bounds skip vector prefetch generation; DOALL loops with unknown bounds
+    fall back to moving-back prefetches). *)
+
+type t = Known of Affine.t | Opaque of Affine.t | Unknown
+
+val known : Affine.t -> t
+val of_int : int -> t
+val of_var : string -> t
+val opaque : Affine.t -> t
+val unknown : t
+
+(** Visible to the compile-time analyses? *)
+val is_known : t -> bool
+
+(** Analysis-time evaluation; [None] when unknown, opaque, or when the
+    expression mentions an unbound variable. *)
+val eval : t -> (string * int) list -> int option
+
+(** Runtime evaluation: resolves both [Known] and [Opaque].
+    @raise Invalid_argument on [Unknown].
+    @raise Not_found when a variable is unbound. *)
+val eval_exec : t -> (string -> int) -> int
+
+val subst_env : t -> (string * Affine.t) list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** CRAFT-dialect text front end.
+
+    Parses the Fortran-flavoured surface syntax that
+    [Ccdp_core.Craft_emit] prints, so workloads can be authored as plain
+    text files instead of OCaml builder code:
+
+    {v
+      PROGRAM DEMO
+      PARAMETER (N = 32)
+      REAL*8 A(32, 32)
+      CDIR$ SHARED A(:, :BLOCK)
+      REAL*8 T(32)
+      CDIR$ DOSHARED (J) !ALIGNED(32)
+      DO J = 1, 30
+        DO I = 1, 30
+          ACC = (A(i - 1, j) + A(i + 1, j))
+          A(i, j) = (ACC*0.25)
+        ENDDO
+      ENDDO
+      END
+    v}
+
+    Supported: [PARAMETER], [REAL*8] declarations, [CDIR$ SHARED] /
+    [CDIR$ REPLICATED] distribution directives, [CDIR$ DOSHARED] with an
+    optional [!BLOCK]/[!ALIGNED(n)]/[!CYCLIC]/[!DYNAMIC(c)] schedule
+    comment binding to the next [DO], serial [DO]/[ENDDO] with affine
+    bounds (a [!runtime] suffix makes the bound opaque to the analyses),
+    [IF]/[ELSE]/[ENDIF] with [.LT. .LE. .GT. .GE. .EQ. .NE.] comparisons,
+    array and scalar assignments, [MIN]/[MAX]/[SQRT]/[ABS], and comment
+    lines starting with [C]. Identifiers are case-insensitive (lowered
+    internally); an identifier in an expression is an induction variable or
+    parameter when one is in scope, a task-private scalar otherwise.
+
+    Emit and parse round-trip: parsing [Craft_emit]'s output of a compiled
+    (call-free) program reproduces a structurally identical program, which
+    the test suite checks by comparing analysis results. *)
+
+exception Error of int * string  (** line number, message *)
+
+(** Parse a whole program from source text.
+    @raise Error on malformed input (with a line number). *)
+val program : string -> Program.t
+
+(** Parse the contents of a file. *)
+val file : string -> Program.t

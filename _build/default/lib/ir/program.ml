@@ -1,0 +1,210 @@
+type proc = { pname : string; formals : string list; body : Stmt.t list }
+
+type t = {
+  name : string;
+  arrays : Array_decl.t list;
+  procs : proc list;
+  main : Stmt.t list;
+  params : (string * int) list;
+}
+
+let find_array_opt p name =
+  List.find_opt (fun (a : Array_decl.t) -> String.equal a.name name) p.arrays
+
+let find_array p name =
+  match find_array_opt p name with
+  | Some a -> a
+  | None -> invalid_arg ("Program.find_array: undeclared array " ^ name)
+
+let find_proc_opt p name = List.find_opt (fun pr -> String.equal pr.pname name) p.procs
+
+let param p name =
+  match List.assoc_opt name p.params with
+  | Some v -> v
+  | None -> invalid_arg ("Program.param: unbound parameter " ^ name)
+
+let main_refs p =
+  List.rev
+    (Stmt.fold_refs (fun acc ~write r -> (write, r) :: acc) [] p.main)
+
+let all_stmt_bodies p = p.main :: List.map (fun pr -> pr.body) p.procs
+
+let max_ref_id p =
+  List.fold_left
+    (fun acc body ->
+      Stmt.fold_refs (fun acc ~write:_ (r : Reference.t) -> max acc r.id) acc body)
+    (-1) (all_stmt_bodies p)
+
+let max_loop_id p =
+  List.fold_left
+    (fun acc body ->
+      Stmt.fold
+        (fun acc s ->
+          match s with Stmt.For l -> max acc l.loop_id | _ -> acc)
+        acc body)
+    (-1) (all_stmt_bodies p)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_refs p body where problems =
+  Stmt.fold_refs
+    (fun problems ~write:_ (r : Reference.t) ->
+      match find_array_opt p r.array_name with
+      | None ->
+          Printf.sprintf "%s: reference to undeclared array %s" where r.array_name
+          :: problems
+      | Some a ->
+          if Array.length r.subs <> Array_decl.rank a then
+            Printf.sprintf "%s: %s expects %d subscripts, got %d" where a.name
+              (Array_decl.rank a) (Array.length r.subs)
+            :: problems
+          else problems)
+    problems body
+
+let check_calls p body where problems =
+  Stmt.fold
+    (fun problems s ->
+      match s with
+      | Stmt.Call (name, args) -> (
+          match find_proc_opt p name with
+          | None -> Printf.sprintf "%s: call to undefined procedure %s" where name :: problems
+          | Some pr ->
+              let supplied = List.map fst args in
+              let missing = List.filter (fun f -> not (List.mem f supplied)) pr.formals in
+              if missing <> [] then
+                Printf.sprintf "%s: call to %s missing actuals for %s" where name
+                  (String.concat ", " missing)
+                :: problems
+              else problems)
+      | _ -> problems)
+    problems body
+
+let check_call_graph p problems =
+  (* DFS for cycles over the call graph *)
+  let callees body =
+    Stmt.fold
+      (fun acc s -> match s with Stmt.Call (n, _) -> n :: acc | _ -> acc)
+      [] body
+  in
+  let rec visit path name problems =
+    if List.mem name path then
+      Printf.sprintf "recursive call cycle through procedure %s" name :: problems
+    else
+      match find_proc_opt p name with
+      | None -> problems
+      | Some pr ->
+          List.fold_left
+            (fun problems callee -> visit (name :: path) callee problems)
+            problems (callees pr.body)
+  in
+  List.fold_left (fun problems n -> visit [] n problems) problems (callees p.main)
+
+let check_unique_ids p problems =
+  let seen_refs = Hashtbl.create 64 and seen_loops = Hashtbl.create 16 in
+  List.fold_left
+    (fun problems body ->
+      let problems =
+        Stmt.fold_refs
+          (fun problems ~write:_ (r : Reference.t) ->
+            if Hashtbl.mem seen_refs r.id then
+              Printf.sprintf "duplicate reference id %d (%s)" r.id r.array_name
+              :: problems
+            else begin
+              Hashtbl.add seen_refs r.id ();
+              problems
+            end)
+          problems body
+      in
+      Stmt.fold
+        (fun problems s ->
+          match s with
+          | Stmt.For l ->
+              if Hashtbl.mem seen_loops l.loop_id then
+                Printf.sprintf "duplicate loop id %d (%s)" l.loop_id l.var :: problems
+              else begin
+                Hashtbl.add seen_loops l.loop_id ();
+                problems
+              end
+          | _ -> problems)
+        problems body)
+    problems (all_stmt_bodies p)
+
+let check_no_nested_doall p problems =
+  let rec walk in_doall problems stmts =
+    List.fold_left
+      (fun problems s ->
+        match s with
+        | Stmt.For l ->
+            let is_doall = match l.kind with Stmt.Doall _ -> true | Stmt.Serial -> false in
+            if is_doall && in_doall then
+              Printf.sprintf "nested DOALL loop %s (id %d)" l.var l.loop_id :: problems
+            else walk (in_doall || is_doall) problems l.body
+        | Stmt.If (_, t, e) -> walk in_doall (walk in_doall problems t) e
+        | Stmt.Assign _ | Stmt.Sassign _ -> problems
+        | Stmt.Call (name, _) -> (
+            (* conservatively: a DOALL must not call into procedures
+               containing DOALLs *)
+            match find_proc_opt p name with
+            | Some pr when in_doall -> walk in_doall problems pr.body
+            | _ -> problems))
+      problems stmts
+  in
+  walk false problems p.main
+
+let validate p =
+  []
+  |> check_refs p p.main "main"
+  |> fun problems ->
+  List.fold_left
+    (fun problems pr ->
+      check_refs p pr.body pr.pname problems |> check_calls p pr.body pr.pname)
+    problems p.procs
+  |> check_calls p p.main "main"
+  |> check_call_graph p
+  |> check_unique_ids p
+  |> check_no_nested_doall p
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Inlining                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let inline p =
+  (match validate p with
+  | [] -> ()
+  | problems ->
+      invalid_arg ("Program.inline: invalid program: " ^ String.concat "; " problems));
+  let next_ref = ref (max_ref_id p + 1) and next_loop = ref (max_loop_id p + 1) in
+  let fresh_ref _ = let id = !next_ref in incr next_ref; id in
+  let fresh_loop _ = let id = !next_loop in incr next_loop; id in
+  let rec expand s =
+    match s with
+    | Stmt.Assign _ | Stmt.Sassign _ -> [ s ]
+    | Stmt.For l -> [ Stmt.For { l with body = List.concat_map expand l.body } ]
+    | Stmt.If (c, t, e) ->
+        [ Stmt.If (c, List.concat_map expand t, List.concat_map expand e) ]
+    | Stmt.Call (name, args) ->
+        let pr = Option.get (find_proc_opt p name) in
+        List.concat_map
+          (fun body_stmt ->
+            let s = Stmt.subst_env body_stmt args in
+            let s = Stmt.map_ref_ids fresh_ref s in
+            let s = Stmt.map_loop_ids fresh_loop s in
+            expand s)
+          pr.body
+  in
+  { p with procs = []; main = List.concat_map expand p.main }
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>program %s@," p.name;
+  List.iter (fun (k, v) -> Format.fprintf ppf "param %s = %d@," k v) p.params;
+  List.iter (fun a -> Format.fprintf ppf "array %a@," Array_decl.pp a) p.arrays;
+  List.iter
+    (fun pr ->
+      Format.fprintf ppf "@[<v 2>proc %s(%s) {@,%a@]@,}@," pr.pname
+        (String.concat ", " pr.formals)
+        Stmt.pp_list pr.body)
+    p.procs;
+  Format.fprintf ppf "@[<v 2>main {@,%a@]@,}@]" Stmt.pp_list p.main

@@ -1,0 +1,249 @@
+type dim = { lo : int; hi : int; step : int }
+type t = Empty | Whole | Dims of dim array
+
+let dim ~lo ~hi ~step =
+  if step <= 0 then invalid_arg "Section.dim: step <= 0";
+  if lo > hi then invalid_arg "Section.dim: lo > hi";
+  let hi = lo + ((hi - lo) / step * step) in
+  if lo = hi then { lo; hi; step = 1 } else { lo; hi; step }
+
+let point idx = Dims (Array.map (fun i -> dim ~lo:i ~hi:i ~step:1) idx)
+
+let box ~lo ~hi =
+  if Array.length lo <> Array.length hi then invalid_arg "Section.box: rank mismatch";
+  let inverted = ref false in
+  Array.iteri (fun d l -> if l > hi.(d) then inverted := true) lo;
+  if !inverted then Empty
+  else Dims (Array.mapi (fun d l -> dim ~lo:l ~hi:hi.(d) ~step:1) lo)
+
+let of_dims dims = Dims (Array.of_list dims)
+let whole = Whole
+let empty = Empty
+let is_empty s = s = Empty
+
+let size = function
+  | Empty -> Some 0
+  | Whole -> None
+  | Dims dims ->
+      Some (Array.fold_left (fun acc d -> acc * (((d.hi - d.lo) / d.step) + 1)) 1 dims)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Extended Euclid: returns (g, x, y) with a*x + b*y = g. *)
+let rec egcd a b = if b = 0 then (a, 1, 0) else
+  let g, x, y = egcd b (a mod b) in
+  (g, y, x - (a / b) * y)
+
+(* Exact emptiness test for the intersection of two arithmetic
+   progressions. Finds, via the Chinese remainder theorem, the smallest
+   common value >= max(lo1, lo2) and checks it against min(hi1, hi2). *)
+let dims_overlap d1 d2 =
+  let lo = max d1.lo d2.lo and hi = min d1.hi d2.hi in
+  if lo > hi then false
+  else
+    let g, a, _ = egcd d1.step d2.step in
+    let diff = d2.lo - d1.lo in
+    if diff mod g <> 0 then false
+    else
+      let lcm = d1.step / g * d2.step in
+      (* x = lo1 + k*s1 with k = (diff/g)*a  (mod s2/g) solves both congruences *)
+      let m2 = d2.step / g in
+      let k = diff / g * a mod m2 in
+      let k = if k < 0 then k + m2 else k in
+      let x0 = d1.lo + (k * d1.step) in
+      (* smallest solution >= lo, stepping by lcm *)
+      let x =
+        if x0 >= lo then x0 - ((x0 - lo) / lcm * lcm)
+        else x0 + ((lo - x0 + lcm - 1) / lcm * lcm)
+      in
+      x <= hi
+
+let overlaps s1 s2 =
+  match (s1, s2) with
+  | Empty, _ | _, Empty -> false
+  | Whole, _ | _, Whole -> true
+  | Dims a, Dims b ->
+      Array.length a = Array.length b
+      && (let ok = ref true in
+          Array.iteri (fun i d -> if not (dims_overlap d b.(i)) then ok := false) a;
+          !ok)
+
+(* Exact intersection of two arithmetic progressions: either empty or a
+   progression with step lcm(s1, s2) starting at the CRT-aligned smallest
+   common element. *)
+let dim_inter d1 d2 =
+  let lo = max d1.lo d2.lo and hi = min d1.hi d2.hi in
+  if lo > hi then None
+  else
+    let g, a, _ = egcd d1.step d2.step in
+    let diff = d2.lo - d1.lo in
+    if diff mod g <> 0 then None
+    else
+      let lcm = d1.step / g * d2.step in
+      let m2 = d2.step / g in
+      let k = diff / g * a mod m2 in
+      let k = if k < 0 then k + m2 else k in
+      let x0 = d1.lo + (k * d1.step) in
+      let x =
+        if x0 >= lo then x0 - ((x0 - lo) / lcm * lcm)
+        else x0 + ((lo - x0 + lcm - 1) / lcm * lcm)
+      in
+      if x > hi then None else Some (dim ~lo:x ~hi ~step:lcm)
+
+let inter s1 s2 =
+  match (s1, s2) with
+  | Empty, _ | _, Empty -> Empty
+  | Whole, s | s, Whole -> s
+  | Dims a, Dims b ->
+      if Array.length a <> Array.length b then Empty
+      else
+        let exception Disjoint in
+        (try Dims (Array.mapi (fun i d ->
+             match dim_inter d b.(i) with
+             | Some r -> r
+             | None -> raise Disjoint) a)
+         with Disjoint -> Empty)
+
+let dim_contains outer inner =
+  if inner.lo = inner.hi then
+    (* singletons normalize to step 1; only membership matters *)
+    inner.lo >= outer.lo && inner.lo <= outer.hi
+    && (inner.lo - outer.lo) mod outer.step = 0
+  else
+    inner.lo >= outer.lo && inner.hi <= outer.hi
+    && (inner.lo - outer.lo) mod outer.step = 0
+    && inner.step mod outer.step = 0
+
+let contains outer inner =
+  match (outer, inner) with
+  | _, Empty -> true
+  | Whole, _ -> true
+  | Empty, _ -> false
+  | Dims _, Whole -> false
+  | Dims a, Dims b ->
+      Array.length a = Array.length b
+      && (let ok = ref true in
+          Array.iteri (fun i d -> if not (dim_contains d b.(i)) then ok := false) a;
+          !ok)
+
+let dim_hull d1 d2 =
+  let lo = min d1.lo d2.lo and hi = max d1.hi d2.hi in
+  let g = gcd (gcd d1.step d2.step) (abs (d1.lo - d2.lo)) in
+  let step = if g = 0 then 1 else g in
+  dim ~lo ~hi ~step
+
+let hull s1 s2 =
+  match (s1, s2) with
+  | Empty, s | s, Empty -> s
+  | Whole, _ | _, Whole -> Whole
+  | Dims a, Dims b ->
+      if Array.length a <> Array.length b then Whole
+      else Dims (Array.mapi (fun i d -> dim_hull d b.(i)) a)
+
+let mem s idx =
+  match s with
+  | Empty -> false
+  | Whole -> true
+  | Dims dims ->
+      Array.length dims = Array.length idx
+      && (let ok = ref true in
+          Array.iteri
+            (fun i d ->
+              let x = idx.(i) in
+              if not (x >= d.lo && x <= d.hi && (x - d.lo) mod d.step = 0) then
+                ok := false)
+            dims;
+          !ok)
+
+let equal a b = a = b
+
+let pp_dim ppf d =
+  if d.lo = d.hi then Format.fprintf ppf "%d" d.lo
+  else if d.step = 1 then Format.fprintf ppf "%d:%d" d.lo d.hi
+  else Format.fprintf ppf "%d:%d:%d" d.lo d.hi d.step
+
+let pp ppf = function
+  | Empty -> Format.pp_print_string ppf "{}"
+  | Whole -> Format.pp_print_string ppf "{*}"
+  | Dims dims ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_dim)
+        (Array.to_list dims)
+
+let to_string s = Format.asprintf "%a" pp s
+
+let range_of_affine e env =
+  let exception Unknown in
+  try
+    let lo = ref (Affine.const_part e)
+    and hi = ref (Affine.const_part e)
+    and strides = ref [] in
+    List.iter
+      (fun (v, c) ->
+        match List.assoc_opt v env with
+        | None -> raise Unknown
+        | Some (vlo, vhi, vstep) ->
+            if vlo > vhi then raise Unknown;
+            if c > 0 then begin
+              lo := !lo + (c * vlo);
+              hi := !hi + (c * vhi)
+            end
+            else begin
+              lo := !lo + (c * vhi);
+              hi := !hi + (c * vlo)
+            end;
+            if vlo <> vhi then strides := abs (c * vstep) :: !strides)
+      (Affine.terms e);
+    let step =
+      match !strides with
+      | [] -> 1
+      | s :: rest -> List.fold_left gcd s rest
+    in
+    let step = if step = 0 then 1 else step in
+    Some (dim ~lo:!lo ~hi:!hi ~step)
+  with Unknown -> None
+
+let of_subscripts_exact subs env =
+  let exception Inexact in
+  try
+    let seen_varying = Hashtbl.create 8 in
+    let dims =
+      Array.map
+        (fun e ->
+          let varying =
+            List.filter
+              (fun (v, _) ->
+                match List.assoc_opt v env with
+                | None -> raise Inexact
+                | Some (lo, hi, _) -> lo <> hi)
+              (Affine.terms e)
+          in
+          (match varying with
+          | [] | [ _ ] -> ()
+          | _ -> raise Inexact);
+          List.iter
+            (fun (v, _) ->
+              if Hashtbl.mem seen_varying v then raise Inexact
+              else Hashtbl.replace seen_varying v ())
+            varying;
+          match range_of_affine e env with
+          | Some d -> d
+          | None -> raise Inexact)
+        subs
+    in
+    Some (Dims dims)
+  with Inexact -> None
+
+let of_subscripts subs env =
+  let exception Unknown in
+  try
+    Dims
+      (Array.map
+         (fun e ->
+           match range_of_affine e env with
+           | Some d -> d
+           | None -> raise Unknown)
+         subs)
+  with Unknown -> Whole

@@ -1,0 +1,1 @@
+lib/machine/dtb_annex.ml: List

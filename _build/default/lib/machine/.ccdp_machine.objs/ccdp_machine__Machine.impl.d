@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Config Pe Prefetch_queue Stats String

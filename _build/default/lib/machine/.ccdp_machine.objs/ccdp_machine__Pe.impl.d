@@ -1,0 +1,1 @@
+lib/machine/pe.ml: Cache Config Dtb_annex Prefetch_queue Stats

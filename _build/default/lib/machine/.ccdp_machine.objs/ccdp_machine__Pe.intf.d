@@ -1,0 +1,1 @@
+lib/machine/pe.mli: Cache Config Dtb_annex Prefetch_queue Stats

@@ -1,0 +1,1 @@
+lib/machine/prefetch_queue.mli:

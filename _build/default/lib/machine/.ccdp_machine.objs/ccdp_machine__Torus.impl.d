@@ -1,0 +1,1 @@
+lib/machine/torus.ml: Float Format

@@ -1,0 +1,1 @@
+lib/machine/torus.mli: Format

@@ -1,0 +1,99 @@
+type t = {
+  sets : int;
+  assoc : int;
+  lwords : int;
+  tags : int array;  (** sets*assoc slots; -1 = invalid *)
+  data : float array;  (** sets*assoc*line_words payload *)
+  last_use : int array;  (** recency stamp per slot *)
+  fill_ticks : int array;  (** externally supplied fill stamps per slot *)
+  mutable tick : int;
+}
+
+let create ~sets ~assoc ~line_words =
+  if sets <= 0 || assoc <= 0 || line_words <= 0 then invalid_arg "Cache.create";
+  {
+    sets;
+    assoc;
+    lwords = line_words;
+    tags = Array.make (sets * assoc) (-1);
+    data = Array.make (sets * assoc * line_words) 0.0;
+    last_use = Array.make (sets * assoc) 0;
+    fill_ticks = Array.make (sets * assoc) 0;
+    tick = 0;
+  }
+
+let of_config (cfg : Config.t) =
+  create ~sets:(Config.lines cfg / cfg.assoc) ~assoc:cfg.assoc
+    ~line_words:cfg.line_words
+
+let line_words t = t.lwords
+
+let slot_of_line t line =
+  let set = line mod t.sets in
+  let base = set * t.assoc in
+  let found = ref (-1) in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = line then found := base + w
+  done;
+  !found
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  t.last_use.(slot) <- t.tick
+
+let read t ~addr =
+  let line = addr / t.lwords in
+  let slot = slot_of_line t line in
+  if slot < 0 then None
+  else begin
+    touch t slot;
+    Some t.data.((slot * t.lwords) + (addr mod t.lwords))
+  end
+
+let probe_line t ~line = slot_of_line t line >= 0
+
+let fill t ?(tick = 0) ~line payload =
+  if Array.length payload <> t.lwords then invalid_arg "Cache.fill: payload size";
+  let set = line mod t.sets in
+  let base = set * t.assoc in
+  (* reuse the slot if the line is already resident, else the LRU way *)
+  let slot =
+    let existing = slot_of_line t line in
+    if existing >= 0 then existing
+    else begin
+      let best = ref base in
+      for w = 1 to t.assoc - 1 do
+        if t.last_use.(base + w) < t.last_use.(!best) then best := base + w
+      done;
+      !best
+    end
+  in
+  let evicted = if t.tags.(slot) >= 0 && t.tags.(slot) <> line then Some t.tags.(slot) else None in
+  t.tags.(slot) <- line;
+  Array.blit payload 0 t.data (slot * t.lwords) t.lwords;
+  t.fill_ticks.(slot) <- tick;
+  touch t slot;
+  evicted
+
+let fill_tick t ~line =
+  let slot = slot_of_line t line in
+  if slot < 0 then None else Some t.fill_ticks.(slot)
+
+let update_if_present t ~addr value =
+  let line = addr / t.lwords in
+  let slot = slot_of_line t line in
+  if slot >= 0 then t.data.((slot * t.lwords) + (addr mod t.lwords)) <- value
+
+let invalidate_line t ~line =
+  let slot = slot_of_line t line in
+  if slot >= 0 then t.tags.(slot) <- -1
+
+let invalidate_all t = Array.fill t.tags 0 (Array.length t.tags) (-1)
+
+let valid_lines t =
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags
+
+let peek t ~addr =
+  let line = addr / t.lwords in
+  let slot = slot_of_line t line in
+  if slot < 0 then None else Some t.data.((slot * t.lwords) + (addr mod t.lwords))

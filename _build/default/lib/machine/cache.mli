@@ -1,0 +1,52 @@
+(** Set-associative write-through data cache holding real values.
+
+    The cache stores the floating-point payload of every resident line, not
+    just tags: a stale line therefore returns the {e old value}, which is
+    what makes coherence violations observable in the simulated numerics.
+    Writes are write-through non-allocating (DEC 21064 / T3D behaviour):
+    memory is always up to date, so epoch-boundary "memory update" is a
+    no-op and only cached {e read} copies can go stale.
+
+    Addresses are global word addresses; a line address is
+    [addr / line_words]. *)
+
+type t
+
+val create : sets:int -> assoc:int -> line_words:int -> t
+
+(** Convenience constructor from a machine config. *)
+val of_config : Config.t -> t
+
+val line_words : t -> int
+
+(** [read t ~addr] returns the cached value, or [None] on a miss. Updates
+    recency. *)
+val read : t -> addr:int -> float option
+
+(** Hit test without recency update. *)
+val probe_line : t -> line:int -> bool
+
+(** Install a line (payload must have length [line_words]); evicts the
+    least-recently-used way of the set. Returns the evicted line address, if
+    a valid line was displaced. [tick] stamps the fill time for
+    timestamp-based (HSCD) self-invalidation checks. *)
+val fill : t -> ?tick:int -> line:int -> float array -> int option
+
+(** Fill-time stamp of a resident line ([None] on a miss) — the version
+    check of hardware-supported compiler-directed schemes compares this
+    against the array's last-write version. *)
+val fill_tick : t -> line:int -> int option
+
+(** Write-through update: if the addressed line is resident, patch the
+    cached copy (memory is updated by the caller). *)
+val update_if_present : t -> addr:int -> float -> unit
+
+val invalidate_line : t -> line:int -> unit
+val invalidate_all : t -> unit
+
+(** Number of valid lines (tests/introspection). *)
+val valid_lines : t -> int
+
+(** Cached value of an address without recency update ([None] if absent) —
+    used by the coherence checker to inspect residual stale copies. *)
+val peek : t -> addr:int -> float option

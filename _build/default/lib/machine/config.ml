@@ -1,0 +1,129 @@
+type t = {
+  n_pes : int;
+  cache_words : int;
+  line_words : int;
+  assoc : int;
+  prefetch_queue_words : int;
+  annex_entries : int;
+  hit : int;
+  local : int;
+  uncached_local : int;
+  remote : int;
+  torus : bool;
+  hop : int;
+  store_local : int;
+  store_remote : int;
+  pf_issue : int;
+  pf_extract : int;
+  annex_setup : int;
+  vget_startup : int;
+  vget_per_word : int;
+  barrier_base : int;
+  barrier_per_level : int;
+  flop : int;
+  loop_overhead : int;
+}
+
+let t3d ~n_pes =
+  {
+    n_pes;
+    cache_words = 1024 (* 8 KB of 64-bit words *);
+    line_words = 4 (* 32-byte lines *);
+    assoc = 1 (* direct-mapped EV4 *);
+    prefetch_queue_words = 16;
+    annex_entries = 32;
+    hit = 3;
+    local = 22 (* ~150ns at 150 MHz *);
+    uncached_local = 8 (* read-ahead buffered local stream *);
+    remote = 90 (* ~600ns one-way shared read *);
+    torus = false;
+    hop = 0;
+    store_local = 3;
+    store_remote = 12 (* buffered network injection *);
+    pf_issue = 6 (* prefetch instruction + queue bookkeeping *);
+    pf_extract = 8 (* significant, per Arpaci et al. *);
+    annex_setup = 23 (* DTB Annex write overhead *);
+    vget_startup = 120 (* shmem_get fixed cost *);
+    vget_per_word = 2 (* pipelined block-transfer bandwidth *);
+    barrier_base = 30;
+    barrier_per_level = 8;
+    flop = 4 (* EV4 FP latency dominates issue *);
+    loop_overhead = 2;
+  }
+
+let tiny ~n_pes =
+  {
+    n_pes;
+    cache_words = 64;
+    line_words = 4;
+    assoc = 1;
+    prefetch_queue_words = 8;
+    annex_entries = 4;
+    hit = 1;
+    local = 10;
+    uncached_local = 4;
+    remote = 40;
+    torus = false;
+    hop = 0;
+    store_local = 1;
+    store_remote = 4;
+    pf_issue = 2;
+    pf_extract = 2;
+    annex_setup = 5;
+    vget_startup = 20;
+    vget_per_word = 1;
+    barrier_base = 5;
+    barrier_per_level = 2;
+    flop = 1;
+    loop_overhead = 1;
+  }
+
+let t3d_torus ~n_pes =
+  let base = t3d ~n_pes in
+  (* keep the machine-average remote cost near the uniform preset: average
+     hop count on a torus is about half the diameter *)
+  let torus = Torus.of_pes n_pes in
+  let avg_hops = max 1 ((Torus.diameter torus + 1) / 2) in
+  let hop = 8 (* ~50ns per hop at 150 MHz *) in
+  { base with remote = max base.local (90 - (hop * avg_hops)); torus = true; hop }
+
+let lines t = t.cache_words / t.line_words
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let barrier_cost t = t.barrier_base + (t.barrier_per_level * log2_ceil t.n_pes)
+let lines_for_words t w = (w + t.line_words - 1) / t.line_words
+
+let validate t =
+  let problems = ref [] in
+  let check cond msg = if not cond then problems := msg :: !problems in
+  check (t.n_pes > 0) "n_pes must be positive";
+  check (t.line_words > 0) "line_words must be positive";
+  check (t.assoc > 0) "assoc must be positive";
+  if t.line_words > 0 && t.assoc > 0 then begin
+    check (t.cache_words >= t.line_words) "cache smaller than one line";
+    check (t.cache_words mod t.line_words = 0)
+      "cache_words not a multiple of line_words";
+    check (lines t mod t.assoc = 0) "lines not a multiple of assoc"
+  end;
+  check (t.prefetch_queue_words >= 0) "prefetch_queue_words must be >= 0";
+  check (t.remote >= t.local) "remote latency below local latency";
+  check (t.uncached_local >= 0) "uncached_local must be >= 0";
+  check (t.local >= t.hit) "local latency below hit latency";
+  List.rev !problems
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>machine: %d PEs@,\
+     cache: %d words, %d-word lines, %d-way@,\
+     prefetch queue: %d words; annex: %d entries@,\
+     latency: hit=%d local=%d/%d remote=%d store=%d/%d@,\
+     prefetch: issue=%d extract=%d annex=%d vget=%d+%d/word@,\
+     barrier: %d; flop=%d loop=%d@]"
+    t.n_pes t.cache_words t.line_words t.assoc t.prefetch_queue_words
+    t.annex_entries t.hit t.local t.uncached_local t.remote t.store_local
+    t.store_remote t.pf_issue
+    t.pf_extract t.annex_setup t.vget_startup t.vget_per_word (barrier_cost t)
+    t.flop t.loop_overhead

@@ -1,0 +1,71 @@
+(** Machine model parameters.
+
+    All costs are in processor clock cycles. The [t3d] preset follows the
+    published characterization of the Cray T3D (Arpaci et al., ISCA'95;
+    Numrich's address-space report; paper Section 5.1): 8 KB direct-mapped
+    data cache with 32-byte lines, a 16-word prefetch queue, a DTB Annex
+    whose set-up overhead is significant, ~20-cycle local memory reads and
+    remote reads worth hundreds of cycles.
+
+    The prefetch scheduling algorithm consumes [cache_words],
+    [prefetch_queue_words], [max_outstanding] and [avg_prefetch_latency]
+    (paper Section 4.3.1's "important hardware constraints"); the runtime
+    charges the per-operation costs. *)
+
+type t = {
+  n_pes : int;
+  (* cache *)
+  cache_words : int;  (** data cache capacity, 64-bit words *)
+  line_words : int;  (** cache line size, 64-bit words *)
+  assoc : int;  (** 1 = direct-mapped *)
+  (* prefetch engine *)
+  prefetch_queue_words : int;  (** prefetch queue capacity, words *)
+  annex_entries : int;  (** DTB Annex translation slots *)
+  (* latencies *)
+  hit : int;  (** cache hit *)
+  local : int;  (** local-memory cache-line fill *)
+  uncached_local : int;
+      (** uncached local read: the T3D's read-ahead buffer streams local
+          DRAM well below the full fill latency, which is why the BASE
+          codes tolerate uncached local data (paper Section 5.4: VPENTA and
+          SWIM BASE "perform quite well") *)
+  remote : int;  (** base remote-memory read (plus per-hop under [torus]) *)
+  torus : bool;
+      (** model the 3-D torus: remote costs add [hop] cycles per network
+          hop between the accessing PE and the owner (dimension-ordered
+          minimal routing with wraparound) *)
+  hop : int;  (** per-hop network latency when [torus] is set *)
+  store_local : int;  (** local write (write-through, buffered) *)
+  store_remote : int;  (** remote write (buffered, network injection cost) *)
+  pf_issue : int;  (** issuing one prefetch instruction *)
+  pf_extract : int;  (** extracting a prefetched word from the queue *)
+  annex_setup : int;  (** writing a DTB Annex entry (remote targets) *)
+  vget_startup : int;  (** SHMEM-style block-transfer start-up *)
+  vget_per_word : int;  (** per-word pipelined transfer cost *)
+  barrier_base : int;
+  barrier_per_level : int;  (** per log2(PE) tree level *)
+  flop : int;  (** cost of one floating-point operation *)
+  loop_overhead : int;  (** per-iteration control overhead *)
+}
+
+(** Cray T3D preset at the given machine width (uniform remote latency). *)
+val t3d : n_pes:int -> t
+
+(** T3D preset with the 3-D torus distance model: [remote] becomes the
+    zero-distance base and each hop adds [hop] cycles, calibrated so the
+    machine-average remote cost stays near the uniform preset's. *)
+val t3d_torus : n_pes:int -> t
+
+(** Preset with uniform tiny latencies, for algorithm-level tests. *)
+val tiny : n_pes:int -> t
+
+val lines : t -> int
+
+(** Barrier cost at the configured width. *)
+val barrier_cost : t -> int
+
+(** Number of whole cache lines covering [words] words. *)
+val lines_for_words : t -> int -> int
+
+val validate : t -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type t = { entries : int; mutable lru : int list (* most recent first *) }
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Dtb_annex.create";
+  { entries; lru = [] }
+
+let touch t pe =
+  let hit = List.mem pe t.lru in
+  let without = List.filter (fun p -> p <> pe) t.lru in
+  let lru = pe :: without in
+  t.lru <-
+    (if List.length lru > t.entries then List.filteri (fun i _ -> i < t.entries) lru
+     else lru);
+  hit
+
+let clear t = t.lru <- []
+let resident t = t.lru

@@ -1,0 +1,45 @@
+(** Per-PE event counters.
+
+    Every memory-system event the runtime charges is also counted here; the
+    experiment reports and many tests are assertions over these counters
+    (e.g. "the BASE run performs zero cache fills", "every potentially-stale
+    read in the CCDP run was prefetched, covered or bypassed"). *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable hits : int;
+  mutable miss_local : int;  (** demand miss served from local memory *)
+  mutable miss_remote : int;
+  mutable uncached_local : int;  (** BASE-mode direct local access *)
+  mutable uncached_remote : int;
+  mutable bypass_reads : int;  (** stale reads served around the cache *)
+  mutable pf_issued : int;  (** cache-line prefetches issued *)
+  mutable pf_vector : int;  (** vector prefetch operations issued *)
+  mutable pf_vector_words : int;
+  mutable pf_on_time : int;
+  mutable pf_late : int;
+  mutable pf_late_cycles : int;
+  mutable pf_dropped : int;  (** queue full: fell back to bypass fetch *)
+  mutable pf_unused : int;  (** prefetched but never consumed in the epoch *)
+  mutable pf_evicted : int;
+      (** vector-staged lines displaced before consumption (section larger
+          than the staging capacity — the hazard that makes multi-level
+          vector-prefetch pulling dangerous, paper Section 4.3.2) *)
+  mutable annex_hits : int;
+  mutable annex_misses : int;
+  mutable invalidations : int;
+  mutable barriers : int;
+  mutable flop_cycles : int;
+  mutable stall_cycles : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Elementwise sum (machine-wide totals). *)
+val merge : t -> t -> t
+
+val total_misses : t -> int
+val total_prefetches : t -> int
+val pp : Format.formatter -> t -> unit

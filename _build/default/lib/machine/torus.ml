@@ -1,0 +1,41 @@
+type t = { nx : int; ny : int; nz : int }
+
+(* near-cubic factorization: prefer nx >= ny >= nz with nx*ny*nz >= n,
+   exact when n factors nicely (powers of two always do) *)
+let of_pes n =
+  if n <= 0 then invalid_arg "Torus.of_pes: n_pes <= 0";
+  let cube = int_of_float (Float.round (Float.cbrt (float_of_int n))) in
+  let best = ref (n, 1, 1) in
+  let volume (a, b, c) = a * b * c in
+  let badness (a, b, c) = (a - c) + abs (volume (a, b, c) - n) in
+  for nz = 1 to cube + 1 do
+    for ny = nz to n do
+      if ny * nz <= n then begin
+        let nx = (n + (ny * nz) - 1) / (ny * nz) in
+        let cand = (max nx ny, ny, nz) in
+        if volume cand >= n && badness cand < badness !best then best := cand
+      end
+    done
+  done;
+  let nx, ny, nz = !best in
+  { nx; ny; nz }
+
+let dims t = (t.nx, t.ny, t.nz)
+
+let coords t pe =
+  let x = pe mod t.nx in
+  let y = pe / t.nx mod t.ny in
+  let z = pe / (t.nx * t.ny) in
+  (x, y, z)
+
+let ring_dist n a b =
+  let d = abs (a - b) in
+  min d (n - d)
+
+let hops t a b =
+  let xa, ya, za = coords t a and xb, yb, zb = coords t b in
+  ring_dist t.nx xa xb + ring_dist t.ny ya yb + ring_dist t.nz za zb
+
+let diameter t = (t.nx / 2) + (t.ny / 2) + (t.nz / 2)
+
+let pp ppf t = Format.fprintf ppf "%dx%dx%d torus" t.nx t.ny t.nz

@@ -1,0 +1,24 @@
+(** The Cray T3D's 3-D torus interconnect.
+
+    Remote latency on the real machine grows with network distance; the
+    uniform [remote] cost in {!Config} is the fleet average. This module
+    supplies the distance term: PEs are laid out in a (near-cubic) 3-D
+    grid with wraparound links, and a message between two PEs travels the
+    minimal hop count in each dimension (dimension-ordered routing). *)
+
+type t = private { nx : int; ny : int; nz : int }
+
+(** Factor a PE count into near-cubic dimensions ([nx*ny*nz >= n_pes],
+    preferring exact factorizations). *)
+val of_pes : int -> t
+
+val dims : t -> int * int * int
+val coords : t -> int -> int * int * int
+
+(** Minimal wraparound hop count between two PEs. *)
+val hops : t -> int -> int -> int
+
+(** Largest hop count in the machine (network diameter). *)
+val diameter : t -> int
+
+val pp : Format.formatter -> t -> unit

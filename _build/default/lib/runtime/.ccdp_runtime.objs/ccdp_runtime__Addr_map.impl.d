@@ -1,0 +1,1 @@
+lib/runtime/addr_map.ml: Array_decl Ccdp_craft Ccdp_ir Hashtbl List Program

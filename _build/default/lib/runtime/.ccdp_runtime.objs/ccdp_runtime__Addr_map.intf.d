@@ -1,0 +1,1 @@
+lib/runtime/addr_map.mli: Ccdp_craft Ccdp_ir

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Affine Annot Array Bound Ccdp_analysis Ccdp_craft Ccdp_ir Ccdp_machine Config Epoch Fexpr Format Hashtbl List Machine Memsys Pe Printf Program Reference Stats Stmt

@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Ccdp_analysis Ccdp_ir Ccdp_machine Format Memsys

@@ -1,0 +1,1 @@
+lib/runtime/memsys.ml: Addr_map Annot Array Array_decl Cache Ccdp_analysis Ccdp_ir Ccdp_machine Config Dist Dtb_annex Hashtbl List Machine Pe Prefetch_queue Program Reference Stats Torus

@@ -1,0 +1,1 @@
+lib/runtime/metrics.ml: Array Ccdp_machine Config Format Interp Memsys Stats

@@ -1,0 +1,1 @@
+lib/runtime/verify.ml: Array Array_decl Ccdp_analysis Ccdp_ir Ccdp_machine Float Format Interp List Memsys Program String

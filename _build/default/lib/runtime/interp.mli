@@ -1,0 +1,42 @@
+(** The value-accurate program interpreter.
+
+    Executes a (call-free) program over the timed memory system: serial
+    epochs run on PE 0, parallel epochs distribute DOALL iterations per
+    their schedule (static triplets, or greedy least-loaded assignment of
+    dynamic chunks), every epoch ends in a barrier. In [Ccdp] mode the
+    plan's prefetch operations fire: vector prefetches at loop entry,
+    software-pipelined prologue + steady-state line prefetches per
+    iteration, moved-back prefetches at the reference itself.
+
+    Because memory and caches carry real values, the final array contents
+    are the proof of coherence: {!Verify.against_sequential} compares them
+    against a sequential execution. *)
+
+type result = {
+  mode : Memsys.mode;
+  cycles : int;  (** simulated machine time *)
+  stats : Ccdp_machine.Stats.t;  (** machine-wide totals *)
+  per_pe_cycles : int array;
+  epochs : int;  (** epoch executions (loop iterations counted) *)
+  epoch_profile : (int * int * int) list;
+      (** per static epoch id: (executions, accumulated machine cycles) —
+          where the time goes, summed across structure-loop iterations *)
+  sys : Memsys.t;  (** final memory state, for read-back / verification *)
+}
+
+(** Render the epoch profile against the program's epoch structure. *)
+val pp_profile : Format.formatter -> Ccdp_ir.Epoch.t -> result -> unit
+
+(** Run a program. The program must be call-free ({!Ccdp_ir.Program.inline}
+    first); [init] populates array values before timing starts; [plan]
+    should be {!Ccdp_analysis.Annot.empty} for non-CCDP modes. *)
+val run :
+  Ccdp_machine.Config.t ->
+  Ccdp_ir.Program.t ->
+  plan:Ccdp_analysis.Annot.plan ->
+  mode:Memsys.mode ->
+  ?init:(Memsys.t -> unit) ->
+  unit ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

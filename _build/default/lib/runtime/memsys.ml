@@ -1,0 +1,503 @@
+open Ccdp_ir
+open Ccdp_machine
+
+type mode = Seq | Base | Ccdp | Invalidate | Incoherent | Hscd
+
+let mode_name = function
+  | Seq -> "SEQ"
+  | Base -> "BASE"
+  | Ccdp -> "CCDP"
+  | Invalidate -> "INV"
+  | Incoherent -> "INC"
+  | Hscd -> "HSCD"
+
+(* HSCD write-version state of one array: [settled] is the last completed
+   epoch tick that contained any write; [writers] is a bitmask of the PEs
+   that have written during the current epoch (all-ones when a PE id
+   exceeds the mask width). A reader whose own PE is the only current
+   writer may trust same-epoch fills: nobody else changed memory. *)
+type version = { mutable settled : int; mutable writers : int }
+
+type pe_ctx = {
+  pe : Pe.t;
+  vget : (int, int) Hashtbl.t;  (** line -> ready cycle *)
+  mutable vget_order : int list;  (** staged lines, oldest first *)
+  mutable vget_words : int;
+  fresh : (int, unit) Hashtbl.t;  (** lines filled since the last barrier *)
+  mutable epoch_start : int;
+}
+
+type t = {
+  cfg : Config.t;
+  md : mode;
+  amap : Addr_map.t;
+  mem : float array;
+  mach : Machine.t;
+  ctxs : pe_ctx array;
+  decls : (string, Array_decl.t) Hashtbl.t;
+  pl : Ccdp_analysis.Annot.plan;
+  net : Torus.t option;  (** distance model when [cfg.torus] *)
+  mutable epoch_tick : int;  (** epoch-execution counter (version clock) *)
+  versions : (string, version) Hashtbl.t;
+      (** HSCD: per-array write-version state *)
+  observed_stale : (int, unit) Hashtbl.t;
+      (** reference ids that returned a value differing from memory
+          (photographed in INCOHERENT mode; ground truth for validating the
+          stale-reference analysis) *)
+}
+
+let create cfg (p : Program.t) ~plan md =
+  let mach = Machine.create cfg in
+  let amap =
+    Addr_map.make p ~n_pes:cfg.Config.n_pes ~line_words:cfg.Config.line_words
+      ~cache_lines:(Config.lines cfg)
+      ()
+  in
+  let decls = Hashtbl.create 16 in
+  List.iter (fun (a : Array_decl.t) -> Hashtbl.replace decls a.name a) p.Program.arrays;
+  {
+    cfg;
+    md;
+    amap;
+    mem = Array.make (Addr_map.total_words amap) 0.0;
+    mach;
+    ctxs =
+      Array.init cfg.Config.n_pes (fun i ->
+          {
+            pe = Machine.pe mach i;
+            vget = Hashtbl.create 64;
+            vget_order = [];
+            vget_words = 0;
+            fresh = Hashtbl.create 256;
+            epoch_start = 0;
+          });
+    decls;
+    pl = plan;
+    net = (if cfg.Config.torus then Some (Torus.of_pes cfg.Config.n_pes) else None);
+    epoch_tick = 0;
+    versions = Hashtbl.create 16;
+    observed_stale = Hashtbl.create 16;
+  }
+
+let cfg t = t.cfg
+let mode t = t.md
+let map t = t.amap
+let machine t = t.mach
+let plan t = t.pl
+let decl t name = Hashtbl.find t.decls name
+
+let set t name idx v =
+  List.iter (fun a -> t.mem.(a) <- v) (Addr_map.all_copies t.amap name idx)
+
+let get t name idx = t.mem.(Addr_map.canonical t.amap name idx)
+let charge t ~pe c =
+  let ctx = t.ctxs.(pe) in
+  ctx.pe.Pe.stats.Stats.flop_cycles <- ctx.pe.Pe.stats.Stats.flop_cycles + c;
+  Pe.advance ctx.pe c
+let clock t ~pe = t.ctxs.(pe).pe.Pe.clock
+
+(* ------------------------------------------------------------------ *)
+(* Internals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let net_dist t ~pe owner =
+  match t.net with
+  | None -> 0
+  | Some torus -> t.cfg.Config.hop * Torus.hops torus pe owner
+
+let latency_of t ~pe = function
+  | `Local -> t.cfg.Config.local
+  | `Remote owner -> t.cfg.Config.remote + net_dist t ~pe owner
+
+(* Latency of a read that does not allocate in the cache: local reads
+   stream through the T3D read-ahead buffer. *)
+let uncached_latency_of t ~pe = function
+  | `Local -> t.cfg.Config.uncached_local
+  | `Remote owner -> t.cfg.Config.remote + net_dist t ~pe owner
+
+let store_cost t = function
+  | `Local -> t.cfg.Config.store_local
+  | `Remote _ -> t.cfg.Config.store_remote
+
+(* Annex set-up cost of addressing a target PE (free when resident). *)
+let annex_cost t ctx = function
+  | `Local -> 0
+  | `Remote owner ->
+      if Dtb_annex.touch ctx.pe.Pe.annex owner then begin
+        ctx.pe.Pe.stats.Stats.annex_hits <- ctx.pe.Pe.stats.Stats.annex_hits + 1;
+        0
+      end
+      else begin
+        ctx.pe.Pe.stats.Stats.annex_misses <- ctx.pe.Pe.stats.Stats.annex_misses + 1;
+        t.cfg.Config.annex_setup
+      end
+
+let line_payload t line =
+  let lw = t.cfg.Config.line_words in
+  Array.sub t.mem (line * lw) lw
+
+let fill t ctx line =
+  ignore
+    (Cache.fill ctx.pe.Pe.cache ~tick:t.epoch_tick ~line (line_payload t line));
+  Hashtbl.replace ctx.fresh line ()
+
+let record_arrival ctx ~stall =
+  let s = ctx.pe.Pe.stats in
+  if stall > 0 then begin
+    s.Stats.pf_late <- s.Stats.pf_late + 1;
+    s.Stats.pf_late_cycles <- s.Stats.pf_late_cycles + stall;
+    s.Stats.stall_cycles <- s.Stats.stall_cycles + stall
+  end
+  else s.Stats.pf_on_time <- s.Stats.pf_on_time + 1
+
+(* The ordinary cached-read protocol: consume a pending vector-get or queue
+   entry if one exists, then the cache, then demand-fetch. [fresh_only]
+   restricts cache hits to lines filled since the last barrier (used for
+   leading references, whose cached copy is only trustworthy when this
+   epoch's prefetch machinery put it there). *)
+let cached_read ?(fresh_only = false) t ctx addr target =
+  let self = ctx.pe.Pe.id in
+  let lw = t.cfg.Config.line_words in
+  let line = addr / lw in
+  match Hashtbl.find_opt ctx.vget line with
+  | Some ready ->
+      let stall = max 0 (ready - ctx.pe.Pe.clock) in
+      Hashtbl.remove ctx.vget line;
+      ctx.vget_order <- List.filter (fun l -> l <> line) ctx.vget_order;
+      ctx.vget_words <- ctx.vget_words - lw;
+      record_arrival ctx ~stall;
+      Pe.advance ctx.pe (stall + t.cfg.Config.hit);
+      fill t ctx line;
+      t.mem.(addr)
+  | None -> (
+      match Prefetch_queue.find ctx.pe.Pe.queue ~line with
+      | Some ready ->
+          let stall = max 0 (ready - ctx.pe.Pe.clock) in
+          Prefetch_queue.remove ctx.pe.Pe.queue ~line;
+          record_arrival ctx ~stall;
+          Pe.advance ctx.pe (stall + t.cfg.Config.pf_extract);
+          fill t ctx line;
+          t.mem.(addr)
+      | None -> (
+          let cache_hit =
+            if fresh_only && not (Hashtbl.mem ctx.fresh line) then None
+            else Cache.read ctx.pe.Pe.cache ~addr
+          in
+          match cache_hit with
+          | Some v ->
+              ctx.pe.Pe.stats.Stats.hits <- ctx.pe.Pe.stats.Stats.hits + 1;
+              Pe.advance ctx.pe t.cfg.Config.hit;
+              v
+          | None ->
+              (let s = ctx.pe.Pe.stats in
+               match target with
+               | `Local -> s.Stats.miss_local <- s.Stats.miss_local + 1
+               | `Remote _ -> s.Stats.miss_remote <- s.Stats.miss_remote + 1);
+              Pe.advance ctx.pe
+                (annex_cost t ctx target + latency_of t ~pe:self target);
+              fill t ctx line;
+              t.mem.(addr)))
+
+let uncached_read t ctx addr target =
+  (let s = ctx.pe.Pe.stats in
+   match target with
+   | `Local -> s.Stats.uncached_local <- s.Stats.uncached_local + 1
+   | `Remote _ -> s.Stats.uncached_remote <- s.Stats.uncached_remote + 1);
+  Pe.advance ctx.pe
+    (annex_cost t ctx target + uncached_latency_of t ~pe:ctx.pe.Pe.id target);
+  t.mem.(addr)
+
+let bypass_read t ctx addr target =
+  ctx.pe.Pe.stats.Stats.bypass_reads <- ctx.pe.Pe.stats.Stats.bypass_reads + 1;
+  Pe.advance ctx.pe
+    (annex_cost t ctx target + uncached_latency_of t ~pe:ctx.pe.Pe.id target);
+  t.mem.(addr)
+
+(* A moved-back prefetch: the issue happened [back] cycles ago (clamped to
+   the epoch start), so the reader only stalls for the residual latency. *)
+let moved_back_read t ctx addr target ~back =
+  let s = ctx.pe.Pe.stats in
+  s.Stats.pf_issued <- s.Stats.pf_issued + 1;
+  let lw = t.cfg.Config.line_words in
+  let line = addr / lw in
+  let issue_at = max ctx.epoch_start (ctx.pe.Pe.clock - back) in
+  let ready = issue_at + latency_of t ~pe:ctx.pe.Pe.id target in
+  let stall = max 0 (ready - ctx.pe.Pe.clock) in
+  record_arrival ctx ~stall;
+  Pe.advance ctx.pe
+    (annex_cost t ctx target + t.cfg.Config.pf_issue + t.cfg.Config.pf_extract
+   + stall);
+  Cache.invalidate_line ctx.pe.Pe.cache ~line;
+  fill t ctx line;
+  t.mem.(addr)
+
+(* ------------------------------------------------------------------ *)
+(* Public protocol                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* a Lead whose stale verdict is Clean is a pure latency-hiding prefetch
+   (the paper's future-work extension): any cached copy of its data is
+   valid, so staging may skip cached lines and reads may hit non-fresh
+   lines *)
+let clean_lead t id =
+  Ccdp_analysis.Stale.verdict t.pl.Ccdp_analysis.Annot.stale id
+  = Ccdp_analysis.Stale.Clean
+
+let tracked_shared t name =
+  let d = decl t name in
+  d.Array_decl.shared && d.Array_decl.dist <> Dist.Replicated
+
+let writer_bit pe = if pe < 62 then 1 lsl pe else -1
+
+(* HSCD (hardware-supported compiler-directed, after Choi-Yew's version
+   schemes): every cache line carries its fill version, every array a
+   write-version register. A hit whose line does not post-date the last
+   write by another PE self-invalidates and refetches — coherence in
+   hardware checks, no prefetching, no whole-cache flushes. Strictness
+   matters: a line filled in the same epoch as another PE's write to it may
+   have captured pre-write words (false sharing at epoch granularity); own
+   writes are exempt, since memory was not changed by anyone else. *)
+let hscd_read t ctx name addr target =
+  let lw = t.cfg.Config.line_words in
+  let line = addr / lw in
+  let effective =
+    match Hashtbl.find_opt t.versions name with
+    | None -> -1
+    | Some v ->
+        if v.writers = 0 || v.writers = writer_bit ctx.pe.Pe.id then v.settled
+        else t.epoch_tick
+  in
+  (match Cache.fill_tick ctx.pe.Pe.cache ~line with
+  | Some ft when ft <= effective ->
+      Cache.invalidate_line ctx.pe.Pe.cache ~line;
+      ctx.pe.Pe.stats.Stats.invalidations <-
+        ctx.pe.Pe.stats.Stats.invalidations + 1
+  | Some _ | None -> ());
+  cached_read t ctx addr target
+
+let read t ~pe (r : Reference.t) ~idx =
+  let ctx = t.ctxs.(pe) in
+  ctx.pe.Pe.stats.Stats.reads <- ctx.pe.Pe.stats.Stats.reads + 1;
+  let addr, target = Addr_map.resolve t.amap ~pe r.array_name idx in
+  if not (tracked_shared t r.array_name) then
+    (* private / replicated data: cached and local in every mode *)
+    cached_read t ctx addr `Local
+  else if t.md = Incoherent then begin
+    (* ground-truth staleness detection: an incoherent read that returns a
+       value other than memory's has observed an actually-stale copy *)
+    let v = cached_read t ctx addr target in
+    if v <> t.mem.(addr) then Hashtbl.replace t.observed_stale r.id ();
+    v
+  end
+  else
+    match t.md with
+    | Seq | Invalidate | Incoherent -> cached_read t ctx addr target
+    | Hscd -> hscd_read t ctx r.array_name addr target
+    | Base -> uncached_read t ctx addr target
+    | Ccdp -> (
+        let open Ccdp_analysis in
+        match Annot.cls_of t.pl r.id with
+        | Annot.Normal -> cached_read t ctx addr target
+        | Annot.Covered _ ->
+            (* a stale covered read may only hit lines its leader staged
+               this epoch: at loop boundaries the covered span can reach one
+               element past the leader's clamped range, and when chunk and
+               line sizes misalign that element lands in a line the leader
+               never touched — a leftover stale copy. Fresh-only turns that
+               corner into a demand miss of current memory. Clean covers
+               (latency-hiding groups) may trust any copy. *)
+            cached_read ~fresh_only:(not (clean_lead t r.id)) t ctx addr target
+        | Annot.Bypass -> bypass_read t ctx addr target
+        | Annot.Lead -> (
+            match Annot.op_of t.pl r.id with
+            | Some (Annot.Back { cycles; _ }) ->
+                if clean_lead t r.id then cached_read t ctx addr target
+                else moved_back_read t ctx addr target ~back:cycles
+            | Some (Annot.Pipelined _) | Some (Annot.Vector _)
+              when clean_lead t r.id ->
+                cached_read t ctx addr target
+            | Some (Annot.Pipelined _) | Some (Annot.Vector _) -> (
+                (* the prefetch machinery must have staged the line: pending
+                   entries are consumed by the normal path; a fresh cached
+                   line is a earlier consume; anything else means the issue
+                   was dropped -> bypass fetch *)
+                let lw = t.cfg.Config.line_words in
+                let line = addr / lw in
+                if
+                  Hashtbl.mem ctx.vget line
+                  || Prefetch_queue.find ctx.pe.Pe.queue ~line <> None
+                  || Hashtbl.mem ctx.fresh line
+                then cached_read ~fresh_only:true t ctx addr target
+                else bypass_read t ctx addr target)
+            | None -> bypass_read t ctx addr target))
+
+let write t ~pe (r : Reference.t) ~idx v =
+  let ctx = t.ctxs.(pe) in
+  ctx.pe.Pe.stats.Stats.writes <- ctx.pe.Pe.stats.Stats.writes + 1;
+  let addr, target = Addr_map.resolve t.amap ~pe r.array_name idx in
+  t.mem.(addr) <- v;
+  (if t.md = Hscd && tracked_shared t r.array_name then
+     match Hashtbl.find_opt t.versions r.array_name with
+     | Some v -> v.writers <- v.writers lor writer_bit pe
+     | None ->
+         Hashtbl.replace t.versions r.array_name
+           { settled = -1; writers = writer_bit pe });
+  let caches_it =
+    (not (tracked_shared t r.array_name))
+    ||
+    match t.md with
+    | Seq | Ccdp | Invalidate | Incoherent | Hscd -> true
+    | Base -> false
+  in
+  if caches_it then Cache.update_if_present ctx.pe.Pe.cache ~addr v;
+  Pe.advance ctx.pe
+    (if tracked_shared t r.array_name then store_cost t target
+     else t.cfg.Config.store_local)
+
+let issue_line_prefetch ?(skip_cached = false) t ~pe name ~idx =
+  let ctx = t.ctxs.(pe) in
+  let addr, target = Addr_map.resolve t.amap ~pe name idx in
+  let lw = t.cfg.Config.line_words in
+  let line = addr / lw in
+  let already =
+    Hashtbl.mem ctx.vget line
+    || Prefetch_queue.find ctx.pe.Pe.queue ~line <> None
+    || ((skip_cached || Hashtbl.mem ctx.fresh line)
+       && Cache.probe_line ctx.pe.Pe.cache ~line)
+  in
+  (* the prefetch instruction executes either way; the line transfer and
+     queue slot are only committed when the line is not already staged *)
+  Pe.advance ctx.pe t.cfg.Config.pf_issue;
+  if not already then begin
+    Pe.advance ctx.pe (annex_cost t ctx target);
+    (* invalidate before issuing (paper Section 3): the stale copy must not
+       be readable while the prefetch is in flight *)
+    Cache.invalidate_line ctx.pe.Pe.cache ~line;
+    Hashtbl.remove ctx.fresh line;
+    let ready = ctx.pe.Pe.clock + latency_of t ~pe:ctx.pe.Pe.id target in
+    if Prefetch_queue.try_insert ctx.pe.Pe.queue ~line ~words:lw ~ready then
+      ctx.pe.Pe.stats.Stats.pf_issued <- ctx.pe.Pe.stats.Stats.pf_issued + 1
+    else ctx.pe.Pe.stats.Stats.pf_dropped <- ctx.pe.Pe.stats.Stats.pf_dropped + 1
+  end
+
+let line_of t ~pe name ~idx =
+  let addr, _ = Addr_map.resolve t.amap ~pe name idx in
+  addr / t.cfg.Config.line_words
+
+let vget_issue ?(skip_cached = false) t ~pe name idxs =
+  let ctx = t.ctxs.(pe) in
+  let lw = t.cfg.Config.line_words in
+  let lines = Hashtbl.create 64 in
+  let ordered = ref [] in
+  let first_target = ref `Local in
+  List.iter
+    (fun idx ->
+      let addr, target = Addr_map.resolve t.amap ~pe name idx in
+      (match (target, !first_target) with
+      | (`Remote _ as r), `Local -> first_target := r
+      | _ -> ());
+      let line = addr / lw in
+      if not (Hashtbl.mem lines line) then begin
+        Hashtbl.replace lines line ();
+        (* skip lines this epoch's machinery already staged or fetched *)
+        if
+          not
+            (((skip_cached || Hashtbl.mem ctx.fresh line)
+             && Cache.probe_line ctx.pe.Pe.cache ~line)
+            || Hashtbl.mem ctx.vget line)
+        then ordered := line :: !ordered
+      end)
+    idxs;
+  let ordered = List.rev !ordered in
+  let n = List.length ordered in
+  if Hashtbl.length lines > 0 then begin
+    (* the block-transfer call is issued whenever the operation executes —
+       a redundant vector prefetch still pays its start-up and translation
+       overhead, even if every line turns out to be staged already *)
+    let s = ctx.pe.Pe.stats in
+    s.Stats.pf_vector <- s.Stats.pf_vector + 1;
+    s.Stats.pf_vector_words <- s.Stats.pf_vector_words + (n * lw);
+    Pe.advance ctx.pe (annex_cost t ctx !first_target + t.cfg.Config.vget_startup);
+    List.iteri
+      (fun k line ->
+        Cache.invalidate_line ctx.pe.Pe.cache ~line;
+        Hashtbl.remove ctx.fresh line;
+        (* the staging buffer holds at most a cache's worth of in-flight
+           vector data: staging beyond that displaces the oldest unconsumed
+           lines — the eviction hazard that motivates the paper's one-level
+           pulling restriction *)
+        while
+          ctx.vget_words + lw > t.cfg.Config.cache_words
+          && ctx.vget_order <> []
+        do
+          match ctx.vget_order with
+          | oldest :: rest ->
+              ctx.vget_order <- rest;
+              Hashtbl.remove ctx.vget oldest;
+              ctx.vget_words <- ctx.vget_words - lw;
+              s.Stats.pf_evicted <- s.Stats.pf_evicted + 1
+          | [] -> ()
+        done;
+        let ready =
+          ctx.pe.Pe.clock + ((k + 1) * lw * t.cfg.Config.vget_per_word)
+        in
+        if not (Hashtbl.mem ctx.vget line) then begin
+          ctx.vget_order <- ctx.vget_order @ [ line ];
+          ctx.vget_words <- ctx.vget_words + lw
+        end;
+        Hashtbl.replace ctx.vget line ready)
+      ordered
+  end
+
+let epoch_boundary t =
+  Array.iter
+    (fun ctx ->
+      let leftovers = Hashtbl.length ctx.vget in
+      ctx.pe.Pe.stats.Stats.pf_unused <-
+        ctx.pe.Pe.stats.Stats.pf_unused + leftovers;
+      Hashtbl.reset ctx.vget;
+      ctx.vget_order <- [];
+      ctx.vget_words <- 0;
+      Hashtbl.reset ctx.fresh)
+    t.ctxs;
+  Hashtbl.iter
+    (fun _ v ->
+      if v.writers <> 0 then begin
+        v.settled <- t.epoch_tick;
+        v.writers <- 0
+      end)
+    t.versions;
+  t.epoch_tick <- t.epoch_tick + 1;
+  (match t.md with
+  | Seq -> ()
+  | Base | Ccdp | Incoherent | Hscd -> Machine.barrier t.mach
+  | Invalidate ->
+      Machine.barrier t.mach;
+      Array.iter
+        (fun ctx ->
+          Cache.invalidate_all ctx.pe.Pe.cache;
+          ctx.pe.Pe.stats.Stats.invalidations <-
+            ctx.pe.Pe.stats.Stats.invalidations + 1)
+        t.ctxs);
+  Array.iter (fun ctx -> ctx.epoch_start <- ctx.pe.Pe.clock) t.ctxs
+
+let time t = Machine.time t.mach
+let total_stats t = Machine.total_stats t.mach
+
+let observed_stale_ids t =
+  Hashtbl.fold (fun id () acc -> id :: acc) t.observed_stale []
+  |> List.sort compare
+
+let stale_cached_words t =
+  let lw = t.cfg.Config.line_words in
+  let count = ref 0 in
+  Array.iter
+    (fun ctx ->
+      for addr = 0 to Array.length t.mem - 1 do
+        ignore lw;
+        match Cache.peek ctx.pe.Pe.cache ~addr with
+        | Some v when v <> t.mem.(addr) -> incr count
+        | Some _ | None -> ()
+      done)
+    t.ctxs;
+  !count

@@ -1,0 +1,97 @@
+(** The timed memory system: execution modes, read/write protocols,
+    prefetch issue and consumption.
+
+    This is where the paper's semantics live. Five modes:
+
+    - [Seq]: the sequential baseline — one PE, everything local, ordinary
+      cache.
+    - [Base]: the paper's BASE codes — shared data is {e not} cached, every
+      shared access pays the full local/remote latency (private/replicated
+      data is cached normally).
+    - [Ccdp]: shared data is cached; each read executes according to its
+      compiler classification (normal / leading-prefetched / covered /
+      bypass) and scheduled prefetch operation.
+    - [Invalidate]: shared data cached, whole cache invalidated at every
+      epoch boundary — the conservative compiler scheme of the related
+      work.
+    - [Incoherent]: shared data cached with {e no} coherence action; exists
+      to demonstrate that stale reads really produce wrong numerics.
+    - [Hscd]: the related-work hardware-supported compiler-directed scheme
+      (Choi-Yew version numbers): cache lines carry fill versions, arrays
+      carry last-written versions, and a hit whose line predates the
+      array's version self-invalidates — coherence without prefetching or
+      whole-cache flushes.
+
+    Writes are write-through (memory always current; the writer's own cached
+    copy is patched, other PEs' copies go stale — the coherence problem).
+    Prefetch consumption: a pending line stalls the reader until its arrival
+    cycle ("late" prefetch), an absent one (dropped at issue) falls back to
+    a bypass fetch, as Section 3 of the paper requires. *)
+
+type mode = Seq | Base | Ccdp | Invalidate | Incoherent | Hscd
+
+val mode_name : mode -> string
+
+type t
+
+val create :
+  Ccdp_machine.Config.t -> Ccdp_ir.Program.t -> plan:Ccdp_analysis.Annot.plan ->
+  mode -> t
+
+val cfg : t -> Ccdp_machine.Config.t
+val mode : t -> mode
+val map : t -> Addr_map.t
+val machine : t -> Ccdp_machine.Machine.t
+val plan : t -> Ccdp_analysis.Annot.plan
+
+(** {1 Initialization and read-back (untimed)} *)
+
+(** Set an element in every copy (owner + replicas). *)
+val set : t -> string -> int array -> float -> unit
+
+(** Read the canonical (owner) copy from memory. *)
+val get : t -> string -> int array -> float
+
+(** {1 Timed operations} *)
+
+(** Execute a read reference on a PE per its classification. *)
+val read : t -> pe:int -> Ccdp_ir.Reference.t -> idx:int array -> float
+
+(** Execute a write reference on a PE. *)
+val write : t -> pe:int -> Ccdp_ir.Reference.t -> idx:int array -> float -> unit
+
+(** Issue one cache-line prefetch (software-pipelining steady state and
+    prologue). [skip_cached] (clean latency-hiding prefetches only) skips
+    lines with any cached copy rather than only this epoch's fresh ones. *)
+val issue_line_prefetch :
+  ?skip_cached:bool -> t -> pe:int -> string -> idx:int array -> unit
+
+(** Cache-line address of an element as seen from a PE (strip-mined
+    software pipelining issues once per line crossing). *)
+val line_of : t -> pe:int -> string -> idx:int array -> int
+
+(** Issue a vector prefetch (SHMEM-get style) for the given elements. *)
+val vget_issue :
+  ?skip_cached:bool -> t -> pe:int -> string -> int array list -> unit
+
+(** Charge pure compute cycles to a PE. *)
+val charge : t -> pe:int -> int -> unit
+
+val clock : t -> pe:int -> int
+
+(** Epoch boundary: synchronize (barrier), drain prefetch state, apply
+    mode-specific invalidation. [seq] mode skips the barrier cost. *)
+val epoch_boundary : t -> unit
+
+val time : t -> int
+val total_stats : t -> Ccdp_machine.Stats.t
+
+(** Residual cached values that disagree with memory (diagnostic for the
+    incoherent mode): count of stale cached words across PEs. *)
+val stale_cached_words : t -> int
+
+(** Reference ids that actually observed a stale value during an
+    [Incoherent] run — ground truth against which the stale-reference
+    analysis must over-approximate (every observed id must be classified
+    potentially stale). *)
+val observed_stale_ids : t -> int list

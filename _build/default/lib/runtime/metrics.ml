@@ -1,0 +1,68 @@
+open Ccdp_machine
+
+type t = {
+  hit_ratio : float;
+  prefetch_coverage : float;
+  prefetch_timeliness : float;
+  prefetch_accuracy : float;
+  avg_late_stall : float;
+  remote_ops_per_ref : float;
+  traffic_words : int;
+  load_balance : float;
+}
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let of_result (r : Interp.result) =
+  let s = r.Interp.stats in
+  let consumed = s.Stats.pf_on_time + s.Stats.pf_late in
+  let demand_misses = Stats.total_misses s in
+  let cached_reads = s.Stats.hits + demand_misses + consumed in
+  let line_words =
+    (Memsys.cfg r.Interp.sys).Config.line_words
+  in
+  let remote_ops = s.Stats.annex_hits + s.Stats.annex_misses in
+  let traffic_words =
+    (* line-granular fills and prefetches move whole lines; uncached and
+       bypass reads move single words; vector prefetches report their own
+       word counts; writes write through one word at a time *)
+    (demand_misses * line_words)
+    + (s.Stats.pf_issued * line_words)
+    + s.Stats.pf_vector_words + s.Stats.uncached_local + s.Stats.uncached_remote
+    + s.Stats.bypass_reads + s.Stats.writes
+  in
+  let min_pe, max_pe =
+    Array.fold_left
+      (fun (mn, mx) c -> (min mn c, max mx c))
+      (max_int, 0) r.Interp.per_pe_cycles
+  in
+  {
+    hit_ratio = ratio s.Stats.hits cached_reads;
+    prefetch_coverage = ratio consumed (consumed + demand_misses);
+    prefetch_timeliness = ratio s.Stats.pf_on_time consumed;
+    prefetch_accuracy =
+      (let issued_lines =
+         s.Stats.pf_issued + (s.Stats.pf_vector_words / max 1 line_words)
+         + s.Stats.pf_dropped
+       in
+       min 1.0 (ratio consumed issued_lines));
+    avg_late_stall = ratio s.Stats.pf_late_cycles s.Stats.pf_late;
+    remote_ops_per_ref = ratio remote_ops (s.Stats.reads + s.Stats.writes);
+    traffic_words;
+    load_balance = (if max_pe = 0 then 1.0 else ratio min_pe max_pe);
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>hit ratio            %5.1f%%@,\
+     prefetch coverage    %5.1f%%@,\
+     prefetch timeliness  %5.1f%%@,\
+     prefetch accuracy    %5.1f%%@,\
+     avg late stall       %6.1f cycles@,\
+     remote ops / ref     %5.3f@,\
+     traffic              %d words@,\
+     load balance         %5.2f@]"
+    (100. *. m.hit_ratio) (100. *. m.prefetch_coverage)
+    (100. *. m.prefetch_timeliness)
+    (100. *. m.prefetch_accuracy)
+    m.avg_late_stall m.remote_ops_per_ref m.traffic_words m.load_balance

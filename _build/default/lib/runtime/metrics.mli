@@ -1,0 +1,30 @@
+(** Derived metrics over a run's raw counters.
+
+    The prefetching literature's standard decomposition: {e coverage} (what
+    fraction of would-be misses did prefetches absorb), {e timeliness}
+    (on-time vs late arrivals), {e accuracy} (issued vs consumed), plus
+    memory-system ratios and load balance. These are the quantities the
+    paper's Section 6 promises to study "in detailed simulation studies";
+    the CLI's [run] command prints them and the tests pin their algebra. *)
+
+type t = {
+  hit_ratio : float;  (** hits / cached reads *)
+  prefetch_coverage : float;
+      (** prefetch consumptions / (consumptions + demand misses): the
+          fraction of line acquisitions the prefetcher provided *)
+  prefetch_timeliness : float;  (** on-time / (on-time + late) *)
+  prefetch_accuracy : float;
+      (** consumed / issued line acquisitions (unused + dropped waste the
+          rest) *)
+  avg_late_stall : float;  (** stall cycles per late prefetch *)
+  remote_ops_per_ref : float;
+      (** remote operations (everything that consulted the DTB annex) per
+          memory reference — how much of the reference stream crossed the
+          network, whatever mechanism carried it *)
+  traffic_words : int;  (** words moved over the network/memory system *)
+  load_balance : float;
+      (** min / max busy cycles across PEs (1.0 = perfectly balanced) *)
+}
+
+val of_result : Interp.result -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+open Ccdp_ir
+
+type mismatch = {
+  array_name : string;
+  index : int array;
+  expected : float;
+  got : float;
+}
+
+type report = {
+  ok : bool;
+  checked : int;
+  mismatches : mismatch list;
+  max_abs_diff : float;
+}
+
+let compare_states ?(tol = 0.0) ?(max_report = 5) ~expected ~got
+    (program : Program.t) =
+  let checked = ref 0 in
+  let bad = ref 0 in
+  let mismatches = ref [] in
+  let max_diff = ref 0.0 in
+  List.iter
+    (fun (a : Array_decl.t) ->
+      if a.shared then
+        for lin = 0 to Array_decl.elems a - 1 do
+          let idx = Array_decl.point_of_linear a lin in
+          let e = Memsys.get expected a.name idx in
+          let g = Memsys.get got a.name idx in
+          incr checked;
+          let d = abs_float (e -. g) in
+          if d > !max_diff then max_diff := d;
+          if d > tol && not (Float.is_nan e && Float.is_nan g) then begin
+            incr bad;
+            if List.length !mismatches < max_report then
+              mismatches :=
+                { array_name = a.name; index = idx; expected = e; got = g }
+                :: !mismatches
+          end
+        done)
+    program.Program.arrays;
+  {
+    ok = !bad = 0;
+    checked = !checked;
+    mismatches = List.rev !mismatches;
+    max_abs_diff = !max_diff;
+  }
+
+let against_sequential ?tol (program : Program.t) ~init (r : Interp.result) =
+  let program = if program.Program.procs = [] then program else Program.inline program in
+  let cfg_seq =
+    { (Memsys.cfg r.Interp.sys) with Ccdp_machine.Config.n_pes = 1 }
+  in
+  let seq =
+    Interp.run cfg_seq program ~plan:(Ccdp_analysis.Annot.empty ())
+      ~mode:Memsys.Seq ~init ()
+  in
+  compare_states ?tol ~expected:seq.Interp.sys ~got:r.Interp.sys program
+
+let pp_report ppf r =
+  if r.ok then Format.fprintf ppf "verification OK (%d elements)" r.checked
+  else begin
+    Format.fprintf ppf "verification FAILED (%d elements, max |diff| %g)"
+      r.checked r.max_abs_diff;
+    List.iter
+      (fun m ->
+        Format.fprintf ppf "@,  %s(%s): expected %.17g, got %.17g" m.array_name
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int m.index)))
+          m.expected m.got)
+      r.mismatches
+  end

@@ -1,0 +1,40 @@
+(** Coherence verification by numeric comparison.
+
+    The strongest correctness statement this reproduction makes: after a
+    parallel run under any coherence scheme, every shared array must equal
+    the sequential execution's result bit-for-bit (the kernels perform no
+    cross-iteration reductions, so parallel evaluation order matches
+    sequential order elementwise). A scheme that lets a PE read a stale
+    cached copy produces different numbers and fails here — which is
+    exactly what the [Incoherent] mode demonstrates. *)
+
+type mismatch = {
+  array_name : string;
+  index : int array;
+  expected : float;
+  got : float;
+}
+
+type report = {
+  ok : bool;
+  checked : int;  (** elements compared *)
+  mismatches : mismatch list;  (** first few offenders *)
+  max_abs_diff : float;
+}
+
+(** Compare every element of every shared array between two final states.
+    [tol] is an absolute tolerance (default 0: exact). *)
+val compare_states :
+  ?tol:float -> ?max_report:int -> expected:Memsys.t -> got:Memsys.t ->
+  Ccdp_ir.Program.t -> report
+
+(** Run the program sequentially (1 PE, empty plan, same [init]) and compare
+    the given result against it. *)
+val against_sequential :
+  ?tol:float ->
+  Ccdp_ir.Program.t ->
+  init:(Memsys.t -> unit) ->
+  Interp.result ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/workloads/extras.ml: Affine Bound Builder Ccdp_ir Dist List Printf Stmt Workload

@@ -1,0 +1,1 @@
+lib/workloads/extras.mli: Workload

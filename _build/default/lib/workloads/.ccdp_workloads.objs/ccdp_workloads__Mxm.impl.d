@@ -1,0 +1,1 @@
+lib/workloads/mxm.ml: Builder Ccdp_ir Dist Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/mxm.mli: Ccdp_ir Workload

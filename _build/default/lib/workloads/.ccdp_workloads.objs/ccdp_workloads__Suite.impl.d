@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Extras Mxm Swim Tomcatv Vpenta

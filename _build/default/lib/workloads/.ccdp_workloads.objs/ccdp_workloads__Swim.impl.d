@@ -1,0 +1,1 @@
+lib/workloads/swim.ml: Builder Ccdp_ir Dist List Printf Stmt Workload

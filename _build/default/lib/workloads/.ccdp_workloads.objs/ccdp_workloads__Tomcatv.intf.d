@@ -1,0 +1,1 @@
+lib/workloads/tomcatv.mli: Ccdp_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/vpenta.ml: Builder Ccdp_ir Dist List Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/vpenta.mli: Ccdp_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Ccdp_ir List Printf String

@@ -1,0 +1,299 @@
+open Ccdp_ir
+module B = Builder
+module F = Builder.F
+
+let jacobi ~n ~iters =
+  if n < 4 then invalid_arg "Extras.jacobi: n too small";
+  let b = B.create ~name:"jacobi" () in
+  B.param b "n" n;
+  B.param b "niter" iters;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  B.array_ b "G" [| n; n |] ~dist;
+  B.array_ b "T" [| n; n |] ~dist;
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" in
+  let init =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "G" [ i; j ]
+              F.((F.iv "i" - F.iv "j") * const (1.0 /. float_of_int n));
+            B.assign b "T" [ i; j ] (F.const 0.0);
+          ];
+      ]
+  in
+  let smooth src dst =
+    B.doall b "j" ~sched:(Stmt.Static_aligned n) (bc 1)
+      (bc (n - 2))
+      [
+        B.for_ b "i" (bc 1)
+          (bc (n - 2))
+          [
+            B.assign b dst [ i; j ]
+              F.(
+                const 0.25
+                * (rd src [ i -! c 1; j ]
+                  + rd src [ i +! c 1; j ]
+                  + rd src [ i; j -! c 1 ]
+                  + rd src [ i; j +! c 1 ]));
+          ];
+      ]
+  in
+  let time_loop =
+    B.for_ b "it" (bc 1) (bv "niter") [ smooth "G" "T"; smooth "T" "G" ]
+  in
+  Workload.make ~name:"jacobi"
+    ~descr:(Printf.sprintf "5-point Jacobi %dx%d, %d iterations" n n iters)
+    (B.finish b [ init; time_loop ])
+
+let dynamic ~n =
+  if n < 8 then invalid_arg "Extras.dynamic: n too small";
+  let b = B.create ~name:"dynamic" () in
+  B.param b "n" n;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  B.array_ b "W" [| n; n |] ~dist;
+  B.array_ b "R" [| n; n |] ~dist;
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" in
+  let init =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "W" [ i; j ]
+              F.((F.iv "i" * const 0.25) - (F.iv "j" * const 0.125));
+            B.assign b "R" [ i; j ] (F.const 0.0);
+          ];
+      ]
+  in
+  (* dynamically scheduled columns: no compile-time PE map, every W read is
+     potentially stale and only MBP applies; the heavy scalar preamble gives
+     the moved-back prefetches a window, and the if-statement inside the
+     inner loop forces Fig. 2 case 5 on the guarded references *)
+  let sweep =
+    B.doall b "j" ~sched:(Stmt.Dynamic 2) (bc 1)
+      (bc (n - 2))
+      [
+        B.for_ b "i" (bc 1)
+          (bc (n - 2))
+          [
+            Stmt.Sassign
+              ( "t1",
+                F.(
+                  (rd "W" [ i; j ] * rd "W" [ i; j ])
+                  + (F.iv "i" * const 0.5)
+                  - (F.iv "j" * const 0.25)) );
+            Stmt.Sassign
+              ("t2", F.((sv "t1" * sv "t1") + (sv "t1" * const 0.125) + const 1.0));
+            Stmt.If
+              ( Stmt.Fcond (Stmt.Gt, F.sv "t2", F.const 1.0),
+                [
+                  Stmt.Sassign
+                    ( "u",
+                      F.(
+                        (sv "t2" * sv "t2") + (sv "t1" * const 0.5)
+                        + (sv "t2" * const 0.25) - const 3.0) );
+                  Stmt.Sassign
+                    ("w", F.((sv "u" * sv "u") - (sv "u" * const 0.125) + const 1.0));
+                  B.assign b "R" [ i; j ]
+                    F.(
+                      ((rd "W" [ i; j -! c 1 ] + rd "W" [ i; j +! c 1 ]) * sv "w")
+                      / (sv "u" + const 100.0));
+                ],
+                [
+                  Stmt.Sassign
+                    ( "u",
+                      F.(
+                        (sv "t2" * sv "t1") - (sv "t1" * const 0.5) + const 2.0) );
+                  Stmt.Sassign
+                    ("w", F.((sv "u" * sv "u") + (sv "u" * const 0.25) + const 1.0));
+                  B.assign b "R" [ i; j ]
+                    F.(F.neg (rd "W" [ i -! c 1; j ]) * sv "w");
+                ] );
+          ];
+      ]
+  in
+  Workload.make ~name:"dynamic"
+    ~descr:
+      (Printf.sprintf
+         "dynamically scheduled guarded sweep %dx%d (MBP-only paths)" n n)
+    (B.finish b [ init; sweep ])
+
+let opaque_sweep ~n =
+  if n < 8 then invalid_arg "Extras.opaque_sweep: n too small";
+  let b = B.create ~name:"opaque" () in
+  B.param b "n" n;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  B.array_ b "S" [| n; n |] ~dist;
+  B.array_ b "Q" [| n; n |] ~dist;
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" in
+  let init =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "S" [ i; j ] F.(F.iv "i" + (F.iv "j" * const 0.5));
+            B.assign b "Q" [ i; j ] (F.const 0.0);
+          ];
+      ]
+  in
+  (* the serial accumulation loop's upper bound is computed at run time:
+     the compiler sees Unknown, the interpreter evaluates n-2; VPG is
+     impossible and software pipelining takes over (Fig. 2 case 1) *)
+  let opaque_hi = Bound.opaque Affine.(sub (var "n") (const 2)) in
+  let sweep =
+    B.doall b "j" ~sched:(Stmt.Static_aligned n) (bc 1)
+      (bc (n - 2))
+      [
+        Stmt.Sassign ("acc", F.const 0.0);
+        B.for_ b "i" (bc 1) opaque_hi
+          [
+            Stmt.Sassign
+              ( "acc",
+                F.(sv "acc" + rd "S" [ i; j -! c 1 ] + rd "S" [ i; j +! c 1 ]) );
+          ];
+        B.assign b "Q" [ c 0; j ] (F.sv "acc");
+      ]
+  in
+  Workload.make ~name:"opaque"
+    ~descr:
+      (Printf.sprintf "serial sweep with runtime-only bounds %dx%d (SP path)" n
+         n)
+    (B.finish b [ init; sweep ])
+
+let triad ~n =
+  if n < 4 then invalid_arg "Extras.triad: n too small";
+  let b = B.create ~name:"triad" () in
+  B.param b "n" n;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  List.iter (fun name -> B.array_ b name [| n; n |] ~dist) [ "XA"; "XB"; "XC" ];
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" in
+  let init =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "XA" [ i; j ] F.(F.iv "i" * const 0.5);
+            B.assign b "XB" [ i; j ] F.(F.iv "j" * const 0.25);
+            B.assign b "XC" [ i; j ] (F.const 0.0);
+          ];
+      ]
+  in
+  let compute =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "XC" [ i; j ]
+              F.(rd "XA" [ i; j ] + (const 3.0 * rd "XB" [ i; j ]));
+          ];
+      ]
+  in
+  Workload.make ~name:"triad"
+    ~descr:(Printf.sprintf "owner-aligned triad %dx%d (zero stale refs)" n n)
+    (B.finish b [ init; compute ])
+
+let transpose ~n =
+  if n < 4 then invalid_arg "Extras.transpose: n too small";
+  let b = B.create ~name:"transpose" () in
+  B.param b "n" n;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  B.array_ b "IN" [| n; n |] ~dist;
+  B.array_ b "OUT" [| n; n |] ~dist;
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" in
+  let init =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "IN" [ i; j ]
+              F.((F.iv "i" * const 2.0) + (F.iv "j" * const 0.5));
+            B.assign b "OUT" [ i; j ] (F.const 0.0);
+          ];
+      ]
+  in
+  (* each task writes its own OUT column but gathers one element from every
+     IN column: all-to-all communication, the worst case for an uncached
+     shared-memory machine and a strided vector-prefetch showcase *)
+  let flip =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [ B.assign b "OUT" [ i; j ] (rd "IN" [ j; i ]) ];
+      ]
+  in
+  Workload.make ~name:"transpose"
+    ~descr:(Printf.sprintf "matrix transpose %dx%d (all-to-all gather)" n n)
+    (B.finish b [ init; flip ])
+
+let gauss ~n =
+  if n < 6 then invalid_arg "Extras.gauss: n too small";
+  let b = B.create ~name:"gauss" () in
+  B.param b "n" n;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  B.array_ b "M" [| n; n |] ~dist;
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" and k = v "k" in
+  let init =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            Stmt.If
+              ( Stmt.Icond (Stmt.Eq, i, j),
+                [ B.assign b "M" [ i; j ] (F.const (float_of_int n)) ],
+                [
+                  B.assign b "M" [ i; j ]
+                    F.(const 1.0 / ((F.iv "i" + F.iv "j") + const 1.0));
+                ] );
+          ];
+      ]
+  in
+  (* forward elimination without pivoting (the synthetic system is
+     diagonally dominant): at step k every task reads the multiplier
+     column k and the pivot element — both owned by one PE — while
+     updating its own columns; triangular bounds are affine in k *)
+  let eliminate =
+    B.for_ b "k" (bc 0)
+      (bc (n - 2))
+      [
+        B.doall b "j" ~sched:(Stmt.Static_aligned n)
+          (bk (k +! c 1))
+          (bc (n - 1))
+          [
+            B.for_ b "i"
+              (bk (k +! c 1))
+              (bc (n - 1))
+              [
+                B.assign b "M" [ i; j ]
+                  F.(
+                    rd "M" [ i; j ]
+                    - (rd "M" [ i; k ] / rd "M" [ k; k ] * rd "M" [ k; j ]));
+              ];
+          ];
+      ]
+  in
+  Workload.make ~name:"gauss"
+    ~descr:
+      (Printf.sprintf
+         "Gaussian elimination %dx%d (broadcast multiplier column, \
+          triangular bounds)" n n)
+    (B.finish b [ init; eliminate ])

@@ -1,0 +1,31 @@
+(** Additional kernels beyond the paper's four, exercising the analysis and
+    scheduling paths the SPEC set does not reach. *)
+
+(** Five-point Jacobi smoother with row halos: the minimal "CCDP wins"
+    example used by the quickstart. *)
+val jacobi : n:int -> iters:int -> Workload.t
+
+(** Dynamically self-scheduled sweep over stale data (Fig. 2 case 3:
+    moving-back prefetches only), with an if-guarded inner loop (case 5) and
+    a data-dependent branch. *)
+val dynamic : n:int -> Workload.t
+
+(** Serial loop whose bounds are only known at run time ([Bound.opaque]):
+    vector prefetching is impossible, software pipelining applies (Fig. 2
+    case 1, unknown-bounds branch). *)
+val opaque_sweep : n:int -> Workload.t
+
+(** Block-aligned triad: every access owner-local, zero stale references —
+    the negative control. *)
+val triad : n:int -> Workload.t
+
+(** Matrix transpose: every task gathers one element from every column —
+    all-to-all communication, the stress case for remote latency and the
+    torus distance model; the row read becomes a strided vector prefetch. *)
+val transpose : n:int -> Workload.t
+
+(** Gaussian elimination without pivoting: at step k every PE reads the
+    remotely-owned multiplier column and pivot element while updating its
+    own columns — a broadcast sharing pattern over triangular (affine-in-k)
+    iteration spaces. *)
+val gauss : n:int -> Workload.t

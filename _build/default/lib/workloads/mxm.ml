@@ -1,0 +1,59 @@
+open Ccdp_ir
+module B = Builder
+module F = Builder.F
+
+let program ~n =
+  if n mod 4 <> 0 then invalid_arg "Mxm.program: n must be a multiple of 4";
+  let b = B.create ~name:"mxm" () in
+  B.param b "n" n;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  B.array_ b "A" [| n; n |] ~dist;
+  B.array_ b "B" [| n; n |] ~dist;
+  B.array_ b "C" [| n; n |] ~dist;
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" and k = v "k" in
+  let fi = F.iv "i" and fj = F.iv "j" in
+  let scale = 1.0 /. float_of_int n in
+  let init =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "A" [ i; j ]
+              F.(((fi - fj) * const scale) + const 1.0);
+            B.assign b "B" [ i; j ]
+              F.(((fi + (const 2.0 * fj)) * const scale) - const 0.5);
+            B.assign b "C" [ i; j ] (F.const 0.0);
+          ];
+      ]
+  in
+  let term dk =
+    F.(rd "A" [ i; k +! c dk ] * rd "B" [ k +! c dk; j ])
+  in
+  let compute =
+    B.for_ b "k" (bc 0)
+      (bc (n - 1))
+      ~step:4
+      [
+        B.doall b "j" (bc 0)
+          (bc (n - 1))
+          [
+            B.for_ b "i" (bc 0)
+              (bc (n - 1))
+              [
+                B.assign b "C" [ i; j ]
+                  F.(rd "C" [ i; j ] + term 0 + term 1 + term 2 + term 3);
+              ];
+          ];
+      ]
+  in
+  B.finish b [ init; compute ]
+
+let workload ~n =
+  Workload.make ~name:"mxm"
+    ~descr:
+      (Printf.sprintf
+         "matrix multiply %dx%d, unrolled by 4, block-distributed columns" n n)
+    (program ~n)

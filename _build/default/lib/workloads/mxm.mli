@@ -1,0 +1,13 @@
+(** MXM (SPEC CFP92, NASA7 kernel): matrix multiply, unrolled by four.
+
+    Structure after the paper's Section 5.3: columns of the shared matrices
+    are block-distributed; the middle loop (over result columns) is the
+    parallel DOALL, block-scheduled to match; the outermost serial loop
+    walks four columns of [A] at a time, so every PE reads four mostly
+    remote columns of [A] per outer iteration — the staleness and latency
+    bottleneck the CCDP version attacks. [B] and [C] accesses stay within
+    each PE's own columns and come out of the analysis clean. *)
+
+val program : n:int -> Ccdp_ir.Program.t
+
+val workload : n:int -> Workload.t

@@ -1,0 +1,18 @@
+let spec_four ?(n = 64) ?(iters = 2) () =
+  [
+    Mxm.workload ~n;
+    Vpenta.workload ~n;
+    Tomcatv.workload ~n ~iters;
+    Swim.workload ~n ~iters;
+  ]
+
+let all ?(n = 64) ?(iters = 2) () =
+  spec_four ~n ~iters ()
+  @ [
+      Extras.jacobi ~n ~iters;
+      Extras.dynamic ~n;
+      Extras.opaque_sweep ~n;
+      Extras.triad ~n;
+      Extras.transpose ~n;
+      Extras.gauss ~n;
+    ]

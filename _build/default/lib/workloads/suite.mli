@@ -1,0 +1,8 @@
+(** Workload registry. *)
+
+(** The paper's four benchmarks at the given problem size. [iters] applies
+    to the iterative kernels (TOMCATV, SWIM). *)
+val spec_four : ?n:int -> ?iters:int -> unit -> Workload.t list
+
+(** SPEC four plus the extra kernels ({!Extras}). *)
+val all : ?n:int -> ?iters:int -> unit -> Workload.t list

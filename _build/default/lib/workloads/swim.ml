@@ -1,0 +1,194 @@
+open Ccdp_ir
+module B = Builder
+module F = Builder.F
+
+let arrays =
+  [
+    "U"; "V"; "P"; "UNEW"; "VNEW"; "PNEW"; "UOLD"; "VOLD"; "POLD"; "CU"; "CV";
+    "Z"; "H"; "PSI";
+  ]
+
+let program ~n ~iters =
+  if n < 8 then invalid_arg "Swim.program: n too small";
+  let b = B.create ~name:"swim" () in
+  B.param b "n" n;
+  B.param b "niter" iters;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  List.iter (fun name -> B.array_ b name [| n; n |] ~dist) arrays;
+  let open B.A in
+  let i = v "i" and j = v "j" in
+  let fi = F.iv "i" and fj = F.iv "j" in
+  let s = 1.0 /. float_of_int n in
+  let rd = B.rd b in
+  (* CALC1: fluxes, vorticity and height from the prognostic fields;
+     i+1 neighbours share lines (group-spatial), j+1 neighbours cross the
+     column distribution boundary *)
+  B.proc b "calc1" ~formals:[ "m" ]
+    [
+      B.doall b "j" ~sched:(Stmt.Static_aligned n) (bc 1) (bv "m")
+        [
+          B.for_ b "i" (bc 1) (bv "m")
+            [
+              B.assign b "CU" [ i; j ]
+                F.(const 0.5 * (rd "P" [ i +! c 1; j ] + rd "P" [ i; j ])
+                   * rd "U" [ i; j ]);
+              B.assign b "CV" [ i; j ]
+                F.(const 0.5 * (rd "P" [ i; j +! c 1 ] + rd "P" [ i; j ])
+                   * rd "V" [ i; j ]);
+              B.assign b "Z" [ i; j ]
+                F.(
+                  ((const 0.25 * (rd "V" [ i +! c 1; j ] - rd "V" [ i; j ]))
+                  - (const 0.25 * (rd "U" [ i; j +! c 1 ] - rd "U" [ i; j ])))
+                  / rd "P" [ i; j ]);
+              B.assign b "H" [ i; j ]
+                F.(
+                  rd "P" [ i; j ]
+                  + (const 0.25
+                    * ((rd "U" [ i; j ] * rd "U" [ i; j ])
+                      + (rd "V" [ i; j ] * rd "V" [ i; j ]))));
+            ];
+        ];
+    ];
+  (* CALC2: new prognostic values from the diagnostics *)
+  B.proc b "calc2" ~formals:[ "m" ]
+    [
+      B.doall b "j" ~sched:(Stmt.Static_aligned n) (bc 1) (bv "m")
+        [
+          B.for_ b "i" (bc 1) (bv "m")
+            [
+              B.assign b "UNEW" [ i; j ]
+                F.(
+                  rd "UOLD" [ i; j ]
+                  + (const 0.05
+                    * (rd "Z" [ i; j +! c 1 ] + rd "Z" [ i; j ])
+                    * (rd "CV" [ i; j +! c 1 ] + rd "CV" [ i; j ]))
+                  - (const 0.1 * (rd "H" [ i +! c 1; j ] - rd "H" [ i; j ])));
+              B.assign b "VNEW" [ i; j ]
+                F.(
+                  rd "VOLD" [ i; j ]
+                  - (const 0.05
+                    * (rd "Z" [ i +! c 1; j ] + rd "Z" [ i; j ])
+                    * (rd "CU" [ i +! c 1; j ] + rd "CU" [ i; j ]))
+                  - (const 0.1 * (rd "H" [ i; j +! c 1 ] - rd "H" [ i; j ])));
+              B.assign b "PNEW" [ i; j ]
+                F.(
+                  rd "POLD" [ i; j ]
+                  - (const 0.1
+                    * (rd "CU" [ i +! c 1; j ] - rd "CU" [ i; j ]
+                      + rd "CV" [ i; j +! c 1 ] - rd "CV" [ i; j ])));
+            ];
+        ];
+    ];
+  (* CALC3: time smoothing and field rotation; fully column-local *)
+  B.proc b "calc3" ~formals:[ "m" ]
+    [
+      B.doall b "j" ~sched:(Stmt.Static_aligned n) (bc 1) (bv "m")
+        [
+          B.for_ b "i" (bc 1) (bv "m")
+            [
+              B.assign b "UOLD" [ i; j ]
+                F.(
+                  rd "U" [ i; j ]
+                  + (const 0.001
+                    * (rd "UNEW" [ i; j ] - (const 2.0 * rd "U" [ i; j ])
+                      + rd "UOLD" [ i; j ])));
+              B.assign b "VOLD" [ i; j ]
+                F.(
+                  rd "V" [ i; j ]
+                  + (const 0.001
+                    * (rd "VNEW" [ i; j ] - (const 2.0 * rd "V" [ i; j ])
+                      + rd "VOLD" [ i; j ])));
+              B.assign b "POLD" [ i; j ]
+                F.(
+                  rd "P" [ i; j ]
+                  + (const 0.001
+                    * (rd "PNEW" [ i; j ] - (const 2.0 * rd "P" [ i; j ])
+                      + rd "POLD" [ i; j ])));
+              B.assign b "U" [ i; j ] (rd "UNEW" [ i; j ]);
+              B.assign b "V" [ i; j ] (rd "VNEW" [ i; j ]);
+              B.assign b "P" [ i; j ] (rd "PNEW" [ i; j ]);
+            ];
+        ];
+    ];
+  (* initial stream function, then fields derived from it *)
+  let init_psi =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "PSI" [ i; j ]
+              F.((fi * fj * const (s *. s)) + (fi * const (0.1 *. s)));
+          ];
+      ]
+  in
+  let init_fields =
+    B.doall b "j" ~sched:(Stmt.Static_aligned n) (bc 0)
+      (bc (n - 2))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 2))
+          [
+            B.assign b "U" [ i; j ]
+              F.(
+                const (-1.0)
+                * (rd "PSI" [ i +! c 1; j +! c 1 ] - rd "PSI" [ i +! c 1; j ]));
+            B.assign b "V" [ i; j ]
+              F.(rd "PSI" [ i +! c 1; j +! c 1 ] - rd "PSI" [ i; j +! c 1 ]);
+            B.assign b "P" [ i; j ] F.(const 2.0 + ((fi + fj) * const (0.1 *. s)));
+          ];
+      ]
+  in
+  let init_rest =
+    B.doall b "j" (bc 0)
+      (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "UOLD" [ i; j ] (F.const 0.0);
+            B.assign b "VOLD" [ i; j ] (F.const 0.0);
+            B.assign b "POLD" [ i; j ] (F.const 2.0);
+            B.assign b "CU" [ i; j ] (F.const 0.0);
+            B.assign b "CV" [ i; j ] (F.const 0.0);
+            B.assign b "Z" [ i; j ] (F.const 0.0);
+            B.assign b "H" [ i; j ] (F.const 2.0);
+            B.assign b "UNEW" [ i; j ] (F.const 0.0);
+            B.assign b "VNEW" [ i; j ] (F.const 0.0);
+            B.assign b "PNEW" [ i; j ] (F.const 2.0);
+          ];
+      ]
+  in
+  (* periodic boundary exchange: every PE copies from the first/last
+     columns, which only their owners wrote *)
+  let boundary =
+    B.doall b "i" (bc 0)
+      (bc (n - 1))
+      [
+        B.assign b "U" [ i; c (n - 1) ] (rd "U" [ i; c 1 ]);
+        B.assign b "V" [ i; c (n - 1) ] (rd "V" [ i; c 1 ]);
+        B.assign b "P" [ i; c (n - 1) ] (rd "P" [ i; c 1 ]);
+        B.assign b "U" [ i; c 0 ] (rd "U" [ i; c (n - 2) ]);
+        B.assign b "V" [ i; c 0 ] (rd "V" [ i; c (n - 2) ]);
+        B.assign b "P" [ i; c 0 ] (rd "P" [ i; c (n - 2) ]);
+      ]
+  in
+  let m = c (n - 2) in
+  let time_loop =
+    B.for_ b "it" (bc 1) (bv "niter")
+      [
+        B.call "calc1" [ ("m", m) ];
+        B.call "calc2" [ ("m", m) ];
+        B.call "calc3" [ ("m", m) ];
+        boundary;
+      ]
+  in
+  B.finish b [ init_psi; init_fields; init_rest; time_loop ]
+
+let workload ~n ~iters =
+  Workload.make ~name:"swim"
+    ~descr:
+      (Printf.sprintf
+         "shallow water %dx%d, %d iterations: 3 subroutines, small halo \
+          fraction" n n iters)
+    (program ~n ~iters)

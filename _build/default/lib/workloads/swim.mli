@@ -1,0 +1,14 @@
+(** SWIM (SPEC CFP95): shallow-water equations by finite differences.
+
+    Three procedures (CALC1, CALC2, CALC3) called from the time loop — the
+    paper's "three major subroutines, each containing a doubly-nested loop
+    with its outer loop parallel" — plus periodic boundary-exchange epochs.
+    Rows are block-distributed and the stencils only reach one row across a
+    PE boundary, so the remote fraction is small relative to the data
+    touched: CCDP improves on BASE, but modestly (paper Table 2: 2.5-13%).
+    The procedure calls exercise the interprocedural (inlining) side of the
+    stale-reference analysis. *)
+
+val program : n:int -> iters:int -> Ccdp_ir.Program.t
+
+val workload : n:int -> iters:int -> Workload.t

@@ -1,0 +1,158 @@
+open Ccdp_ir
+module B = Builder
+module F = Builder.F
+
+let program ~n ~iters =
+  if n < 8 then invalid_arg "Tomcatv.program: n too small";
+  let b = B.create ~name:"tomcatv" () in
+  B.param b "n" n;
+  B.param b "niter" iters;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  List.iter (fun name -> B.array_ b name [| n; n |] ~dist)
+    [ "X"; "Y"; "RX"; "RY"; "AA"; "DD"; "D" ];
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" in
+  let fi = F.iv "i" and fj = F.iv "j" in
+  let s = 1.0 /. float_of_int n in
+  let init =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "X" [ i; j ] F.((fi * const s) + (fj * const (0.5 *. s)));
+            B.assign b "Y" [ i; j ] F.((fj * const s) - (fi * const (0.25 *. s)));
+            B.assign b "RX" [ i; j ] (F.const 0.0);
+            B.assign b "RY" [ i; j ] (F.const 0.0);
+            B.assign b "AA" [ i; j ] (F.const 0.0);
+            B.assign b "DD" [ i; j ] (F.const 4.0);
+            B.assign b "D" [ i; j ] (F.const 1.0);
+          ];
+      ]
+  in
+  (* loop 60: residuals and sweep coefficients; parallel over columns,
+     column halos (j +/- 1) remote, row neighbours (i +/- 1) group-spatial *)
+  let residual =
+    B.doall b "j" ~sched:(Stmt.Static_aligned n) (bc 1)
+      (bc (n - 2))
+      [
+        B.for_ b "i" (bc 1)
+          (bc (n - 2))
+          [
+            B.assign b "RX" [ i; j ]
+              F.(
+                rd "X" [ i -! c 1; j ]
+                + rd "X" [ i +! c 1; j ]
+                + rd "X" [ i; j -! c 1 ]
+                + rd "X" [ i; j +! c 1 ]
+                - (const 4.0 * rd "X" [ i; j ]));
+            B.assign b "RY" [ i; j ]
+              F.(
+                rd "Y" [ i -! c 1; j ]
+                + rd "Y" [ i +! c 1; j ]
+                + rd "Y" [ i; j -! c 1 ]
+                + rd "Y" [ i; j +! c 1 ]
+                - (const 4.0 * rd "Y" [ i; j ]));
+            B.assign b "AA" [ i; j ]
+              F.(const (-0.125) * (rd "Y" [ i; j +! c 1 ] - rd "Y" [ i; j -! c 1 ]));
+            B.assign b "DD" [ i; j ]
+              F.(
+                const 4.0
+                + (const 0.01 * (rd "X" [ i; j +! c 1 ] - rd "X" [ i; j -! c 1 ])));
+          ];
+      ]
+  in
+  (* loop 100: forward elimination along the columns; the serial recurrence
+     runs over j, the parallel inner loop over i — so every PE updates
+     slices of a column it does not own (the paper's "each PE has to access
+     shared data which are owned by another PE") *)
+  let forward =
+    B.for_ b "j" (bc 2)
+      (bc (n - 2))
+      [
+        B.doall b "i" (bc 1)
+          (bc (n - 2))
+          [
+            B.assign b "D" [ i; j ]
+              F.(
+                const 1.0
+                / (rd "DD" [ i; j ]
+                  - (rd "AA" [ i; j ] * rd "D" [ i; j -! c 1 ] * const 0.1)));
+            B.assign b "RX" [ i; j ]
+              F.(
+                (rd "RX" [ i; j ] + (rd "AA" [ i; j ] * rd "RX" [ i; j -! c 1 ]))
+                * rd "D" [ i; j ]);
+            B.assign b "RY" [ i; j ]
+              F.(
+                (rd "RY" [ i; j ] + (rd "AA" [ i; j ] * rd "RY" [ i; j -! c 1 ]))
+                * rd "D" [ i; j ]);
+          ];
+      ]
+  in
+  let lastc = c (n - 1) and cn = c n in
+  (* loop 120: back substitution via the reversed index jr -> n-1-jr *)
+  let backward =
+    B.for_ b "jr" (bc 2)
+      (bc (n - 2))
+      [
+        B.doall b "i" (bc 1)
+          (bc (n - 2))
+          [
+            B.assign b "RX"
+              [ i; lastc -! v "jr" ]
+              F.(
+                rd "RX" [ i; lastc -! v "jr" ]
+                - (rd "D" [ i; lastc -! v "jr" ]
+                  * rd "RX" [ i; cn -! v "jr" ]
+                  * const 0.1));
+            B.assign b "RY"
+              [ i; lastc -! v "jr" ]
+              F.(
+                rd "RY" [ i; lastc -! v "jr" ]
+                - (rd "D" [ i; lastc -! v "jr" ]
+                  * rd "RY" [ i; cn -! v "jr" ]
+                  * const 0.1));
+          ];
+      ]
+  in
+  (* mesh update: column-parallel reads of the row-block-written residuals *)
+  let update =
+    B.doall b "j" ~sched:(Stmt.Static_aligned n) (bc 1)
+      (bc (n - 2))
+      [
+        B.for_ b "i" (bc 1)
+          (bc (n - 2))
+          [
+            B.assign b "X" [ i; j ]
+              F.(rd "X" [ i; j ] + (const 0.05 * rd "RX" [ i; j ]));
+            B.assign b "Y" [ i; j ]
+              F.(rd "Y" [ i; j ] + (const 0.05 * rd "RY" [ i; j ]));
+          ];
+      ]
+  in
+  (* serial residual sample on PE 0: a serial inner loop over stale data *)
+  let mid = n / 2 in
+  let res_epoch =
+    [
+      Stmt.Sassign ("res", F.const 0.0);
+      B.for_ b "jj" (bc 1)
+        (bc (n - 2))
+        [
+          Stmt.Sassign
+            ("res", F.(sv "res" + abs_ (rd "RX" [ c mid; v "jj" ])));
+        ];
+      B.assign b "X" [ c 0; c 0 ] F.(sv "res" * const 1e-6);
+    ]
+  in
+  let body = [ residual; forward; backward; update ] @ res_epoch in
+  let time_loop = B.for_ b "it" (bc 1) (bv "niter") body in
+  B.finish b [ init; time_loop ]
+
+let workload ~n ~iters =
+  Workload.make ~name:"tomcatv"
+    ~descr:
+      (Printf.sprintf
+         "mesh generation %dx%d, %d iterations: column halos + cross-owner \
+          sweeps" n n iters)
+    (program ~n ~iters)

@@ -1,0 +1,16 @@
+(** TOMCATV (SPEC CFP95): vectorized mesh generation.
+
+    Reproduces the paper's sharing structure (Section 5.3/5.4): a
+    doubly-nested residual loop with the {e outer} loop parallel (loop 60),
+    and forward/backward sweeps whose {e inner} loop is parallel under a
+    serial outer loop (loops 100/120). Rows are block-distributed; the
+    residual loop reads row halos (block-misaligned), and the sweep DOALLs
+    run cyclic-scheduled against block-distributed data, so nearly every
+    coefficient read crosses PEs — the paper's "each PE has to access shared
+    data owned by another PE", which is why TOMCATV shows the largest CCDP
+    gains after MXM. A small serial residual epoch exercises the serial-loop
+    scheduling cases. *)
+
+val program : n:int -> iters:int -> Ccdp_ir.Program.t
+
+val workload : n:int -> iters:int -> Workload.t

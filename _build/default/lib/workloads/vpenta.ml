@@ -1,0 +1,101 @@
+open Ccdp_ir
+module B = Builder
+module F = Builder.F
+
+(* Forward elimination and back substitution of a pentadiagonal system per
+   column, with diagonally-dominant synthetic coefficients so the recurrence
+   stays bounded. Arrays: sub-sub A, sub B, diag C, super D, super-super E,
+   right-hand side F, solution X. *)
+let program ~n =
+  if n < 6 then invalid_arg "Vpenta.program: n too small";
+  let b = B.create ~name:"vpenta" () in
+  B.param b "n" n;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  List.iter (fun name -> B.array_ b name [| n; n |] ~dist)
+    [ "A"; "B"; "C"; "D"; "E"; "F"; "X" ];
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" in
+  let fi = F.iv "i" and fj = F.iv "j" in
+  let s = 1.0 /. float_of_int n in
+  let init =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "A" [ i; j ] F.(const 0.1 + (fi * const (0.1 *. s)));
+            B.assign b "B" [ i; j ] F.(const 0.2 + (fj * const (0.1 *. s)));
+            B.assign b "C" [ i; j ] F.(const 4.0 + ((fi + fj) * const s));
+            B.assign b "D" [ i; j ] F.(const 0.2 - (fi * const (0.05 *. s)));
+            B.assign b "E" [ i; j ] F.(const 0.1 + (fj * const (0.05 *. s)));
+            B.assign b "F" [ i; j ] F.(((fi - fj) * const s) + const 1.0);
+            B.assign b "X" [ i; j ] (F.const 0.0);
+          ];
+      ]
+  in
+  let last = c (n - 1) and last2 = c (n - 2) and cn = c n and cn1 = c (n + 1) in
+  (* forward elimination: fold the two sub-diagonals into the diagonal *)
+  let forward =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 2)
+          (bc (n - 1))
+          [
+            B.assign b "C" [ i; j ]
+              F.(
+                rd "C" [ i; j ]
+                - (rd "A" [ i; j ] * rd "E" [ i -! c 2; j ])
+                - (rd "B" [ i; j ] * rd "D" [ i -! c 1; j ]));
+            B.assign b "F" [ i; j ]
+              F.(
+                rd "F" [ i; j ]
+                - (rd "A" [ i; j ] * rd "F" [ i -! c 2; j ] * const 0.1)
+                - (rd "B" [ i; j ] * rd "F" [ i -! c 1; j ] * const 0.1));
+          ];
+      ]
+  in
+  (* back substitution via the reversed index i' -> n-1-i' (steps stay +1) *)
+  let backward =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.assign b "X" [ last; j ]
+          F.(rd "F" [ last; j ] / rd "C" [ last; j ]);
+        B.assign b "X" [ last2; j ]
+          F.(rd "F" [ last2; j ] / rd "C" [ last2; j ]);
+        B.for_ b "r" (bc 2)
+          (bc (n - 1))
+          [
+            B.assign b "X"
+              [ last -! v "r"; j ]
+              F.(
+                (rd "F" [ last -! v "r"; j ]
+                - (rd "D" [ last -! v "r"; j ]
+                  * rd "X" [ cn -! v "r"; j ])
+                - (rd "E" [ last -! v "r"; j ]
+                  * rd "X" [ cn1 -! v "r"; j ]))
+                / rd "C" [ last -! v "r"; j ]);
+          ];
+      ]
+  in
+  (* scaling pass over the solution, still column-local *)
+  let scalepass =
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "X" [ i; j ]
+              F.(rd "X" [ i; j ] * (const 1.0 + (fj * const (0.01 *. s))));
+          ];
+      ]
+  in
+  B.finish b [ init; forward; backward; scalepass ]
+
+let workload ~n =
+  Workload.make ~name:"vpenta"
+    ~descr:
+      (Printf.sprintf
+         "pentadiagonal inversion %dx%d, fully column-local (owner-computes)"
+         n n)
+    (program ~n)

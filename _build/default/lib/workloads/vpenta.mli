@@ -1,0 +1,13 @@
+(** VPENTA (SPEC CFP92, NASA7 kernel): pentadiagonal inversion.
+
+    Seven shared matrices, columns block-distributed, every loop parallel
+    over columns with serial recurrences down each column — so each PE only
+    ever touches its own columns (paper Section 5.4: "each PE will only
+    access the portion of shared data which is stored in its local
+    memory"). The stale-reference analysis proves every read aligned: the
+    CCDP version issues {e no} prefetches and wins over BASE purely by
+    caching local shared data. *)
+
+val program : n:int -> Ccdp_ir.Program.t
+
+val workload : n:int -> Workload.t

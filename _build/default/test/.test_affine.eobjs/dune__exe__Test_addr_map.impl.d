@@ -1,0 +1,1 @@
+test/test_addr_map.ml: Addr_map Alcotest Builder Ccdp_ir Ccdp_runtime Ccdp_test_support Dist Hashtbl List Stmt

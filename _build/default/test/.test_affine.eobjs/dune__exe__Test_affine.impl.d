@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Ccdp_ir Ccdp_test_support QCheck String

@@ -1,0 +1,1 @@
+test/test_annot.ml: Alcotest Annot Ccdp_analysis Ccdp_test_support Format Hashtbl List Str String

@@ -1,0 +1,1 @@
+test/test_array_dist.ml: Alcotest Array_decl Ccdp_ir Ccdp_test_support Dist QCheck

@@ -1,0 +1,1 @@
+test/test_bound.ml: Affine Alcotest Bound Ccdp_ir Ccdp_test_support

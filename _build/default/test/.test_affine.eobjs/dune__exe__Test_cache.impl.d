@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache Ccdp_machine Ccdp_test_support Config List QCheck

@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Ccdp_core Ccdp_machine Ccdp_test_support Ccdp_workloads List Str String Suite Workload

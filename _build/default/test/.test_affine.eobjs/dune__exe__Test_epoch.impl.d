@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest Builder Ccdp_ir Ccdp_test_support Epoch List Program Stmt

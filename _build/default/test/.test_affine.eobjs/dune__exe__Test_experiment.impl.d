@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Buffer Ccdp_analysis Ccdp_core Ccdp_machine Ccdp_runtime Ccdp_test_support Ccdp_workloads Experiment Extras Format List Pipeline Report String

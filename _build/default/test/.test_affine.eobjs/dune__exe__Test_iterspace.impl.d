@@ -1,0 +1,1 @@
+test/test_iterspace.ml: Affine Alcotest Bound Ccdp_analysis Ccdp_ir Ccdp_test_support Iterspace List Stmt

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array_decl Ccdp_craft Ccdp_ir Ccdp_test_support Dist Layout QCheck Section

@@ -1,0 +1,1 @@
+test/test_locality.ml: Affine Alcotest Array_decl Builder Ccdp_analysis Ccdp_ir Ccdp_test_support Epoch Fexpr List Locality Program Ref_info Reference

@@ -1,0 +1,1 @@
+test/test_loop_sched.ml: Alcotest Ccdp_craft Ccdp_ir Ccdp_test_support List Loop_sched QCheck Stmt

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Ccdp_machine Ccdp_test_support Config Dtb_annex List Machine Pe Prefetch_queue Stats

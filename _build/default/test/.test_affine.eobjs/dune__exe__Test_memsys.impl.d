@@ -1,0 +1,1 @@
+test/test_memsys.ml: Affine Alcotest Annot Builder Ccdp_analysis Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Config Dist Hashtbl List Memsys Reference Stale Stats Stmt

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Ccdp_workloads Extras Format Interp List Memsys Metrics String Workload

@@ -1,0 +1,1 @@
+test/test_parallelize.ml: Alcotest Annot Builder Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Ccdp_workloads Dist Format List Parallelize Program Stmt String

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array_decl Bound Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Ccdp_workloads Craft_parse Dist Fexpr List Program Stmt

@@ -1,0 +1,1 @@
+test/test_parse_more.ml: Alcotest Array_decl Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Ccdp_workloads Craft_parse Dist List Program Sys

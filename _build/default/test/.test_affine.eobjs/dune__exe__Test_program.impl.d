@@ -1,0 +1,1 @@
+test/test_program.ml: Affine Alcotest Array Builder Ccdp_ir Ccdp_test_support List Program Reference Stmt String

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Ccdp_machine Ccdp_test_support List Prefetch_queue QCheck

@@ -1,0 +1,1 @@
+test/test_ref_info.ml: Alcotest Builder Ccdp_analysis Ccdp_ir Ccdp_test_support Epoch Hashtbl List Program Ref_info Reference Stmt String

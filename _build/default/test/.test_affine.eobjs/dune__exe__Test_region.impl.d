@@ -1,0 +1,1 @@
+test/test_region.ml: Affine Alcotest Builder Ccdp_analysis Ccdp_ir Ccdp_test_support Dist Epoch List Program Ref_info Reference Region Section Stmt

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Affine Alcotest Annot Bound Builder Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_test_support Dist Hashtbl List Program Schedule Stmt

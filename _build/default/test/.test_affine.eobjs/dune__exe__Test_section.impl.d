@@ -1,0 +1,1 @@
+test/test_section.ml: Affine Alcotest Ccdp_ir Ccdp_test_support List QCheck Section

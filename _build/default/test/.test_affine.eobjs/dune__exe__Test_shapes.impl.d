@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Ccdp_core Ccdp_test_support Ccdp_workloads Experiment Lazy List Suite

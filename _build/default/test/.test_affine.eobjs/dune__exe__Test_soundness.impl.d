@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Builder Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Craft_parse Dist Format Interp List Memsys Program QCheck Stmt String Verify

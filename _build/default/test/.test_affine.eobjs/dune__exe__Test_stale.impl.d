@@ -1,0 +1,1 @@
+test/test_stale.ml: Affine Alcotest Builder Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Dist Epoch Fexpr List Program Ref_info Reference Region Stale Stmt

@@ -1,0 +1,1 @@
+test/test_stmt.ml: Affine Alcotest Array Bound Builder Ccdp_ir Ccdp_test_support List Reference Stmt

@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest Annot Builder Ccdp_analysis Ccdp_ir Ccdp_machine Ccdp_test_support Dist Epoch List Program Ref_info Reference Region Stale Stmt Target

@@ -1,0 +1,1 @@
+test/test_torus.ml: Affine Alcotest Builder Ccdp_analysis Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Config Dist List Printf Reference Stmt Torus

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Ccdp_analysis Ccdp_core Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Ccdp_workloads Config Extras Interp List Memsys String Verify Workload

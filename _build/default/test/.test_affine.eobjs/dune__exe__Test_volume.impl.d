@@ -1,0 +1,1 @@
+test/test_volume.ml: Affine Alcotest Array_decl Bound Builder Ccdp_analysis Ccdp_ir Ccdp_machine Ccdp_test_support Iterspace Stmt Volume

@@ -1,0 +1,1 @@
+test/support/tutil.ml: Alcotest Builder Ccdp_ir Fexpr List QCheck QCheck_alcotest Section

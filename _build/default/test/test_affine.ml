@@ -1,0 +1,148 @@
+open Ccdp_ir
+open Ccdp_test_support.Tutil
+
+let i = Affine.var "i"
+let j = Affine.var "j"
+
+let construction =
+  [
+    case "const part of a constant" (fun () ->
+        check_int "const" 7 (Affine.const_part (Affine.const 7)));
+    case "zero is constant 0" (fun () ->
+        check_int "zero" 0 (Affine.const_part Affine.zero);
+        check_true "is_const" (Affine.is_const Affine.zero));
+    case "var has coefficient 1" (fun () -> check_int "coeff" 1 (Affine.coeff i "i"));
+    case "term builds scaled var" (fun () ->
+        check_int "coeff" 5 (Affine.coeff (Affine.term 5 "k") "k"));
+    case "of_terms merges repeated variables" (fun () ->
+        let e = Affine.of_terms 1 [ ("i", 2); ("i", 3); ("j", 1) ] in
+        check_int "i coeff" 5 (Affine.coeff e "i");
+        check_int "j coeff" 1 (Affine.coeff e "j");
+        check_int "const" 1 (Affine.const_part e));
+    case "of_terms drops zero coefficients" (fun () ->
+        let e = Affine.of_terms 0 [ ("i", 2); ("i", -2) ] in
+        check_true "const after cancel" (Affine.is_const e));
+    case "vars are sorted" (fun () ->
+        let e = Affine.of_terms 0 [ ("z", 1); ("a", 1); ("m", 1) ] in
+        Alcotest.(check (list string)) "sorted" [ "a"; "m"; "z" ] (Affine.vars e));
+    case "to_const_opt on non-constant is None" (fun () ->
+        check_true "none" (Affine.to_const_opt i = None));
+    case "pretty-printer round trip smoke" (fun () ->
+        let e = Affine.of_terms (-2) [ ("i", 1); ("j", -3) ] in
+        check_true "nonempty" (String.length (Affine.to_string e) > 0));
+  ]
+
+let arithmetic =
+  [
+    case "add combines terms and constants" (fun () ->
+        let e =
+          Affine.add (Affine.of_terms 3 [ ("i", 2) ]) (Affine.of_terms 4 [ ("i", 1); ("j", 5) ])
+        in
+        check_int "const" 7 (Affine.const_part e);
+        check_int "i" 3 (Affine.coeff e "i");
+        check_int "j" 5 (Affine.coeff e "j"));
+    case "sub cancels" (fun () ->
+        let e = Affine.sub (Affine.add i j) i in
+        check_true "equal j" (Affine.equal e j));
+    case "neg flips everything" (fun () ->
+        let e = Affine.neg (Affine.of_terms 2 [ ("i", 3) ]) in
+        check_int "const" (-2) (Affine.const_part e);
+        check_int "i" (-3) (Affine.coeff e "i"));
+    case "scale by zero is zero" (fun () ->
+        check_true "zero" (Affine.equal Affine.zero (Affine.scale 0 (Affine.add i j))));
+    case "scale distributes" (fun () ->
+        let e = Affine.scale 3 (Affine.of_terms 1 [ ("i", 2) ]) in
+        check_int "const" 3 (Affine.const_part e);
+        check_int "i" 6 (Affine.coeff e "i"));
+  ]
+
+let substitution =
+  [
+    case "subst replaces a variable by an expression" (fun () ->
+        let e = Affine.add i (Affine.scale 2 j) in
+        let e' = Affine.subst e "i" (Affine.add j Affine.one) in
+        check_int "j" 3 (Affine.coeff e' "j");
+        check_int "const" 1 (Affine.const_part e'));
+    case "subst of absent variable is identity" (fun () ->
+        check_true "same" (Affine.equal i (Affine.subst i "k" (Affine.const 9))));
+    case "subst_env applies all bindings" (fun () ->
+        let e = Affine.add i j in
+        let e' = Affine.subst_env e [ ("i", Affine.const 2); ("j", Affine.const 3) ] in
+        check_int "value" 5 (Affine.const_part e');
+        check_true "const" (Affine.is_const e'));
+    case "eval uses the environment" (fun () ->
+        let e = Affine.of_terms 1 [ ("i", 2); ("j", -1) ] in
+        check_int "eval" (1 + 10 - 4) (Affine.eval e (function "i" -> 5 | _ -> 4)));
+    case "eval_alist returns None on unbound variable" (fun () ->
+        check_true "none" (Affine.eval_alist i [ ("j", 1) ] = None));
+  ]
+
+let uniform =
+  [
+    case "uniformly generated: same terms, different constant" (fun () ->
+        check_true "ug"
+          (Affine.uniformly_generated
+             (Affine.add i (Affine.const 1))
+             (Affine.add i (Affine.const 7))));
+    case "not uniformly generated across coefficients" (fun () ->
+        check_false "not ug" (Affine.uniformly_generated i (Affine.scale 2 i)));
+    case "offset_between reports constant delta" (fun () ->
+        match
+          Affine.offset_between (Affine.add i (Affine.const 1)) (Affine.add i (Affine.const 4))
+        with
+        | Some d -> check_int "delta" 3 d
+        | None -> Alcotest.fail "expected Some");
+    case "offset_between is None across shapes" (fun () ->
+        check_true "none" (Affine.offset_between i j = None));
+  ]
+
+let gen_affine =
+  QCheck.make
+    ~print:(fun e -> Affine.to_string e)
+    QCheck.Gen.(
+      let* c = int_range (-20) 20 in
+      let* ci = int_range (-5) 5 in
+      let* cj = int_range (-5) 5 in
+      return (Affine.of_terms c [ ("i", ci); ("j", cj) ]))
+
+let gen_env = QCheck.(pair (int_range (-10) 10) (int_range (-10) 10))
+
+let props =
+  [
+    qcheck "eval is a homomorphism for add"
+      QCheck.(triple gen_affine gen_affine gen_env)
+      (fun (a, b, (vi, vj)) ->
+        let look = function "i" -> vi | _ -> vj in
+        Affine.eval (Affine.add a b) look = Affine.eval a look + Affine.eval b look);
+    qcheck "eval is a homomorphism for scale"
+      QCheck.(triple (int_range (-4) 4) gen_affine gen_env)
+      (fun (k, a, (vi, vj)) ->
+        let look = function "i" -> vi | _ -> vj in
+        Affine.eval (Affine.scale k a) look = k * Affine.eval a look);
+    qcheck "add is commutative" (QCheck.pair gen_affine gen_affine) (fun (a, b) ->
+        Affine.equal (Affine.add a b) (Affine.add b a));
+    qcheck "subst then eval = eval with substituted binding"
+      QCheck.(triple gen_affine gen_affine gen_env)
+      (fun (a, by, (vi, vj)) ->
+        let look = function "i" -> vi | _ -> vj in
+        let direct = Affine.eval (Affine.subst a "i" by) look in
+        let expected =
+          Affine.eval a (function "i" -> Affine.eval by look | v -> look v)
+        in
+        direct = expected);
+    qcheck "sub self is zero" gen_affine (fun a ->
+        Affine.equal Affine.zero (Affine.sub a a));
+    qcheck "uniformly_generated after adding constants"
+      (QCheck.pair gen_affine (QCheck.int_range (-9) 9))
+      (fun (a, k) -> Affine.uniformly_generated a (Affine.add a (Affine.const k)));
+  ]
+
+let () =
+  Alcotest.run "affine"
+    [
+      ("construction", construction);
+      ("arithmetic", arithmetic);
+      ("substitution", substitution);
+      ("uniform-generation", uniform);
+      ("properties", props);
+    ]

@@ -1,0 +1,58 @@
+open Ccdp_analysis
+open Ccdp_test_support.Tutil
+
+let plan_with entries ops =
+  let p = Annot.empty () in
+  List.iter (fun (id, c) -> Hashtbl.replace p.Annot.classes id c) entries;
+  List.iter
+    (fun op ->
+      let id =
+        match op with
+        | Annot.Vector { ref_id; _ }
+        | Annot.Pipelined { ref_id; _ }
+        | Annot.Back { ref_id; _ } ->
+            ref_id
+      in
+      Hashtbl.replace p.Annot.ops id op)
+    ops;
+  p
+
+let tests =
+  [
+    case "empty plan classifies everything Normal" (fun () ->
+        let p = Annot.empty () in
+        check_true "normal" (Annot.cls_of p 42 = Annot.Normal);
+        check_true "no op" (Annot.op_of p 42 = None);
+        check_true "no vectors" (Annot.vectors_at p 7 = []);
+        check_true "no pipelined" (Annot.pipelined_at p 7 = []));
+    case "count tallies classes and ops" (fun () ->
+        let p =
+          plan_with
+            [ (0, Annot.Lead); (1, Annot.Covered 0); (2, Annot.Bypass); (3, Annot.Normal) ]
+            [
+              Annot.Vector { ref_id = 0; loop_id = 1; group = [ 1 ]; inner = None };
+              Annot.Back { ref_id = 9; cycles = 50 };
+            ]
+        in
+        let c = Annot.count p in
+        check_int "lead" 1 c.Annot.n_lead;
+        check_int "covered" 1 c.Annot.n_covered;
+        check_int "bypass" 1 c.Annot.n_bypass;
+        check_int "normal" 1 c.Annot.n_normal;
+        check_int "vector" 1 c.Annot.n_vector;
+        check_int "back" 1 c.Annot.n_back);
+    case "printers render" (fun () ->
+        let p =
+          plan_with
+            [ (0, Annot.Lead) ]
+            [ Annot.Pipelined { ref_id = 0; loop_id = 1; distance = 3; every = 4 } ]
+        in
+        let s = Format.asprintf "%a" Annot.pp p in
+        check_true "mentions pipelined"
+          (String.length s > 0
+          &&
+          try ignore (Str.search_forward (Str.regexp "pipelined") s 0); true
+          with Not_found -> false));
+  ]
+
+let () = Alcotest.run "annot" [ ("plan", tests) ]

@@ -1,0 +1,51 @@
+open Ccdp_ir
+open Ccdp_test_support.Tutil
+
+let known_tests =
+  [
+    case "of_int evaluates to itself" (fun () ->
+        check_true "eval" (Bound.eval (Bound.of_int 5) [] = Some 5));
+    case "of_var needs a binding" (fun () ->
+        check_true "bound" (Bound.eval (Bound.of_var "n") [ ("n", 8) ] = Some 8);
+        check_true "unbound" (Bound.eval (Bound.of_var "n") [] = None));
+    case "unknown never evaluates" (fun () ->
+        check_true "none" (Bound.eval Bound.unknown [ ("n", 8) ] = None));
+    case "is_known distinguishes the three" (fun () ->
+        check_true "k" (Bound.is_known (Bound.of_int 1));
+        check_false "o" (Bound.is_known (Bound.opaque (Affine.var "n")));
+        check_false "u" (Bound.is_known Bound.unknown));
+  ]
+
+let opaque_tests =
+  [
+    case "opaque is invisible to analysis eval" (fun () ->
+        check_true "none" (Bound.eval (Bound.opaque (Affine.const 3)) [] = None));
+    case "opaque is executable" (fun () ->
+        check_int "exec" 7
+          (Bound.eval_exec (Bound.opaque (Affine.add (Affine.var "n") Affine.one))
+             (fun _ -> 6)));
+    case "eval_exec on unknown raises" (fun () ->
+        Alcotest.check_raises "unknown"
+          (Invalid_argument "Bound.eval_exec: unknown bound is not executable")
+          (fun () -> ignore (Bound.eval_exec Bound.unknown (fun _ -> 0))));
+  ]
+
+let subst_tests =
+  [
+    case "subst_env rewrites known bounds" (fun () ->
+        let b = Bound.known (Affine.var "m") in
+        let b' = Bound.subst_env b [ ("m", Affine.const 9) ] in
+        check_true "eval" (Bound.eval b' [] = Some 9));
+    case "subst_env rewrites opaque bounds but keeps them opaque" (fun () ->
+        let b = Bound.opaque (Affine.var "m") in
+        let b' = Bound.subst_env b [ ("m", Affine.const 9) ] in
+        check_true "still hidden" (Bound.eval b' [] = None);
+        check_int "exec" 9 (Bound.eval_exec b' (fun _ -> 0)));
+    case "equal distinguishes kinds" (fun () ->
+        check_false "known vs opaque"
+          (Bound.equal (Bound.known (Affine.const 1)) (Bound.opaque (Affine.const 1))));
+  ]
+
+let () =
+  Alcotest.run "bound"
+    [ ("known", known_tests); ("opaque", opaque_tests); ("subst", subst_tests) ]

@@ -1,0 +1,113 @@
+open Ccdp_ir
+open Ccdp_test_support.Tutil
+module B = Builder
+module F = Builder.F
+
+let mk () =
+  let b = B.create ~name:"e" () in
+  B.param b "n" 8;
+  B.array_ b "A" [| 8; 8 |];
+  (b, B.A.v "i", B.A.v "j")
+
+let partitioning =
+  [
+    case "top-level DOALL becomes a parallel epoch" (fun () ->
+        let b, i, j = mk () in
+        let open B.A in
+        let p =
+          B.finish b
+            [ B.doall b "j" (bc 0) (bc 7)
+                [ B.for_ b "i" (bc 0) (bc 7) [ B.assign b "A" [ i; j ] (F.const 1.0) ] ] ]
+        in
+        let e = Epoch.partition p.Program.main in
+        check_int "one epoch" 1 e.Epoch.count;
+        match Epoch.all e with
+        | [ (0, Epoch.Par _) ] -> ()
+        | _ -> Alcotest.fail "expected one parallel epoch");
+    case "serial statements coalesce into one epoch" (fun () ->
+        let b, _, _ = mk () in
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.assign b "A" [ c 0; c 0 ] (F.const 1.0);
+              B.assign b "A" [ c 1; c 1 ] (F.const 2.0);
+              Stmt.Sassign ("x", F.const 0.0);
+            ]
+        in
+        let e = Epoch.partition p.Program.main in
+        check_int "one serial epoch" 1 e.Epoch.count;
+        match Epoch.all e with
+        | [ (0, Epoch.Ser ss) ] -> check_int "3 stmts" 3 (List.length ss)
+        | _ -> Alcotest.fail "shape");
+    case "serial code between DOALLs splits into three epochs" (fun () ->
+        let b, i, j = mk () in
+        let open B.A in
+        let d () =
+          B.doall b "j" (bc 0) (bc 7)
+            [ B.for_ b "i" (bc 0) (bc 7) [ B.assign b "A" [ i; j ] (F.const 1.0) ] ]
+        in
+        let p = B.finish b [ d (); B.assign b "A" [ c 0; c 0 ] (F.const 5.0); d () ] in
+        let e = Epoch.partition p.Program.main in
+        check_int "three epochs" 3 e.Epoch.count);
+    case "serial loop containing a DOALL becomes a structure node" (fun () ->
+        let b, i, j = mk () in
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.for_ b "t" (bc 1) (bc 3)
+                [
+                  B.doall b "j" (bc 0) (bc 7)
+                    [ B.for_ b "i" (bc 0) (bc 7) [ B.assign b "A" [ i; j ] (F.const 1.0) ] ];
+                ];
+            ]
+        in
+        let e = Epoch.partition p.Program.main in
+        (match e.Epoch.nodes with
+        | [ Epoch.Loop (l, [ Epoch.E (_, Epoch.Par _) ]) ] ->
+            check_true "var t" (l.Stmt.var = "t")
+        | _ -> Alcotest.fail "expected Loop node");
+        check_int "one epoch inside" 1 e.Epoch.count);
+    case "pure serial loop stays inside a serial epoch" (fun () ->
+        let b, i, _ = mk () in
+        let open B.A in
+        let p =
+          B.finish b
+            [ B.for_ b "i" (bc 0) (bc 7) [ B.assign b "A" [ i; c 0 ] (F.const 1.0) ] ]
+        in
+        let e = Epoch.partition p.Program.main in
+        match Epoch.all e with
+        | [ (_, Epoch.Ser _) ] -> ()
+        | _ -> Alcotest.fail "expected serial epoch");
+    case "branch containing a DOALL becomes a Branch node" (fun () ->
+        let b, i, j = mk () in
+        let open B.A in
+        let d =
+          B.doall b "j" (bc 0) (bc 7)
+            [ B.for_ b "i" (bc 0) (bc 7) [ B.assign b "A" [ i; j ] (F.const 1.0) ] ]
+        in
+        let p =
+          B.finish b [ Stmt.If (Stmt.Icond (Stmt.Lt, c 0, c 1), [ d ], []) ]
+        in
+        let e = Epoch.partition p.Program.main in
+        match e.Epoch.nodes with
+        | [ Epoch.Branch (_, [ Epoch.E (_, Epoch.Par _) ], []) ] -> ()
+        | _ -> Alcotest.fail "expected Branch node");
+    case "calls must be inlined first" (fun () ->
+        check_true "raises"
+          (try ignore (Epoch.partition [ Stmt.Call ("f", []) ]); false
+           with Invalid_argument _ -> true));
+    case "epoch ids are assigned in program order" (fun () ->
+        let b, i, j = mk () in
+        let open B.A in
+        let d () =
+          B.doall b "j" (bc 0) (bc 7)
+            [ B.for_ b "i" (bc 0) (bc 7) [ B.assign b "A" [ i; j ] (F.const 1.0) ] ]
+        in
+        let p = B.finish b [ d (); d () ] in
+        let e = Epoch.partition p.Program.main in
+        Alcotest.(check (list int)) "ids" [ 0; 1 ] (List.map fst (Epoch.all e)));
+  ]
+
+let () = Alcotest.run "epoch" [ ("partitioning", partitioning) ]

@@ -1,0 +1,360 @@
+open Ccdp_ir
+open Ccdp_machine
+open Ccdp_runtime
+open Ccdp_test_support.Tutil
+module B = Builder
+module F = Builder.F
+
+let cfg = Config.tiny ~n_pes:4
+let dist = Dist.block_along ~rank:2 ~dim:1
+
+let run ?(mode = Memsys.Seq) ?(n_pes = 4) p =
+  let cfg = { cfg with Config.n_pes } in
+  Interp.run cfg (Program.inline p) ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
+
+let get (r : Interp.result) name idx = Memsys.get r.Interp.sys name idx
+
+let numerics =
+  [
+    case "serial loop computes the expected values" (fun () ->
+        let b = B.create ~name:"i1" () in
+        B.array_ b "A" [| 8 |] ~dist:(Dist.block_along ~rank:1 ~dim:0) ;
+        let open B.A in
+        let p =
+          B.finish b
+            [ B.for_ b "i" (bc 0) (bc 7) [ B.assign b "A" [ v "i" ] F.(F.iv "i" * const 2.0) ] ]
+        in
+        let r = run p in
+        for i = 0 to 7 do
+          check_float "2i" (2.0 *. float_of_int i) (get r "A" [| i |])
+        done);
+    case "doall block computes identically to sequential" (fun () ->
+        let mk kind =
+          let b = B.create ~name:"i2" () in
+          B.array_ b "A" [| 8; 8 |] ~dist;
+          let open B.A in
+          B.finish b
+            [
+              (match kind with
+              | `Seq ->
+                  B.for_ b "j" (bc 0) (bc 7)
+                    [ B.for_ b "i" (bc 0) (bc 7)
+                        [ B.assign b "A" [ v "i"; v "j" ] F.(F.iv "i" + (F.iv "j" * const 8.0)) ] ]
+              | `Par ->
+                  B.doall b "j" (bc 0) (bc 7)
+                    [ B.for_ b "i" (bc 0) (bc 7)
+                        [ B.assign b "A" [ v "i"; v "j" ] F.(F.iv "i" + (F.iv "j" * const 8.0)) ] ]);
+            ]
+        in
+        let rs = run (mk `Seq) and rp = run ~mode:Memsys.Base (mk `Par) in
+        for i = 0 to 7 do
+          for j = 0 to 7 do
+            check_float "same" (get rs "A" [| i; j |]) (get rp "A" [| i; j |])
+          done
+        done);
+    case "cyclic and dynamic schedules produce the same values" (fun () ->
+        let mk sched =
+          let b = B.create ~name:"i3" () in
+          B.array_ b "A" [| 8; 8 |] ~dist;
+          let open B.A in
+          B.finish b
+            [
+              B.doall b ~sched "j" (bc 0) (bc 7)
+                [ B.for_ b "i" (bc 0) (bc 7)
+                    [ B.assign b "A" [ v "i"; v "j" ] F.(F.iv "i" - F.iv "j") ] ];
+            ]
+        in
+        let rc = run ~mode:Memsys.Base (mk Stmt.Static_cyclic) in
+        let rd = run ~mode:Memsys.Base (mk (Stmt.Dynamic 3)) in
+        for i = 0 to 7 do
+          for j = 0 to 7 do
+            check_float "same" (get rc "A" [| i; j |]) (get rd "A" [| i; j |])
+          done
+        done);
+    case "if statements take the right branches" (fun () ->
+        let b = B.create ~name:"i4" () in
+        B.array_ b "A" [| 8 |] ~dist:(Dist.block_along ~rank:1 ~dim:0);
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.for_ b "i" (bc 0) (bc 7)
+                [
+                  Stmt.If
+                    ( Stmt.Icond (Stmt.Lt, v "i", c 4),
+                      [ B.assign b "A" [ v "i" ] (F.const 1.0) ],
+                      [ B.assign b "A" [ v "i" ] (F.const 2.0) ] );
+                ];
+            ]
+        in
+        let r = run p in
+        check_float "low" 1.0 (get r "A" [| 2 |]);
+        check_float "high" 2.0 (get r "A" [| 6 |]));
+    case "data-dependent conditions read memory" (fun () ->
+        let b = B.create ~name:"i5" () in
+        B.array_ b "A" [| 4 |] ~dist:(Dist.block_along ~rank:1 ~dim:0);
+        B.array_ b "O" [| 4 |] ~dist:(Dist.block_along ~rank:1 ~dim:0);
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.for_ b "i" (bc 0) (bc 3) [ B.assign b "A" [ v "i" ] F.(F.iv "i" - const 1.5) ];
+              B.for_ b "i" (bc 0) (bc 3)
+                [
+                  Stmt.If
+                    ( Stmt.Fcond (Stmt.Gt, B.rd b "A" [ v "i" ], F.const 0.0),
+                      [ B.assign b "O" [ v "i" ] (F.const 1.0) ],
+                      [ B.assign b "O" [ v "i" ] (F.const (-1.0)) ] );
+                ];
+            ]
+        in
+        let r = run p in
+        check_float "neg" (-1.0) (get r "O" [| 1 |]);
+        check_float "pos" 1.0 (get r "O" [| 2 |]));
+    case "opaque bounds execute correctly" (fun () ->
+        let b = B.create ~name:"i6" () in
+        B.param b "n" 6;
+        B.array_ b "A" [| 8 |] ~dist:(Dist.block_along ~rank:1 ~dim:0);
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.for_ b "i" (bc 0) (Bound.opaque (Affine.sub (Affine.var "n") Affine.one))
+                [ B.assign b "A" [ v "i" ] (F.const 3.0) ];
+            ]
+        in
+        let r = run p in
+        check_float "inside" 3.0 (get r "A" [| 5 |]);
+        check_float "outside untouched" 0.0 (get r "A" [| 6 |]));
+    case "scalars are task-private across iterations" (fun () ->
+        let b = B.create ~name:"i7" () in
+        B.array_ b "A" [| 8 |] ~dist:(Dist.block_along ~rank:1 ~dim:0);
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              Stmt.Sassign ("acc", F.const 0.0);
+              B.for_ b "i" (bc 1) (bc 4)
+                [ Stmt.Sassign ("acc", F.(sv "acc" + F.iv "i")) ];
+              B.assign b "A" [ c 0 ] (F.sv "acc");
+            ]
+        in
+        let r = run p in
+        check_float "1+2+3+4" 10.0 (get r "A" [| 0 |]));
+    case "register reuse keeps the store visible within the iteration" (fun () ->
+        let b = B.create ~name:"i8" () in
+        B.array_ b "A" [| 8 |] ~dist:(Dist.block_along ~rank:1 ~dim:0);
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.for_ b "i" (bc 0) (bc 0)
+                [
+                  B.assign b "A" [ c 0 ] (F.const 5.0);
+                  B.assign b "A" [ c 1 ] F.(B.rd b "A" [ c 0 ] * const 2.0);
+                ];
+            ]
+        in
+        let r = run p in
+        check_float "reads the new value" 10.0 (get r "A" [| 1 |]));
+  ]
+
+let timing =
+  [
+    case "parallel execution is faster than sequential for parallel work" (fun () ->
+        let mk () =
+          let b = B.create ~name:"t1" () in
+          B.array_ b "A" [| 16; 16 |] ~dist;
+          let open B.A in
+          B.finish b
+            [
+              B.doall b "j" (bc 0) (bc 15)
+                [ B.for_ b "i" (bc 0) (bc 15)
+                    [ B.assign b "A" [ v "i"; v "j" ] F.(F.iv "i" + F.iv "j") ] ];
+            ]
+        in
+        let seq = run ~n_pes:1 (mk ()) in
+        let par = run ~mode:Memsys.Base ~n_pes:4 (mk ()) in
+        check_true "speedup" (par.Interp.cycles < seq.Interp.cycles));
+    case "epoch boundaries cost a barrier each" (fun () ->
+        let b = B.create ~name:"t2" () in
+        B.array_ b "A" [| 8; 8 |] ~dist;
+        let open B.A in
+        let d () =
+          B.doall b "j" (bc 0) (bc 7)
+            [ B.assign b "A" [ c 0; v "j" ] (F.const 1.0) ]
+        in
+        let p = B.finish b [ d (); d (); d () ] in
+        let r = run ~mode:Memsys.Base p in
+        check_int "3 epochs" 3 r.Interp.epochs;
+        check_int "3 barriers" 3 r.Interp.stats.Stats.barriers);
+    case "per-PE clocks are reported" (fun () ->
+        let b = B.create ~name:"t3" () in
+        B.array_ b "A" [| 8; 8 |] ~dist;
+        let open B.A in
+        let p =
+          B.finish b
+            [ B.doall b "j" (bc 0) (bc 7) [ B.assign b "A" [ c 0; v "j" ] (F.const 1.0) ] ]
+        in
+        let r = run ~mode:Memsys.Base p in
+        check_int "4 PEs" 4 (Array.length r.Interp.per_pe_cycles);
+        Array.iter (fun c -> check_true "positive" (c > 0)) r.Interp.per_pe_cycles);
+    case "dynamic scheduling balances load" (fun () ->
+        (* column cost rises with j: dynamic chunks should spread better
+           than nothing at least: all PEs get work *)
+        let b = B.create ~name:"t4" () in
+        B.array_ b "A" [| 16; 16 |] ~dist;
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.doall b ~sched:(Stmt.Dynamic 1) "j" (bc 0) (bc 15)
+                [
+                  B.for_ b "i" (bc 0) (bv "j")
+                    [ B.assign b "A" [ v "i"; v "j" ] (F.const 1.0) ];
+                ];
+            ]
+        in
+        let r = run ~mode:Memsys.Base p in
+        Array.iter (fun c -> check_true "worked" (c > 0)) r.Interp.per_pe_cycles);
+  ]
+
+let ccdp_integration =
+  [
+    case "jacobi: CCDP verifies and prefetches" (fun () ->
+        let w = Ccdp_workloads.Extras.jacobi ~n:12 ~iters:2 in
+        let cfg = Config.tiny ~n_pes:4 in
+        let compiled = Ccdp_core.Pipeline.compile cfg w.Ccdp_workloads.Workload.program in
+        let r =
+          Interp.run cfg compiled.Ccdp_core.Pipeline.program
+            ~plan:compiled.Ccdp_core.Pipeline.plan ~mode:Memsys.Ccdp ()
+        in
+        let v =
+          Verify.against_sequential w.Ccdp_workloads.Workload.program
+            ~init:(fun _ -> ()) r
+        in
+        check_true "verified" v.Verify.ok;
+        check_true "prefetched" (Stats.total_prefetches r.Interp.stats > 0));
+    case "software pipelining issues a prologue and consumes in order" (fun () ->
+        let w = Ccdp_workloads.Extras.opaque_sweep ~n:12 in
+        let cfg = Config.t3d ~n_pes:4 in
+        let compiled = Ccdp_core.Pipeline.compile cfg w.Ccdp_workloads.Workload.program in
+        let counts = Ccdp_analysis.Annot.count compiled.Ccdp_core.Pipeline.plan in
+        check_true "uses SP" (counts.Ccdp_analysis.Annot.n_pipelined > 0);
+        let r =
+          Interp.run cfg compiled.Ccdp_core.Pipeline.program
+            ~plan:compiled.Ccdp_core.Pipeline.plan ~mode:Memsys.Ccdp ()
+        in
+        let v =
+          Verify.against_sequential w.Ccdp_workloads.Workload.program
+            ~init:(fun _ -> ()) r
+        in
+        check_true "verified" v.Verify.ok;
+        check_true "line prefetches issued" (r.Interp.stats.Stats.pf_issued > 0));
+  ]
+
+let structure =
+  [
+    case "a branch around parallel epochs executes the taken side" (fun () ->
+        let b = B.create ~name:"br" () in
+        B.param b "flag" 1;
+        B.array_ b "A" [| 8; 8 |] ~dist;
+        let open B.A in
+        let d value =
+          B.doall b "j" (bc 0) (bc 7)
+            [ B.assign b "A" [ c 0; v "j" ] (F.const value) ]
+        in
+        let p =
+          B.finish b
+            [
+              Stmt.If
+                (Stmt.Icond (Stmt.Eq, v "flag", c 1), [ d 5.0 ], [ d 9.0 ]);
+            ]
+        in
+        let r = run ~mode:Memsys.Base p in
+        check_float "then branch ran" 5.0 (get r "A" [| 0; 3 |]));
+    case "intrinsics: sqrt, abs, min, max evaluate correctly" (fun () ->
+        let b = B.create ~name:"fx" () in
+        B.array_ b "A" [| 8 |] ~dist:(Dist.block_along ~rank:1 ~dim:0);
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.assign b "A" [ c 0 ] F.(sqrt_ (const 16.0));
+              B.assign b "A" [ c 1 ] F.(abs_ (const (-2.5)));
+              B.assign b "A" [ c 2 ] F.(min_ (const 3.0) (const 7.0));
+              B.assign b "A" [ c 3 ] F.(max_ (const 3.0) (const 7.0));
+              B.assign b "A" [ c 4 ] F.(neg (const 1.5));
+            ]
+        in
+        let r = run p in
+        check_float "sqrt" 4.0 (get r "A" [| 0 |]);
+        check_float "abs" 2.5 (get r "A" [| 1 |]);
+        check_float "min" 3.0 (get r "A" [| 2 |]);
+        check_float "max" 7.0 (get r "A" [| 3 |]);
+        check_float "neg" (-1.5) (get r "A" [| 4 |]));
+    case "loops with steps execute the right iterations" (fun () ->
+        let b = B.create ~name:"st" () in
+        B.array_ b "A" [| 16 |] ~dist:(Dist.block_along ~rank:1 ~dim:0);
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.for_ b "i" ~step:3 (bc 1) (bc 13)
+                [ B.assign b "A" [ v "i" ] (F.const 1.0) ];
+            ]
+        in
+        let r = run p in
+        List.iter
+          (fun k -> check_float (string_of_int k) 1.0 (get r "A" [| k |]))
+          [ 1; 4; 7; 10; 13 ];
+        check_float "between untouched" 0.0 (get r "A" [| 2 |]));
+  ]
+
+let profiling =
+  [
+    case "epoch profile covers the whole run" (fun () ->
+        let w = Ccdp_workloads.Extras.jacobi ~n:16 ~iters:3 in
+        let cfg = Config.t3d ~n_pes:4 in
+        let r =
+          Interp.run cfg
+            (Program.inline w.Ccdp_workloads.Workload.program)
+            ~plan:(Ccdp_analysis.Annot.empty ()) ~mode:Memsys.Base ()
+        in
+        let total_prof =
+          List.fold_left (fun acc (_, _, c) -> acc + c) 0 r.Interp.epoch_profile
+        in
+        check_int "profile sums to machine time" r.Interp.cycles total_prof;
+        (* 1 init + 2 smooths x 3 iterations *)
+        check_int "three epochs" 3 (List.length r.Interp.epoch_profile);
+        List.iter
+          (fun (id, n, _) ->
+            if id = 0 then check_int "init once" 1 n
+            else check_int "smooth thrice" 3 n)
+          r.Interp.epoch_profile);
+    case "pp_profile renders against the epoch structure" (fun () ->
+        let w = Ccdp_workloads.Extras.triad ~n:8 in
+        let p = Program.inline w.Ccdp_workloads.Workload.program in
+        let cfg = Config.t3d ~n_pes:2 in
+        let r =
+          Interp.run cfg p ~plan:(Ccdp_analysis.Annot.empty ())
+            ~mode:Memsys.Base ()
+        in
+        let ep = Epoch.partition p.Program.main in
+        let buf = Buffer.create 128 in
+        let ppf = Format.formatter_of_buffer buf in
+        Interp.pp_profile ppf ep r;
+        Format.pp_print_flush ppf ();
+        let out = Buffer.contents buf in
+        check_true "mentions epochs" (String.length out > 60));
+  ]
+
+let () =
+  Alcotest.run "interp"
+    [
+      ("numerics", numerics);
+      ("timing", timing);
+      ("ccdp", ccdp_integration);
+      ("structure", structure);
+      ("profiling", profiling);
+    ]

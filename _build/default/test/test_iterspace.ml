@@ -1,0 +1,75 @@
+open Ccdp_ir
+open Ccdp_analysis
+open Ccdp_test_support.Tutil
+
+let mk_loop ?(kind = Stmt.Serial) ?(step = 1) ~id var lo hi =
+  { Stmt.loop_id = id; var; lo; hi; step; kind; body = [] }
+
+let tests =
+  [
+    case "of_loops binds params as point triplets" (fun () ->
+        let env = Iterspace.of_loops ~params:[ ("n", 8) ] [] in
+        check_true "n" (List.assoc "n" env = (8, 8, 1)));
+    case "of_loops resolves constant bounds" (fun () ->
+        let l = mk_loop ~id:0 "i" (Bound.of_int 1) (Bound.of_int 6) in
+        let env = Iterspace.of_loops ~params:[] [ l ] in
+        check_true "i" (List.assoc "i" env = (1, 6, 1)));
+    case "bounds may reference params" (fun () ->
+        let l = mk_loop ~id:0 "i" (Bound.of_int 0) (Bound.known (Affine.var "n")) in
+        let env = Iterspace.of_loops ~params:[ ("n", 9) ] [ l ] in
+        check_true "i" (List.assoc "i" env = (0, 9, 1)));
+    case "inner bounds depending on outer vars are widened" (fun () ->
+        let outer = mk_loop ~id:0 "i" (Bound.of_int 0) (Bound.of_int 4) in
+        let inner = mk_loop ~id:1 "j" (Bound.known (Affine.var "i")) (Bound.of_int 6) in
+        let env = Iterspace.of_loops ~params:[] [ outer; inner ] in
+        check_true "j widened" (List.assoc "j" env = (0, 6, 1)));
+    case "unknown bound omits the variable" (fun () ->
+        let l = mk_loop ~id:0 "i" (Bound.of_int 0) Bound.unknown in
+        let env = Iterspace.of_loops ~params:[] [ l ] in
+        check_true "absent" (List.assoc_opt "i" env = None));
+    case "opaque bound is treated as unknown" (fun () ->
+        let l = mk_loop ~id:0 "i" (Bound.of_int 0) (Bound.opaque (Affine.const 5)) in
+        let env = Iterspace.of_loops ~params:[] [ l ] in
+        check_true "absent" (List.assoc_opt "i" env = None));
+    case "trip_count on resolvable loops" (fun () ->
+        let l = mk_loop ~id:0 ~step:2 "i" (Bound.of_int 0) (Bound.of_int 8) in
+        let env = Iterspace.of_loops ~params:[] [] in
+        check_true "5" (Iterspace.trip_count l env = Some 5));
+    case "trip_count is None when unknown" (fun () ->
+        let l = mk_loop ~id:0 "i" (Bound.of_int 0) Bound.unknown in
+        check_true "none" (Iterspace.trip_count l [] = None));
+    case "restrict_pe narrows a static block DOALL" (fun () ->
+        let l =
+          mk_loop ~id:0 ~kind:(Stmt.Doall Stmt.Static_block) "j" (Bound.of_int 0)
+            (Bound.of_int 7)
+        in
+        let env = Iterspace.of_loops ~params:[] [ l ] in
+        (match Iterspace.restrict_pe env l ~n_pes:4 ~pe:1 with
+        | Some env' -> check_true "pe1 cols" (List.assoc "j" env' = (2, 3, 1))
+        | None -> Alcotest.fail "expected restriction"));
+    case "restrict_pe returns None for idle PEs" (fun () ->
+        let l =
+          mk_loop ~id:0 ~kind:(Stmt.Doall Stmt.Static_block) "j" (Bound.of_int 0)
+            (Bound.of_int 1)
+        in
+        let env = Iterspace.of_loops ~params:[] [ l ] in
+        check_true "idle" (Iterspace.restrict_pe env l ~n_pes:8 ~pe:7 = None));
+    case "restrict_pe keeps full env for dynamic schedules" (fun () ->
+        let l =
+          mk_loop ~id:0 ~kind:(Stmt.Doall (Stmt.Dynamic 2)) "j" (Bound.of_int 0)
+            (Bound.of_int 7)
+        in
+        let env = Iterspace.of_loops ~params:[] [ l ] in
+        (match Iterspace.restrict_pe env l ~n_pes:4 ~pe:2 with
+        | Some env' -> check_true "unrestricted" (List.assoc "j" env' = (0, 7, 1))
+        | None -> Alcotest.fail "expected Some"));
+    case "pin_outer pins everything but the inner loop" (fun () ->
+        let outer = mk_loop ~id:0 "k" (Bound.of_int 2) (Bound.of_int 9) in
+        let inner = mk_loop ~id:1 "i" (Bound.of_int 0) (Bound.of_int 7) in
+        let env = Iterspace.of_loops ~params:[] [ outer; inner ] in
+        let env' = Iterspace.pin_outer env ~inner [ outer; inner ] in
+        check_true "k pinned" (List.assoc "k" env' = (2, 2, 1));
+        check_true "i kept" (List.assoc "i" env' = (0, 7, 1)));
+  ]
+
+let () = Alcotest.run "iterspace" [ ("env", tests) ]

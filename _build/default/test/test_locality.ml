@@ -1,0 +1,120 @@
+open Ccdp_ir
+open Ccdp_analysis
+open Ccdp_test_support.Tutil
+module B = Builder
+module F = Builder.F
+
+(* Build a loop whose body reads the given subscripts of X, then return the
+   Ref_info list of its reads (via the full pipeline plumbing). *)
+let infos_of_reads ?(dims = [| 16; 16 |]) subs_list =
+  let b = B.create ~name:"loc" () in
+  B.param b "n" 16;
+  B.array_ b "X" dims;
+  B.array_ b "O" dims;
+  let open B.A in
+  let sum =
+    List.fold_left
+      (fun acc subs -> F.(acc + Fexpr.Ref (B.ref_ b "X" subs)))
+      (F.const 0.0) subs_list
+  in
+  let p =
+    B.finish b
+      [
+        B.doall b "j" (bc 1) (bc 14)
+          [ B.for_ b "i" (bc 1) (bc 14) [ B.assign b "O" [ v "i"; v "j" ] sum ] ];
+      ]
+  in
+  let ep = Epoch.partition p.Program.main in
+  let infos = Ref_info.collect ep in
+  ( Program.find_array p "X",
+    List.filter
+      (fun (i : Ref_info.t) ->
+        (not i.write) && i.ref_.Reference.array_name = "X")
+      infos )
+
+let decl_of name =
+  if name = "X" || name = "O" then Array_decl.make name [| 16; 16 |]
+  else invalid_arg name
+
+let offsets =
+  [
+    case "word_offset is column-major" (fun () ->
+        let decl = Array_decl.make "X" [| 16; 16 |] in
+        let r id subs = Reference.make ~id "X" subs in
+        check_int "i,j" 0 (Locality.word_offset decl (r 0 [| Affine.var "i"; Affine.var "j" |]));
+        check_int "i+1,j" 1
+          (Locality.word_offset decl (r 1 [| Affine.add (Affine.var "i") Affine.one; Affine.var "j" |]));
+        check_int "i,j+1" 16
+          (Locality.word_offset decl (r 2 [| Affine.var "i"; Affine.add (Affine.var "j") Affine.one |])));
+    case "stride_wrt reflects the dimension walked" (fun () ->
+        let decl = Array_decl.make "X" [| 16; 16 |] in
+        let r = Reference.make ~id:0 "X" [| Affine.var "i"; Affine.var "j" |] in
+        check_int "d/di" 1 (Locality.stride_wrt decl r ~var:"i");
+        check_int "d/dj" 16 (Locality.stride_wrt decl r ~var:"j");
+        check_int "d/dk" 0 (Locality.stride_wrt decl r ~var:"k"));
+  ]
+
+let sub i_off j_off =
+  [
+    Affine.add (Affine.var "i") (Affine.const i_off);
+    Affine.add (Affine.var "j") (Affine.const j_off);
+  ]
+
+let grouping =
+  [
+    case "row neighbours cluster under the lead with smallest offset" (fun () ->
+        let _, infos = infos_of_reads [ sub 0 0; sub 1 0; sub (-1) 0 ] in
+        let gs =
+          Locality.group ~decl_of ~line_words:4 ~inner_var:(Some ("i", 1)) infos
+        in
+        check_int "one group" 1 (List.length gs);
+        let g = List.hd gs in
+        check_int "covers two" 2 (List.length g.Locality.covered);
+        check_int "span 2 words" 2 g.Locality.span_words;
+        check_int "lead offset is -1" (-1)
+          (Locality.word_offset (decl_of "X") g.Locality.lead.Ref_info.ref_));
+    case "column neighbours are separate groups (16 words apart)" (fun () ->
+        let _, infos = infos_of_reads [ sub 0 0; sub 0 1; sub 0 (-1) ] in
+        let gs =
+          Locality.group ~decl_of ~line_words:4 ~inner_var:(Some ("i", 1)) infos
+        in
+        check_int "three groups" 3 (List.length gs));
+    case "non-uniformly-generated refs never share a group" (fun () ->
+        let _, infos =
+          infos_of_reads
+            [ sub 0 0; [ Affine.scale 2 (Affine.var "i"); Affine.var "j" ] ]
+        in
+        let gs =
+          Locality.group ~decl_of ~line_words:4 ~inner_var:(Some ("i", 1)) infos
+        in
+        check_int "two groups" 2 (List.length gs));
+    case "descending traversal flips the lead" (fun () ->
+        let _, infos = infos_of_reads [ sub 0 0; sub 1 0 ] in
+        (* pretend the inner loop walks i downwards *)
+        let gs =
+          Locality.group ~decl_of ~line_words:4 ~inner_var:(Some ("i", -1)) infos
+        in
+        let g = List.hd gs in
+        check_int "lead is +1" 1
+          (Locality.word_offset (decl_of "X") g.Locality.lead.Ref_info.ref_));
+    case "straight-line clustering requires the exact same line" (fun () ->
+        let _, infos = infos_of_reads [ sub 0 0; sub 1 0 ] in
+        (* no inner variable: i varies with stride 1 words; same line cannot
+           be proven, so both stay leads *)
+        let gs = Locality.group ~decl_of ~line_words:4 ~inner_var:None infos in
+        check_int "two groups" 2 (List.length gs));
+    case "identical references cluster in straight-line code" (fun () ->
+        let _, infos = infos_of_reads [ sub 0 0; sub 0 0 ] in
+        let gs = Locality.group ~decl_of ~line_words:4 ~inner_var:None infos in
+        check_int "one group" 1 (List.length gs));
+    case "loop-invariant group needs line-multiple varying strides" (fun () ->
+        (* references varying only in j (stride 16 = multiple of 4):
+           offsets 0 and 1 share a line for every j *)
+        let _, infos =
+          infos_of_reads [ [ Affine.const 0; Affine.var "j" ]; [ Affine.const 1; Affine.var "j" ] ]
+        in
+        let gs = Locality.group ~decl_of ~line_words:4 ~inner_var:None infos in
+        check_int "one group" 1 (List.length gs));
+  ]
+
+let () = Alcotest.run "locality" [ ("offsets", offsets); ("grouping", grouping) ]

@@ -1,0 +1,120 @@
+open Ccdp_machine
+open Ccdp_test_support.Tutil
+
+let config_tests =
+  [
+    case "t3d preset validates at any width" (fun () ->
+        List.iter
+          (fun p -> check_true "valid" (Config.validate (Config.t3d ~n_pes:p) = []))
+          [ 1; 2; 16; 64; 256 ]);
+    case "tiny preset validates" (fun () ->
+        check_true "valid" (Config.validate (Config.tiny ~n_pes:4) = []));
+    case "t3d geometry matches the hardware" (fun () ->
+        let c = Config.t3d ~n_pes:1 in
+        check_int "8KB of words" 1024 c.Config.cache_words;
+        check_int "32B lines" 4 c.Config.line_words;
+        check_int "direct mapped" 1 c.Config.assoc;
+        check_int "16-word queue" 16 c.Config.prefetch_queue_words;
+        check_int "256 lines" 256 (Config.lines c));
+    case "barrier cost grows with log2 of the width" (fun () ->
+        let c1 = Config.t3d ~n_pes:1 and c64 = Config.t3d ~n_pes:64 in
+        check_true "wider costs more" (Config.barrier_cost c64 > Config.barrier_cost c1);
+        check_int "log2 64 = 6 levels"
+          (c64.Config.barrier_base + (6 * c64.Config.barrier_per_level))
+          (Config.barrier_cost c64));
+    case "lines_for_words rounds up" (fun () ->
+        let c = Config.t3d ~n_pes:1 in
+        check_int "1" 1 (Config.lines_for_words c 1);
+        check_int "4" 1 (Config.lines_for_words c 4);
+        check_int "5" 2 (Config.lines_for_words c 5));
+    case "invalid configs are reported" (fun () ->
+        let c = { (Config.t3d ~n_pes:4) with Config.local = 1 } in
+        check_true "local < hit flagged" (Config.validate c <> []));
+  ]
+
+let machine_tests =
+  [
+    case "barrier aligns clocks to max plus the cost" (fun () ->
+        let m = Machine.create (Config.t3d ~n_pes:4) in
+        Pe.advance (Machine.pe m 2) 500;
+        Machine.barrier m;
+        let expect = 500 + Config.barrier_cost m.Machine.cfg in
+        Array.iter
+          (fun (p : Pe.t) -> check_int "aligned" expect p.Pe.clock)
+          m.Machine.pes);
+    case "barrier drains pending prefetches as unused" (fun () ->
+        let m = Machine.create (Config.t3d ~n_pes:2) in
+        let p = Machine.pe m 0 in
+        ignore (Prefetch_queue.try_insert p.Pe.queue ~line:0 ~words:4 ~ready:1);
+        Machine.barrier m;
+        check_int "unused" 1 p.Pe.stats.Stats.pf_unused;
+        check_int "queue emptied" 0 (Prefetch_queue.occupancy p.Pe.queue));
+    case "total_stats sums across PEs but keeps barrier count" (fun () ->
+        let m = Machine.create (Config.t3d ~n_pes:4) in
+        (Machine.pe m 0).Pe.stats.Stats.reads <- 3;
+        (Machine.pe m 1).Pe.stats.Stats.reads <- 4;
+        Machine.barrier m;
+        let s = Machine.total_stats m in
+        check_int "reads" 7 s.Stats.reads;
+        check_int "barriers" 1 s.Stats.barriers);
+    case "reset restores a fresh machine" (fun () ->
+        let m = Machine.create (Config.t3d ~n_pes:2) in
+        Pe.advance (Machine.pe m 0) 100;
+        (Machine.pe m 0).Pe.stats.Stats.reads <- 5;
+        Machine.reset m;
+        check_int "clock" 0 (Machine.pe m 0).Pe.clock;
+        check_int "stats" 0 (Machine.pe m 0).Pe.stats.Stats.reads);
+    case "bad config rejected at machine creation" (fun () ->
+        check_true "raises"
+          (try ignore (Machine.create { (Config.t3d ~n_pes:4) with Config.line_words = 0 }); false
+           with Invalid_argument _ -> true));
+  ]
+
+let annex_tests =
+  [
+    case "first touch misses, second hits" (fun () ->
+        let a = Dtb_annex.create ~entries:4 in
+        check_false "miss" (Dtb_annex.touch a 7);
+        check_true "hit" (Dtb_annex.touch a 7));
+    case "capacity evicts the least recent" (fun () ->
+        let a = Dtb_annex.create ~entries:2 in
+        ignore (Dtb_annex.touch a 1);
+        ignore (Dtb_annex.touch a 2);
+        ignore (Dtb_annex.touch a 1);
+        ignore (Dtb_annex.touch a 3);
+        (* 2 was the least recent *)
+        check_false "2 evicted" (Dtb_annex.touch a 2));
+    case "clear empties the table" (fun () ->
+        let a = Dtb_annex.create ~entries:2 in
+        ignore (Dtb_annex.touch a 1);
+        Dtb_annex.clear a;
+        check_false "miss after clear" (Dtb_annex.touch a 1));
+  ]
+
+let stats_tests =
+  [
+    case "merge sums counters" (fun () ->
+        let a = Stats.create () and b = Stats.create () in
+        a.Stats.hits <- 2;
+        b.Stats.hits <- 3;
+        a.Stats.pf_dropped <- 1;
+        check_int "hits" 5 (Stats.merge a b).Stats.hits;
+        check_int "dropped" 1 (Stats.merge a b).Stats.pf_dropped);
+    case "derived totals" (fun () ->
+        let a = Stats.create () in
+        a.Stats.miss_local <- 2;
+        a.Stats.miss_remote <- 3;
+        a.Stats.pf_issued <- 4;
+        a.Stats.pf_vector <- 1;
+        check_int "misses" 5 (Stats.total_misses a);
+        check_int "prefetches" 5 (Stats.total_prefetches a));
+  ]
+
+let () =
+  Alcotest.run "machine"
+    [
+      ("config", config_tests);
+      ("machine", machine_tests);
+      ("annex", annex_tests);
+      ("stats", stats_tests);
+    ]

@@ -1,0 +1,49 @@
+open Ccdp_runtime
+open Ccdp_workloads
+open Ccdp_test_support.Tutil
+
+let run mode (w : Workload.t) =
+  let cfg = Ccdp_machine.Config.t3d ~n_pes:4 in
+  match mode with
+  | Memsys.Ccdp ->
+      let c = Ccdp_core.Pipeline.compile cfg w.program in
+      Interp.run cfg c.Ccdp_core.Pipeline.program ~plan:c.Ccdp_core.Pipeline.plan
+        ~mode ()
+  | _ ->
+      Interp.run cfg
+        (Ccdp_ir.Program.inline w.program)
+        ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
+
+let in_unit x = x >= 0.0 && x <= 1.0
+
+let tests =
+  [
+    case "all ratios land in [0, 1]" (fun () ->
+        List.iter
+          (fun mode ->
+            let m = Metrics.of_result (run mode (Extras.jacobi ~n:16 ~iters:2)) in
+            check_true "hit" (in_unit m.Metrics.hit_ratio);
+            check_true "coverage" (in_unit m.Metrics.prefetch_coverage);
+            check_true "timeliness" (in_unit m.Metrics.prefetch_timeliness);
+            check_true "accuracy" (in_unit m.Metrics.prefetch_accuracy);
+            check_true "remote" (m.Metrics.remote_ops_per_ref >= 0.0);
+            check_true "balance" (in_unit m.Metrics.load_balance))
+          [ Memsys.Base; Memsys.Ccdp; Memsys.Invalidate; Memsys.Hscd ]);
+    case "BASE has zero prefetch activity and zero hit ratio on shared data"
+      (fun () ->
+        let m = Metrics.of_result (run Memsys.Base (Extras.transpose ~n:16)) in
+        check_float "coverage" 0.0 m.Metrics.prefetch_coverage;
+        check_true "remote heavy" (m.Metrics.remote_ops_per_ref > 0.1));
+    case "CCDP covers the transpose gather" (fun () ->
+        let m = Metrics.of_result (run Memsys.Ccdp (Extras.transpose ~n:16)) in
+        check_true "covered" (m.Metrics.prefetch_coverage > 0.3);
+        check_true "traffic positive" (m.Metrics.traffic_words > 0));
+    case "perfectly balanced kernels balance" (fun () ->
+        let m = Metrics.of_result (run Memsys.Base (Extras.triad ~n:16)) in
+        check_true "balanced" (m.Metrics.load_balance > 0.9));
+    case "printer renders" (fun () ->
+        let m = Metrics.of_result (run Memsys.Ccdp (Extras.jacobi ~n:16 ~iters:1)) in
+        check_true "output" (String.length (Format.asprintf "%a" Metrics.pp m) > 80));
+  ]
+
+let () = Alcotest.run "metrics" [ ("derived", tests) ]

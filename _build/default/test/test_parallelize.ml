@@ -1,0 +1,279 @@
+open Ccdp_ir
+open Ccdp_analysis
+open Ccdp_test_support.Tutil
+module B = Builder
+module F = Builder.F
+
+let dist1 = Dist.block_along ~rank:1 ~dim:0
+
+let mk_loop body_of =
+  let b = B.create ~name:"pz" () in
+  B.param b "n" 16;
+  B.array_ b "A" [| 16 |] ~dist:dist1;
+  B.array_ b "Bv" [| 16 |] ~dist:dist1;
+  B.array_ b "M" [| 16; 16 |] ~dist:(Dist.block_along ~rank:2 ~dim:1);
+  let open B.A in
+  let body = body_of b in
+  let l =
+    match B.for_ b "i" (bc 1) (bc 14) body with
+    | Stmt.For l -> l
+    | _ -> assert false
+  in
+  (b, l)
+
+let judge body_of =
+  let _, l = mk_loop body_of in
+  Parallelize.judge ~params:[ ("n", 16) ] ~outer:[] l
+
+let is_parallel = function Parallelize.Parallel -> true | _ -> false
+
+let dependence_tests =
+  [
+    case "independent elementwise loop is parallel" (fun () ->
+        check_true "parallel"
+          (is_parallel
+             (judge (fun b ->
+                  [ B.assign b "A" [ B.A.v "i" ] (B.rd b "Bv" [ B.A.v "i" ]) ]))));
+    case "first-order recurrence carries distance 1" (fun () ->
+        match
+          judge (fun b ->
+              [
+                B.assign b "A" [ B.A.v "i" ]
+                  F.(B.rd b "A" [ B.A.(v "i" -! c 1) ] * const 0.5);
+              ])
+        with
+        | Parallelize.Carried { array_name = "A"; distance = Some d } ->
+            check_int "distance" 1 (abs d)
+        | _ -> Alcotest.fail "expected carried dependence");
+    case "read and write of the same element is same-iteration only" (fun () ->
+        check_true "parallel"
+          (is_parallel
+             (judge (fun b ->
+                  [
+                    B.assign b "A" [ B.A.v "i" ]
+                      F.(B.rd b "A" [ B.A.v "i" ] + const 1.0);
+                  ]))));
+    case "GCD-disjoint strides are parallel" (fun () ->
+        check_true "parallel"
+          (is_parallel
+             (judge (fun b ->
+                  [
+                    B.assign b "A"
+                      [ B.A.(2 *! v "i") ]
+                      (B.rd b "A" [ B.A.(2 *! v "i" +! c 1) ]);
+                  ]))));
+    case "distance beyond the trip count is no dependence" (fun () ->
+        check_true "parallel"
+          (is_parallel
+             (judge (fun b ->
+                  [
+                    B.assign b "A" [ B.A.v "i" ]
+                      (B.rd b "A" [ B.A.(v "i" -! c 15) ]);
+                  ]))));
+    case "loop-invariant write is an output dependence" (fun () ->
+        match
+          judge (fun b -> [ B.assign b "A" [ B.A.c 3 ] (F.iv "i") ])
+        with
+        | Parallelize.Carried _ -> ()
+        | _ -> Alcotest.fail "expected carried");
+    case "a disjoint dimension kills the whole pair" (fun () ->
+        (* M(i, 1) vs M(i-1, 2): columns differ -> never alias *)
+        check_true "parallel"
+          (is_parallel
+             (judge (fun b ->
+                  [
+                    B.assign b "M" [ B.A.v "i"; B.A.c 1 ]
+                      (B.rd b "M" [ B.A.(v "i" -! c 1); B.A.c 2 ]);
+                  ]))));
+    case "row recurrence in a matrix is caught" (fun () ->
+        match
+          judge (fun b ->
+              [
+                B.assign b "M" [ B.A.v "i"; B.A.c 1 ]
+                  (B.rd b "M" [ B.A.(v "i" -! c 1); B.A.c 1 ]);
+              ])
+        with
+        | Parallelize.Carried { array_name = "M"; _ } -> ()
+        | _ -> Alcotest.fail "expected carried");
+    case "a same-iteration dimension soundly kills coupled subscripts" (fun () ->
+        (* write M(i, i) vs read M(i, 2i): the first dimension forces the
+           iterations to coincide, so no carried dependence exists *)
+        check_true "parallel"
+          (is_parallel
+             (judge (fun b ->
+                  [
+                    B.assign b "M" [ B.A.v "i"; B.A.v "i" ]
+                      (B.rd b "M" [ B.A.v "i"; B.A.(2 *! v "i") ]);
+                  ]))));
+    case "fully coupled non-uniform subscripts are conservatively serial"
+      (fun () ->
+        match
+          judge (fun b ->
+              [
+                B.assign b "M" [ B.A.(2 *! v "i"); B.A.(3 *! v "i") ]
+                  (B.rd b "M" [ B.A.(3 *! v "i"); B.A.(2 *! v "i") ]);
+              ])
+        with
+        | Parallelize.Carried _ -> ()
+        | Parallelize.Parallel -> Alcotest.fail "must be conservative"
+        | _ -> Alcotest.fail "unexpected verdict");
+  ]
+
+let scalar_tests =
+  [
+    case "written-then-read temporaries are privatizable" (fun () ->
+        check_true "parallel"
+          (is_parallel
+             (judge (fun b ->
+                  [
+                    Stmt.Sassign ("t", F.(B.rd b "Bv" [ B.A.v "i" ] * const 2.0));
+                    B.assign b "A" [ B.A.v "i" ] (F.sv "t");
+                  ]))));
+    case "accumulators are not (no reduction recognition)" (fun () ->
+        match
+          judge (fun b ->
+              [
+                Stmt.Sassign ("acc", F.(sv "acc" + B.rd b "Bv" [ B.A.v "i" ]));
+              ])
+        with
+        | Parallelize.Scalar_flow "acc" -> ()
+        | _ -> Alcotest.fail "expected scalar flow");
+    case "a write under a conditional is not a definite write" (fun () ->
+        match
+          judge (fun b ->
+              [
+                Stmt.If
+                  ( Stmt.Icond (Stmt.Lt, B.A.v "i", B.A.c 8),
+                    [ Stmt.Sassign ("t", F.const 1.0) ],
+                    [] );
+                B.assign b "A" [ B.A.v "i" ] (F.sv "t");
+              ])
+        with
+        | Parallelize.Scalar_flow "t" -> ()
+        | _ -> Alcotest.fail "expected scalar flow");
+    case "writes in both branches are definite" (fun () ->
+        check_true "parallel"
+          (is_parallel
+             (judge (fun b ->
+                  [
+                    Stmt.If
+                      ( Stmt.Icond (Stmt.Lt, B.A.v "i", B.A.c 8),
+                        [ Stmt.Sassign ("t", F.const 1.0) ],
+                        [ Stmt.Sassign ("t", F.const 2.0) ] );
+                    B.assign b "A" [ B.A.v "i" ] (F.sv "t");
+                  ]))));
+  ]
+
+(* ---- end-to-end: auto-parallelize a sequential stencil ---- *)
+
+let sequential_jacobi n iters =
+  let b = B.create ~name:"seqjac" () in
+  B.param b "n" n;
+  B.param b "niter" iters;
+  let dist = Dist.block_along ~rank:2 ~dim:1 in
+  B.array_ b "G" [| n; n |] ~dist;
+  B.array_ b "T" [| n; n |] ~dist;
+  let open B.A in
+  let rd = B.rd b in
+  let i = v "i" and j = v "j" in
+  let init =
+    B.for_ b "j" (bc 0)
+      (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          [
+            B.assign b "G" [ i; j ] F.((F.iv "i" - F.iv "j") * const 0.1);
+            B.assign b "T" [ i; j ] (F.const 0.0);
+          ];
+      ]
+  in
+  let smooth src dst =
+    B.for_ b "j" (bc 1)
+      (bc (n - 2))
+      [
+        B.for_ b "i" (bc 1)
+          (bc (n - 2))
+          [
+            B.assign b dst [ i; j ]
+              F.(
+                const 0.25
+                * (rd src [ i -! c 1; j ]
+                  + rd src [ i +! c 1; j ]
+                  + rd src [ i; j -! c 1 ]
+                  + rd src [ i; j +! c 1 ]));
+          ];
+      ]
+  in
+  B.finish b
+    [ init; B.for_ b "it" (bc 1) (bv "niter") [ smooth "G" "T"; smooth "T" "G" ] ]
+
+let transform_tests =
+  [
+    case "sequential Jacobi: outer sweep loops get promoted" (fun () ->
+        let p = sequential_jacobi 16 2 in
+        let p', rep = Parallelize.transform p in
+        check_int "three promotions" 3 (List.length rep.Parallelize.promoted);
+        check_true "time loop rejected"
+          (List.exists
+             (fun (_, v, _) -> v = "it")
+             rep.Parallelize.rejected);
+        Alcotest.(check (list string)) "still valid" [] (Program.validate p'));
+    case "promoted program compiles and verifies under CCDP" (fun () ->
+        let p = sequential_jacobi 16 2 in
+        let p', _ = Parallelize.transform p in
+        let cfg = Ccdp_machine.Config.t3d ~n_pes:4 in
+        let compiled = Ccdp_core.Pipeline.compile cfg p' in
+        let r =
+          Ccdp_runtime.Interp.run cfg compiled.Ccdp_core.Pipeline.program
+            ~plan:compiled.Ccdp_core.Pipeline.plan ~mode:Ccdp_runtime.Memsys.Ccdp
+            ()
+        in
+        let v =
+          Ccdp_runtime.Verify.against_sequential p' ~init:(fun _ -> ()) r
+        in
+        check_true "verified" v.Ccdp_runtime.Verify.ok);
+    case "parallel execution of the promoted program is faster" (fun () ->
+        let p = sequential_jacobi 16 2 in
+        let p', _ = Parallelize.transform p in
+        let cfg1 = Ccdp_machine.Config.t3d ~n_pes:1 in
+        let cfg8 = Ccdp_machine.Config.t3d ~n_pes:8 in
+        let seq =
+          Ccdp_runtime.Interp.run cfg1 (Program.inline p)
+            ~plan:(Annot.empty ()) ~mode:Ccdp_runtime.Memsys.Seq ()
+        in
+        let compiled = Ccdp_core.Pipeline.compile cfg8 p' in
+        let par =
+          Ccdp_runtime.Interp.run cfg8 compiled.Ccdp_core.Pipeline.program
+            ~plan:compiled.Ccdp_core.Pipeline.plan ~mode:Ccdp_runtime.Memsys.Ccdp
+            ()
+        in
+        check_true "speedup"
+          (par.Ccdp_runtime.Interp.cycles < seq.Ccdp_runtime.Interp.cycles));
+    case "already-parallel loops are left alone" (fun () ->
+        let w = Ccdp_workloads.Extras.jacobi ~n:16 ~iters:1 in
+        let p = Program.inline w.Ccdp_workloads.Workload.program in
+        let _, rep = Parallelize.transform p in
+        check_int "nothing promoted" 0 (List.length rep.Parallelize.promoted));
+    case "inner loops of promoted loops stay serial" (fun () ->
+        let p = sequential_jacobi 16 1 in
+        let p', _ = Parallelize.transform p in
+        (* no nested DOALLs: validation would reject them *)
+        Alcotest.(check (list string)) "valid" [] (Program.validate p'));
+    case "verdict printer covers the variants" (fun () ->
+        let s v = Format.asprintf "%a" Parallelize.pp_verdict v in
+        check_true "p" (String.length (s Parallelize.Parallel) > 0);
+        check_true "c"
+          (String.length
+             (s (Parallelize.Carried { array_name = "A"; distance = Some 1 }))
+          > 0);
+        check_true "s" (String.length (s (Parallelize.Scalar_flow "x")) > 0));
+  ]
+
+let () =
+  Alcotest.run "parallelize"
+    [
+      ("dependence", dependence_tests);
+      ("scalars", scalar_tests);
+      ("transform", transform_tests);
+    ]

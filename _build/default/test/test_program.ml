@@ -1,0 +1,119 @@
+open Ccdp_ir
+open Ccdp_test_support.Tutil
+module B = Builder
+module F = Builder.F
+
+let valid_program () =
+  let b = B.create ~name:"p" () in
+  B.param b "n" 8;
+  B.array_ b "A" [| 8; 8 |];
+  B.proc b "f" ~formals:[ "k" ]
+    [ B.assign b "A" [ B.A.v "k"; B.A.c 0 ] (F.const 1.0) ];
+  let open B.A in
+  B.finish b
+    [
+      B.doall b "j" (bc 0) (bc 7)
+        [ B.for_ b "i" (bc 0) (bc 7) [ B.assign b "A" [ v "i"; v "j" ] (F.const 0.0) ] ];
+      B.call "f" [ ("k", c 3) ];
+    ]
+
+let validation =
+  [
+    case "valid program validates" (fun () ->
+        check_true "ok" (Program.validate (valid_program ()) = []));
+    case "undeclared array is reported" (fun () ->
+        let b = B.create ~name:"p" () in
+        B.array_ b "A" [| 4 |];
+        let bad = B.assign b "ZZ" [ B.A.c 0 ] (F.const 1.0) in
+        check_true "raises"
+          (try ignore (B.finish b [ bad ]); false with Invalid_argument m ->
+             check_true "mentions ZZ" (String.length m > 0);
+             true));
+    case "subscript rank mismatch is reported" (fun () ->
+        let b = B.create ~name:"p" () in
+        B.array_ b "A" [| 4; 4 |];
+        let bad = B.assign b "A" [ B.A.c 0 ] (F.const 1.0) in
+        check_true "raises"
+          (try ignore (B.finish b [ bad ]); false with Invalid_argument _ -> true));
+    case "call to unknown procedure is reported" (fun () ->
+        let b = B.create ~name:"p" () in
+        check_true "raises"
+          (try ignore (B.finish b [ B.call "nope" [] ]); false
+           with Invalid_argument _ -> true));
+    case "missing actual is reported" (fun () ->
+        let b = B.create ~name:"p" () in
+        B.array_ b "A" [| 4 |];
+        B.proc b "f" ~formals:[ "k" ] [ B.assign b "A" [ B.A.v "k" ] (F.const 1.0) ];
+        check_true "raises"
+          (try ignore (B.finish b [ B.call "f" [] ]); false
+           with Invalid_argument _ -> true));
+    case "recursion is rejected" (fun () ->
+        let b = B.create ~name:"p" () in
+        B.proc b "f" ~formals:[] [ B.call "f" [] ];
+        check_true "raises"
+          (try ignore (B.finish b [ B.call "f" [] ]); false
+           with Invalid_argument _ -> true));
+    case "nested DOALL is rejected" (fun () ->
+        let b = B.create ~name:"p" () in
+        B.array_ b "A" [| 8; 8 |];
+        let open B.A in
+        let inner = B.doall b "i" (bc 0) (bc 7) [ B.assign b "A" [ v "i"; v "j" ] (F.const 1.0) ] in
+        let outer = B.doall b "j" (bc 0) (bc 7) [ inner ] in
+        check_true "raises"
+          (try ignore (B.finish b [ outer ]); false with Invalid_argument _ -> true));
+  ]
+
+let inlining =
+  [
+    case "inline removes calls and substitutes actuals" (fun () ->
+        let p = Program.inline (valid_program ()) in
+        check_true "no procs" (p.Program.procs = []);
+        let has_call =
+          Stmt.fold
+            (fun acc s -> acc || match s with Stmt.Call _ -> true | _ -> false)
+            false p.Program.main
+        in
+        check_false "no calls" has_call;
+        (* the inlined assignment must target row 3 *)
+        let found = ref false in
+        ignore
+          (Stmt.fold_refs
+             (fun () ~write (r : Reference.t) ->
+               if write && Affine.to_const_opt r.subs.(0) = Some 3 then found := true)
+             () p.Program.main);
+        check_true "k := 3 substituted" !found);
+    case "inline produces fresh, unique reference ids" (fun () ->
+        let b = B.create ~name:"p" () in
+        B.array_ b "A" [| 8 |];
+        B.proc b "f" ~formals:[ "k" ]
+          [ B.assign b "A" [ B.A.v "k" ] (F.const 1.0) ];
+        let open B.A in
+        let p = B.finish b [ B.call "f" [ ("k", c 1) ]; B.call "f" [ ("k", c 2) ] ] in
+        let p = Program.inline p in
+        check_true "valid after clone" (Program.validate p = []);
+        let ids =
+          Stmt.fold_refs (fun acc ~write:_ (r : Reference.t) -> r.id :: acc) [] p.Program.main
+        in
+        check_int "two sites" 2 (List.length (List.sort_uniq compare ids)));
+    case "inline expands nested calls" (fun () ->
+        let b = B.create ~name:"p" () in
+        B.array_ b "A" [| 8 |];
+        B.proc b "g" ~formals:[ "k" ] [ B.assign b "A" [ B.A.v "k" ] (F.const 2.0) ];
+        B.proc b "f" ~formals:[ "k" ] [ B.call "g" [ ("k", B.A.v "k") ] ];
+        let p = B.finish b [ B.call "f" [ ("k", B.A.c 4) ] ] in
+        let p = Program.inline p in
+        match p.Program.main with
+        | [ Stmt.Assign (r, _) ] -> check_int "through two levels" 4 (Affine.const_part r.subs.(0))
+        | _ -> Alcotest.fail "expected single assign");
+    case "max ids reflect the program" (fun () ->
+        let p = valid_program () in
+        check_true "ref ids" (Program.max_ref_id p >= 0);
+        check_true "loop ids" (Program.max_loop_id p >= 0));
+    case "param lookup" (fun () ->
+        check_int "n" 8 (Program.param (valid_program ()) "n");
+        check_true "missing raises"
+          (try ignore (Program.param (valid_program ()) "zz"); false
+           with Invalid_argument _ -> true));
+  ]
+
+let () = Alcotest.run "program" [ ("validation", validation); ("inlining", inlining) ]

@@ -1,0 +1,118 @@
+open Ccdp_ir
+open Ccdp_analysis
+open Ccdp_test_support.Tutil
+module B = Builder
+module F = Builder.F
+
+(* program with: parallel epoch (doall j { for i { ... } }), serial epoch
+   with straight-line code and an if inside a loop, inside a time loop *)
+let sample () =
+  let b = B.create ~name:"ri" () in
+  B.param b "n" 8;
+  B.array_ b "A" [| 8; 8 |];
+  B.array_ b "Bv" [| 8; 8 |];
+  let open B.A in
+  let i = v "i" and j = v "j" in
+  let par =
+    B.doall b "j" (bc 0) (bc 7)
+      [
+        B.for_ b "i" (bc 0) (bc 7)
+          [ B.assign b "A" [ i; j ] F.(B.rd b "Bv" [ i; j ] + const 1.0) ];
+      ]
+  in
+  let guarded_loop =
+    B.for_ b "k" (bc 0) (bc 7)
+      [
+        Stmt.Sassign ("t", F.const 0.0);
+        Stmt.If
+          ( Stmt.Icond (Stmt.Lt, v "k", c 4),
+            [ B.assign b "A" [ v "k"; c 0 ] (B.rd b "Bv" [ v "k"; c 1 ]) ],
+            [] );
+      ]
+  in
+  let serial =
+    [
+      B.assign b "A" [ c 0; c 0 ] (B.rd b "Bv" [ c 0; c 0 ]);
+      guarded_loop;
+    ]
+  in
+  let p = B.finish b [ B.for_ b "t" (bc 1) (bc 2) (par :: serial) ] in
+  let p = Program.inline p in
+  let ep = Epoch.partition p.Program.main in
+  (p, ep, Ref_info.collect ep)
+
+let find_read infos name =
+  List.find
+    (fun (i : Ref_info.t) ->
+      (not i.write) && String.equal i.ref_.Reference.array_name name)
+    infos
+
+let tests =
+  [
+    case "collect finds every reference" (fun () ->
+        let _, _, infos = sample () in
+        check_int "count" 6 (List.length infos));
+    case "parallel-epoch refs carry the DOALL and inner loop" (fun () ->
+        let _, _, infos = sample () in
+        let r =
+          List.find
+            (fun (i : Ref_info.t) -> (not i.write) && i.par_loop <> None)
+            infos
+        in
+        check_int "two loops in epoch" 2 (List.length r.loops);
+        check_true "in innermost" r.in_innermost;
+        check_int "outer serial t" 1 (List.length r.outer_serial));
+    case "straight-line serial refs have no epoch loops" (fun () ->
+        let _, _, infos = sample () in
+        let r =
+          List.find
+            (fun (i : Ref_info.t) ->
+              (not i.write) && i.loops = [] && i.par_loop = None)
+            infos
+        in
+        check_false "not innermost" r.in_innermost;
+        check_int "no ifs" 0 r.if_depth);
+    case "guarded refs record if context" (fun () ->
+        let _, _, infos = sample () in
+        let r =
+          List.find
+            (fun (i : Ref_info.t) -> (not i.write) && i.if_depth > 0)
+            infos
+        in
+        check_true "if in loop" r.if_in_loop;
+        check_true "loop has if" r.loop_has_if;
+        check_true "in innermost" r.in_innermost);
+    case "stmts_before records the moving window" (fun () ->
+        let _, _, infos = sample () in
+        let r =
+          List.find
+            (fun (i : Ref_info.t) -> (not i.write) && i.if_depth > 0)
+            infos
+        in
+        (* inside the branch: window resets at the branch boundary *)
+        check_int "window" 0 (List.length r.stmts_before));
+    case "epoch numbering matches partition order" (fun () ->
+        let _, ep, infos = sample () in
+        let max_epoch =
+          List.fold_left (fun acc (i : Ref_info.t) -> max acc i.epoch) 0 infos
+        in
+        check_int "epochs" (ep.Epoch.count - 1) max_epoch);
+    case "index builds a lookup keyed by id" (fun () ->
+        let _, _, infos = sample () in
+        let idx = Ref_info.index infos in
+        List.iter
+          (fun (i : Ref_info.t) ->
+            check_true "found" (Hashtbl.mem idx i.ref_.Reference.id))
+          infos);
+    case "writes are flagged" (fun () ->
+        let _, _, infos = sample () in
+        let w = List.filter (fun (i : Ref_info.t) -> i.write) infos in
+        check_int "3 writes" 3 (List.length w));
+    case "scope_loops concatenates structure and epoch loops" (fun () ->
+        let _, _, infos = sample () in
+        let r = find_read infos "Bv" in
+        check_true "starts with t"
+          ((List.hd (Ref_info.scope_loops r)).Stmt.var = "t"));
+  ]
+
+let () = Alcotest.run "ref-info" [ ("collect", tests) ]

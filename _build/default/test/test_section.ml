@@ -1,0 +1,231 @@
+open Ccdp_ir
+open Ccdp_test_support.Tutil
+
+let d ~lo ~hi ~step = Section.dim ~lo ~hi ~step
+let s1 dims = Section.of_dims dims
+
+let normalization =
+  [
+    case "dim clamps hi to last reached element" (fun () ->
+        let x = d ~lo:0 ~hi:10 ~step:4 in
+        check_int "hi" 8 x.Section.hi);
+    case "single element gets step 1" (fun () ->
+        let x = d ~lo:3 ~hi:3 ~step:7 in
+        check_int "step" 1 x.Section.step);
+    case "dim rejects non-positive step" (fun () ->
+        Alcotest.check_raises "step 0" (Invalid_argument "Section.dim: step <= 0")
+          (fun () -> ignore (d ~lo:0 ~hi:1 ~step:0)));
+    case "dim rejects inverted range" (fun () ->
+        Alcotest.check_raises "lo>hi" (Invalid_argument "Section.dim: lo > hi")
+          (fun () -> ignore (d ~lo:2 ~hi:1 ~step:1)));
+    case "box with inverted dimension is empty" (fun () ->
+        check_true "empty" (Section.is_empty (Section.box ~lo:[| 0; 5 |] ~hi:[| 3; 4 |])));
+    case "point size is 1" (fun () ->
+        check_true "size" (Section.size (Section.point [| 2; 3 |]) = Some 1));
+    case "size multiplies dimensions" (fun () ->
+        let s = s1 [ d ~lo:0 ~hi:9 ~step:1; d ~lo:0 ~hi:8 ~step:2 ] in
+        check_true "50" (Section.size s = Some 50));
+    case "whole has no size" (fun () -> check_true "none" (Section.size Section.whole = None));
+  ]
+
+let overlap_cases =
+  [
+    case "identical progressions overlap" (fun () ->
+        let s = s1 [ d ~lo:0 ~hi:20 ~step:4 ] in
+        check_true "ov" (Section.overlaps s s));
+    case "interleaved strides with incompatible phase do not overlap" (fun () ->
+        (* evens vs odds *)
+        let a = s1 [ d ~lo:0 ~hi:20 ~step:2 ] and b = s1 [ d ~lo:1 ~hi:21 ~step:2 ] in
+        check_false "disjoint" (Section.overlaps a b));
+    case "CRT-compatible strides overlap" (fun () ->
+        (* 1 mod 3 and 0 mod 2 share 4, 10, 16 ... *)
+        let a = s1 [ d ~lo:1 ~hi:19 ~step:3 ] and b = s1 [ d ~lo:0 ~hi:18 ~step:2 ] in
+        check_true "ov" (Section.overlaps a b));
+    case "ranges apart never overlap" (fun () ->
+        let a = s1 [ d ~lo:0 ~hi:5 ~step:1 ] and b = s1 [ d ~lo:6 ~hi:9 ~step:1 ] in
+        check_false "apart" (Section.overlaps a b));
+    case "empty overlaps nothing" (fun () ->
+        check_false "empty" (Section.overlaps Section.empty Section.whole));
+    case "whole overlaps anything non-empty" (fun () ->
+        check_true "whole" (Section.overlaps Section.whole (Section.point [| 1 |])));
+    case "solution exists arithmetically but outside range" (fun () ->
+        (* 0 mod 6 and 3 mod 9: first common value is 12, beyond both ranges *)
+        let a = s1 [ d ~lo:0 ~hi:10 ~step:6 ] and b = s1 [ d ~lo:3 ~hi:11 ~step:9 ] in
+        check_false "out of range" (Section.overlaps a b));
+    case "2-D overlap needs every dimension" (fun () ->
+        let a = Section.box ~lo:[| 0; 0 |] ~hi:[| 3; 3 |] in
+        let b = Section.box ~lo:[| 2; 5 |] ~hi:[| 6; 9 |] in
+        check_false "dim1 disjoint" (Section.overlaps a b));
+  ]
+
+let inter_contains =
+  [
+    case "inter of strided progressions is the CRT progression" (fun () ->
+        let a = s1 [ d ~lo:0 ~hi:30 ~step:2 ] and b = s1 [ d ~lo:0 ~hi:30 ~step:3 ] in
+        match Section.inter a b with
+        | Section.Dims [| x |] ->
+            check_int "lo" 0 x.Section.lo;
+            check_int "step" 6 x.Section.step;
+            check_int "hi" 30 x.Section.hi
+        | _ -> Alcotest.fail "expected dims");
+    case "inter with whole is identity" (fun () ->
+        let a = s1 [ d ~lo:2 ~hi:8 ~step:3 ] in
+        check_true "id" (Section.equal a (Section.inter a Section.whole)));
+    case "inter of disjoint is empty" (fun () ->
+        let a = s1 [ d ~lo:0 ~hi:4 ~step:2 ] and b = s1 [ d ~lo:1 ~hi:5 ~step:2 ] in
+        check_true "empty" (Section.is_empty (Section.inter a b)));
+    case "contains: sub-range with compatible stride" (fun () ->
+        let outer = s1 [ d ~lo:0 ~hi:20 ~step:2 ] and inner = s1 [ d ~lo:4 ~hi:12 ~step:4 ] in
+        check_true "contains" (Section.contains outer inner));
+    case "contains fails on phase mismatch" (fun () ->
+        let outer = s1 [ d ~lo:0 ~hi:20 ~step:2 ] and inner = s1 [ d ~lo:1 ~hi:5 ~step:2 ] in
+        check_false "phase" (Section.contains outer inner));
+    case "whole contains everything, nothing but whole contains whole" (fun () ->
+        check_true "w" (Section.contains Section.whole (Section.point [| 9 |]));
+        check_false "d" (Section.contains (Section.point [| 9 |]) Section.whole));
+    case "everything contains empty" (fun () ->
+        check_true "e" (Section.contains Section.empty Section.empty);
+        check_true "p" (Section.contains (Section.point [| 1 |]) Section.empty));
+    case "hull covers both operands" (fun () ->
+        let a = s1 [ d ~lo:0 ~hi:8 ~step:4 ] and b = s1 [ d ~lo:2 ~hi:10 ~step:4 ] in
+        let h = Section.hull a b in
+        check_true "a" (Section.contains h a);
+        check_true "b" (Section.contains h b));
+    case "mem respects stride" (fun () ->
+        let s = s1 [ d ~lo:1 ~hi:9 ~step:4 ] in
+        check_true "5 in" (Section.mem s [| 5 |]);
+        check_false "4 out" (Section.mem s [| 4 |]));
+  ]
+
+let from_subscripts =
+  [
+    case "range of i + 1 over i in 0..9" (fun () ->
+        match Section.range_of_affine (Affine.add (Affine.var "i") Affine.one) [ ("i", (0, 9, 1)) ] with
+        | Some x ->
+            check_int "lo" 1 x.Section.lo;
+            check_int "hi" 10 x.Section.hi;
+            check_int "step" 1 x.Section.step
+        | None -> Alcotest.fail "some");
+    case "negative coefficient reverses the range" (fun () ->
+        match
+          Section.range_of_affine
+            (Affine.sub (Affine.const 10) (Affine.var "i"))
+            [ ("i", (0, 4, 1)) ]
+        with
+        | Some x ->
+            check_int "lo" 6 x.Section.lo;
+            check_int "hi" 10 x.Section.hi
+        | None -> Alcotest.fail "some");
+    case "coefficient scales the step" (fun () ->
+        match Section.range_of_affine (Affine.term 3 "i") [ ("i", (0, 4, 2)) ] with
+        | Some x -> check_int "step" 6 x.Section.step
+        | None -> Alcotest.fail "some");
+    case "two varying variables widen step to gcd" (fun () ->
+        match
+          Section.range_of_affine
+            (Affine.of_terms 0 [ ("i", 4); ("j", 6) ])
+            [ ("i", (0, 3, 1)); ("j", (0, 3, 1)) ]
+        with
+        | Some x -> check_int "step" 2 x.Section.step
+        | None -> Alcotest.fail "some");
+    case "unbound variable yields None" (fun () ->
+        check_true "none" (Section.range_of_affine (Affine.var "k") [ ("i", (0, 3, 1)) ] = None));
+    case "of_subscripts collapses to Whole on unknown" (fun () ->
+        let s = Section.of_subscripts [| Affine.var "i"; Affine.var "zz" |] [ ("i", (0, 3, 1)) ] in
+        check_true "whole" (s = Section.whole));
+    case "of_subscripts builds per-dimension triplets" (fun () ->
+        let s =
+          Section.of_subscripts
+            [| Affine.var "i"; Affine.add (Affine.var "j") Affine.one |]
+            [ ("i", (0, 5, 1)); ("j", (2, 6, 2)) ]
+        in
+        check_true "mem" (Section.mem s [| 3; 5 |]);
+        check_false "stride excluded" (Section.mem s [| 3; 4 |]))
+  ]
+
+(* ---- properties against brute force ---- *)
+
+let gen_dim =
+  QCheck.Gen.(
+    let* lo = int_range (-10) 10 in
+    let* len = int_range 0 20 in
+    let* step = int_range 1 6 in
+    return (d ~lo ~hi:(lo + len) ~step))
+
+let gen_sec1 = QCheck.make QCheck.Gen.(map (fun x -> s1 [ x ]) gen_dim)
+    ~print:Section.to_string
+
+let gen_sec2 =
+  QCheck.make
+    QCheck.Gen.(map2 (fun a b -> s1 [ a; b ]) gen_dim gen_dim)
+    ~print:Section.to_string
+
+let brute_overlap1 a b =
+  let ea = enum_section1 a and eb = enum_section1 b in
+  List.exists (fun x -> List.mem x eb) ea
+
+let props =
+  [
+    qcheck "overlaps agrees with brute force (1-D)" (QCheck.pair gen_sec1 gen_sec1)
+      (fun (a, b) -> Section.overlaps a b = brute_overlap1 a b);
+    qcheck "inter is exact in 1-D" (QCheck.pair gen_sec1 gen_sec1) (fun (a, b) ->
+        let inter = Section.inter a b in
+        let brute =
+          List.filter (fun x -> List.mem x (enum_section1 b)) (enum_section1 a)
+        in
+        match inter with
+        | Section.Empty -> brute = []
+        | _ -> enum_section1 inter = brute);
+    qcheck "contains is sound (1-D)" (QCheck.pair gen_sec1 gen_sec1) (fun (a, b) ->
+        (not (Section.contains a b))
+        || List.for_all (fun x -> List.mem x (enum_section1 a)) (enum_section1 b));
+    qcheck "hull contains both operands (2-D)" (QCheck.pair gen_sec2 gen_sec2)
+      (fun (a, b) ->
+        let h = Section.hull a b in
+        Section.contains h a && Section.contains h b);
+    qcheck "mem agrees with enumeration (2-D)" gen_sec2 (fun s ->
+        List.for_all (fun (x, y) -> Section.mem s [| x; y |]) (enum_section2 s));
+    qcheck "overlap in 2-D is conservative vs brute force" (QCheck.pair gen_sec2 gen_sec2)
+      (fun (a, b) ->
+        let brute =
+          List.exists (fun p -> List.mem p (enum_section2 b)) (enum_section2 a)
+        in
+        (not brute) || Section.overlaps a b);
+  ]
+
+let algebra_props =
+  [
+    qcheck "inter is idempotent" gen_sec2 (fun a ->
+        Section.equal (Section.inter a a) a);
+    qcheck "inter commutes (1-D)" (QCheck.pair gen_sec1 gen_sec1) (fun (a, b) ->
+        Section.equal (Section.inter a b) (Section.inter b a));
+    qcheck "hull is idempotent" gen_sec2 (fun a ->
+        Section.equal (Section.hull a a) a);
+    qcheck "inter is contained in both operands (1-D)"
+      (QCheck.pair gen_sec1 gen_sec1)
+      (fun (a, b) ->
+        let i = Section.inter a b in
+        Section.contains a i && Section.contains b i);
+    qcheck "of_subscripts_exact agrees with of_subscripts when defined"
+      (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range 0 6))
+      (fun (c, lo) ->
+        let subs = [| Affine.of_terms c [ ("i", 2) ]; Affine.var "j" |] in
+        let env = [ ("i", (lo, lo + 5, 1)); ("j", (0, 4, 2)) ] in
+        match Section.of_subscripts_exact subs env with
+        | Some e -> Section.equal e (Section.of_subscripts subs env)
+        | None -> false);
+    qcheck "coupled subscripts are never exact" (QCheck.int_range 0 5) (fun lo ->
+        let subs = [| Affine.var "i"; Affine.var "i" |] in
+        Section.of_subscripts_exact subs [ ("i", (lo, lo + 3, 1)) ] = None);
+  ]
+
+let () =
+  Alcotest.run "section"
+    [
+      ("normalization", normalization);
+      ("overlap", overlap_cases);
+      ("inter-contains-hull", inter_contains);
+      ("from-subscripts", from_subscripts);
+      ("properties", props);
+      ("algebra", algebra_props);
+    ]

@@ -1,0 +1,342 @@
+open Ccdp_ir
+open Ccdp_analysis
+open Ccdp_test_support.Tutil
+module B = Builder
+module F = Builder.F
+
+let dist = Dist.block_along ~rank:2 ~dim:1
+
+let analyze ?(n_pes = 4) (p : Program.t) =
+  let p = Program.inline p in
+  let ep = Epoch.partition p.Program.main in
+  let infos = Ref_info.collect ep in
+  let region = Region.make p ~n_pes in
+  (Stale.analyze region infos, infos)
+
+(* helpers to build one-statement epochs *)
+let doall_write b arr ?(sched = Stmt.Static_block) rhs =
+  let open B.A in
+  B.doall b ~sched "j" (bc 0) (bc 15)
+    [ B.for_ b "i" (bc 0) (bc 15) [ B.assign b arr [ v "i"; v "j" ] rhs ] ]
+
+let doall_read_into b ~src ~dst ?(sched = Stmt.Static_block) mk_subs =
+  let open B.A in
+  B.doall b ~sched "j" (bc 0) (bc 14)
+    [
+      B.for_ b "i" (bc 0)
+        (bc 14)
+        [ B.assign b dst [ v "i"; v "j" ] (Fexpr.Ref (B.ref_ b src (mk_subs (v "i") (v "j")))) ];
+    ]
+
+let fresh_builder () =
+  let b = B.create ~name:"st" () in
+  B.param b "n" 16;
+  B.array_ b "A" [| 16; 16 |] ~dist;
+  B.array_ b "O" [| 16; 16 |] ~dist;
+  b
+
+let read_verdict (res, infos) src =
+  let r =
+    List.find
+      (fun (i : Ref_info.t) -> (not i.write) && i.ref_.Reference.array_name = src)
+      infos
+  in
+  Stale.verdict res r.Ref_info.ref_.Reference.id
+
+let basic =
+  [
+    case "halo read after a distributed write is potentially stale" (fun () ->
+        let b = fresh_builder () in
+        let p =
+          B.finish b
+            [
+              doall_write b "A" (F.const 1.0);
+              doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; Affine.add j Affine.one ]);
+            ]
+        in
+        match read_verdict (analyze p) "A" with
+        | Stale.Stale { writer_epoch; _ } -> check_int "witness epoch" 0 writer_epoch
+        | Stale.Clean -> Alcotest.fail "expected stale");
+    case "owner-aligned read is clean" (fun () ->
+        let b = fresh_builder () in
+        let p =
+          B.finish b
+            [
+              doall_write b "A" (F.const 1.0);
+              doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; j ]);
+            ]
+        in
+        check_true "clean" (read_verdict (analyze p) "A" = Stale.Clean));
+    case "read of a never-written array is clean" (fun () ->
+        let b = fresh_builder () in
+        let p =
+          B.finish b
+            [ doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; Affine.add j Affine.one ]) ]
+        in
+        check_true "clean" (read_verdict (analyze p) "A" = Stale.Clean));
+    case "same-epoch concurrent access is not stale (race-free model)" (fun () ->
+        let b = fresh_builder () in
+        let open B.A in
+        (* read and write A in the same parallel epoch, disjoint elements *)
+        let e =
+          B.doall b "j" (bc 0) (bc 14)
+            [
+              B.for_ b "i" (bc 0) (bc 14)
+                [
+                  B.assign b "O" [ v "i"; v "j" ]
+                    (Fexpr.Ref (B.ref_ b "A" [ v "i"; v "j" ]));
+                  B.assign b "A" [ v "i"; v "j" ] (F.const 2.0);
+                ];
+            ]
+        in
+        let p = B.finish b [ e ] in
+        check_true "clean" (read_verdict (analyze p) "A" = Stale.Clean));
+    case "cyclic reader of block-written data is stale" (fun () ->
+        let b = fresh_builder () in
+        let p =
+          B.finish b
+            [
+              doall_write b "A" (F.const 1.0);
+              doall_read_into b ~src:"A" ~dst:"O" ~sched:Stmt.Static_cyclic (fun i j -> [ i; j ]);
+            ]
+        in
+        check_true "stale" (read_verdict (analyze p) "A" <> Stale.Clean));
+    case "single-PE machines have no staleness" (fun () ->
+        let b = fresh_builder () in
+        let p =
+          B.finish b
+            [
+              doall_write b "A" (F.const 1.0);
+              doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; Affine.add j Affine.one ]);
+            ]
+        in
+        check_true "clean" (read_verdict (analyze ~n_pes:1 p) "A" = Stale.Clean));
+  ]
+
+let masking =
+  [
+    case "a later aligned covering rewrite masks the stale write" (fun () ->
+        let b = fresh_builder () in
+        let p =
+          B.finish b
+            [
+              (* epoch 0: cyclic write = misaligned with the block reader *)
+              doall_write b "A" ~sched:Stmt.Static_cyclic (F.const 1.0);
+              (* epoch 1: block rewrite of the full array, aligned *)
+              doall_write b "A" (F.const 2.0);
+              (* epoch 2: owner-aligned read *)
+              doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; j ]);
+            ]
+        in
+        check_true "masked clean" (read_verdict (analyze p) "A" = Stale.Clean));
+    case "a partial rewrite does not mask" (fun () ->
+        let b = fresh_builder () in
+        let open B.A in
+        let partial =
+          B.doall b "j" (bc 0) (bc 15)
+            [
+              B.for_ b "i" (bc 0) (bc 7)
+                [ B.assign b "A" [ v "i"; v "j" ] (F.const 2.0) ];
+            ]
+        in
+        let p =
+          B.finish b
+            [
+              doall_write b "A" ~sched:Stmt.Static_cyclic (F.const 1.0);
+              partial;
+              doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; j ]);
+            ]
+        in
+        check_true "still stale" (read_verdict (analyze p) "A" <> Stale.Clean));
+  ]
+
+let structure_loops =
+  [
+    case "back-edge: a write later in the loop body reaches an earlier read" (fun () ->
+        let b = fresh_builder () in
+        let read_then_write =
+          [
+            doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; j ]);
+            doall_write b "A" ~sched:Stmt.Static_cyclic (F.const 1.0);
+          ]
+        in
+        let open B.A in
+        let p = B.finish b [ B.for_ b "t" (bc 1) (bc 3) read_then_write ] in
+        check_true "stale via back-edge" (read_verdict (analyze p) "A" <> Stale.Clean));
+    case "masking is disabled inside structure loops" (fun () ->
+        let b = fresh_builder () in
+        let body =
+          [
+            doall_write b "A" ~sched:Stmt.Static_cyclic (F.const 1.0);
+            doall_write b "A" (F.const 2.0);
+            doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; j ]);
+          ]
+        in
+        let open B.A in
+        let p = B.finish b [ B.for_ b "t" (bc 1) (bc 3) body ] in
+        (* across the back edge the cyclic write follows the rewrite *)
+        check_true "stale" (read_verdict (analyze p) "A" <> Stale.Clean));
+  ]
+
+let special_arrays =
+  [
+    case "replicated arrays are never stale, writes draw a warning" (fun () ->
+        let b = B.create ~name:"st" () in
+        B.param b "n" 16;
+        B.array_ b "Rp" [| 16; 16 |] ~dist:Dist.replicated;
+        B.array_ b "O" [| 16; 16 |] ~dist;
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              B.doall b "j" (bc 0) (bc 15)
+                [ B.for_ b "i" (bc 0) (bc 15) [ B.assign b "Rp" [ v "i"; v "j" ] (F.const 1.0) ] ];
+              doall_read_into b ~src:"Rp" ~dst:"O" (fun i j -> [ i; j ]);
+            ]
+        in
+        let res, infos = analyze p in
+        check_true "clean" (read_verdict (res, infos) "Rp" = Stale.Clean);
+        check_true "warned" (res.Stale.diags <> []));
+    case "private arrays are ignored" (fun () ->
+        let b = B.create ~name:"st" () in
+        B.param b "n" 16;
+        B.array_ b "Pv" [| 16; 16 |] ~shared:false;
+        B.array_ b "O" [| 16; 16 |] ~dist;
+        let p =
+          B.finish b
+            [ doall_read_into b ~src:"Pv" ~dst:"O" (fun i j -> [ i; j ]) ]
+        in
+        check_true "clean" (read_verdict (analyze p) "Pv" = Stale.Clean));
+  ]
+
+let may_must_regressions =
+  [
+    case "a dynamic writer never aligns (soundness regression)" (fun () ->
+        let b = fresh_builder () in
+        let p =
+          B.finish b
+            [
+              doall_write b "A" ~sched:(Stmt.Dynamic 2) (F.const 1.0);
+              doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; j ]);
+            ]
+        in
+        check_true "stale" (read_verdict (analyze p) "A" <> Stale.Clean));
+    case "a coupled-subscript rewrite cannot mask (soundness regression)"
+      (fun () ->
+        let b = fresh_builder () in
+        let open B.A in
+        (* K writes only the diagonal; its may-hull covers the array but its
+           must-set is empty, so the older cyclic write stays exposed *)
+        let diag =
+          B.doall b "j" (bc 0) (bc 15)
+            [ B.assign b "A" [ v "j"; v "j" ] (F.const 2.0) ]
+        in
+        let p =
+          B.finish b
+            [
+              doall_write b "A" ~sched:Stmt.Static_cyclic (F.const 1.0);
+              diag;
+              doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; j ]);
+            ]
+        in
+        check_true "still stale" (read_verdict (analyze p) "A" <> Stale.Clean));
+  ]
+
+(* regression: seed-1005 fuzz counterexample — with row-distributed arrays
+   (3-word chunks misaligned with 4-word lines) a covered reference's last
+   element lands in a line its leader never stages; the runtime's
+   fresh-only covered reads must turn that into a clean demand miss *)
+let covered_overrun =
+  [
+    case "covered overrun at misaligned chunk boundaries stays coherent"
+      (fun () ->
+        let module B = Builder in
+        let module F = Builder.F in
+        let n = 12 in
+        let b = B.create ~name:"cex" () in
+        B.param b "n" n;
+        let dist0 = Dist.block_along ~rank:2 ~dim:0 in
+        List.iter (fun a -> B.array_ b a [| n; n |] ~dist:dist0) [ "A0"; "A1"; "A2" ];
+        let open B.A in
+        let rd = B.rd b in
+        let init =
+          B.doall b "j" (bc 0) (bc 11)
+            [
+              B.for_ b "i" (bc 0) (bc 11)
+                [
+                  B.assign b "A0" [ v "i"; v "j" ] F.(F.iv "i" * const 0.25);
+                  B.assign b "A1" [ v "i"; v "j" ] F.(F.iv "i" * const 0.375);
+                  B.assign b "A2" [ v "i"; v "j" ] F.(F.iv "i" * const 0.5);
+                ];
+            ]
+        in
+        let e1 =
+          B.doall b ~sched:Stmt.Static_cyclic "j" (bc 1) (bc 10)
+            [
+              B.for_ b "i" (bc 1) (bc 10)
+                [
+                  B.assign b "A1" [ v "i"; v "j" ]
+                    F.((const 0.5 + rd "A0" [ v "i" -! c 1; v "j" ]) * const 0.125);
+                  B.assign b "A2" [ v "i"; v "j" ]
+                    F.((const 0.5 + rd "A0" [ v "i"; v "j" ]) * const 0.125);
+                ];
+            ]
+        in
+        let e2 =
+          B.doall b "j" (bc 1) (bc 10)
+            [
+              B.for_ b "i" (bc 1) (bc 10)
+                [
+                  B.assign b "A0" [ v "i"; v "j" ]
+                    F.(
+                      ((const 0.5 + rd "A1" [ v "i" -! c 1; v "j" -! c 1 ])
+                      + rd "A2" [ v "i"; v "j" ])
+                      * const 0.125);
+                ];
+            ]
+        in
+        let p = B.finish b [ init; B.for_ b "t" (bc 1) (bc 2) [ e1; e2 ] ] in
+        let cfg = Ccdp_machine.Config.t3d ~n_pes:4 in
+        let tuning =
+          { Ccdp_analysis.Schedule.default_tuning with
+            Ccdp_analysis.Schedule.allow_vpg = false }
+        in
+        let c = Ccdp_core.Pipeline.compile cfg ~tuning p in
+        let r =
+          Ccdp_runtime.Interp.run cfg c.Ccdp_core.Pipeline.program
+            ~plan:c.Ccdp_core.Pipeline.plan ~mode:Ccdp_runtime.Memsys.Ccdp ()
+        in
+        let v =
+          Ccdp_runtime.Verify.against_sequential p ~init:(fun _ -> ()) r
+        in
+        check_true "coherent" v.Ccdp_runtime.Verify.ok);
+  ]
+
+let reporting =
+  [
+    case "stale_ids is sorted and matches verdicts" (fun () ->
+        let b = fresh_builder () in
+        let p =
+          B.finish b
+            [
+              doall_write b "A" (F.const 1.0);
+              doall_read_into b ~src:"A" ~dst:"O" (fun i j -> [ i; Affine.add j Affine.one ]);
+            ]
+        in
+        let res, _ = analyze p in
+        let ids = Stale.stale_ids res in
+        check_true "sorted" (List.sort compare ids = ids);
+        check_int "n_stale matches" res.Stale.n_stale (List.length ids));
+  ]
+
+let () =
+  Alcotest.run "stale"
+    [
+      ("basic", basic);
+      ("masking", masking);
+      ("structure-loops", structure_loops);
+      ("special-arrays", special_arrays);
+      ("may-must-regressions", may_must_regressions);
+      ("covered-overrun", covered_overrun);
+      ("reporting", reporting);
+    ]

@@ -1,0 +1,126 @@
+open Ccdp_ir
+open Ccdp_test_support.Tutil
+module B = Builder
+module F = Builder.F
+
+(* a small loop nest used by several cases *)
+let build () =
+  let b = B.create ~name:"t" () in
+  B.param b "n" 8;
+  B.array_ b "A" [| 8; 8 |];
+  B.array_ b "Bv" [| 8; 8 |];
+  let open B.A in
+  let i = v "i" and j = v "j" in
+  let body =
+    B.for_ b "i" (bc 0) (bc 7)
+      [
+        B.assign b "A" [ i; j ] F.(B.rd b "Bv" [ i; j ] + B.rd b "Bv" [ i +! c 1; j ]);
+        Stmt.Sassign ("t", F.(B.rd b "A" [ i; j ] * const 2.0));
+      ]
+  in
+  (b, B.doall b "j" (bc 0) (bc 7) [ body ])
+
+let folds =
+  [
+    case "fold visits nested statements" (fun () ->
+        let _, s = build () in
+        let count = Stmt.fold (fun acc _ -> acc + 1) 0 [ s ] in
+        (* doall + for + assign + sassign *)
+        check_int "stmts" 4 count);
+    case "fold_refs counts reads and writes" (fun () ->
+        let _, s = build () in
+        let reads = ref 0 and writes = ref 0 in
+        ignore
+          (Stmt.fold_refs
+             (fun () ~write _ -> if write then incr writes else incr reads)
+             () [ s ]);
+        check_int "reads" 3 !reads;
+        check_int "writes" 1 !writes);
+    case "direct_reads of an assign lists RHS reads in order" (fun () ->
+        let b = B.create ~name:"x" () in
+        B.array_ b "A" [| 4 |];
+        let open B.A in
+        let s = B.assign b "A" [ c 0 ] F.(B.rd b "A" [ c 1 ] + B.rd b "A" [ c 2 ]) in
+        let names =
+          List.map (fun (r : Reference.t) -> Affine.const_part r.subs.(0)) (Stmt.direct_reads s)
+        in
+        Alcotest.(check (list int)) "order" [ 1; 2 ] names);
+    case "direct_write only for assigns" (fun () ->
+        check_true "sassign none" (Stmt.direct_write (Stmt.Sassign ("x", F.const 1.0)) = None));
+    case "fcond reads are visited by fold_refs" (fun () ->
+        let b = B.create ~name:"x" () in
+        B.array_ b "A" [| 4 |];
+        let open B.A in
+        let s =
+          Stmt.If
+            (Stmt.Fcond (Stmt.Gt, B.rd b "A" [ c 0 ], F.const 0.0), [], [])
+        in
+        let reads = Stmt.fold_refs (fun acc ~write:_ _ -> acc + 1) 0 [ s ] in
+        check_int "cond read" 1 reads);
+  ]
+
+let subst_and_ids =
+  [
+    case "subst_env respects loop-variable shadowing" (fun () ->
+        let b = B.create ~name:"x" () in
+        B.array_ b "A" [| 8 |];
+        let open B.A in
+        let inner = B.for_ b "m" (bc 0) (bc 3) [ B.assign b "A" [ v "m" ] (F.const 1.0) ] in
+        let s = Stmt.subst_env inner [ ("m", Affine.const 9) ] in
+        (* the loop rebinds m: body subscript must still be the variable m *)
+        match s with
+        | Stmt.For { body = [ Stmt.Assign (r, _) ]; _ } ->
+            check_int "coeff kept" 1 (Affine.coeff r.Reference.subs.(0) "m")
+        | _ -> Alcotest.fail "shape");
+    case "subst_env rewrites free variables in bounds and subscripts" (fun () ->
+        let b = B.create ~name:"x" () in
+        B.array_ b "A" [| 8 |];
+        let open B.A in
+        let s = B.for_ b "m" (bc 0) (bv "k") [ B.assign b "A" [ v "k" ] (F.const 1.0) ] in
+        match Stmt.subst_env s [ ("k", Affine.const 5) ] with
+        | Stmt.For { hi; body = [ Stmt.Assign (r, _) ]; _ } ->
+            check_true "hi" (Bound.eval hi [] = Some 5);
+            check_int "sub" 5 (Affine.const_part r.Reference.subs.(0))
+        | _ -> Alcotest.fail "shape");
+    case "map_ref_ids renumbers every reference" (fun () ->
+        let _, s = build () in
+        let s' = Stmt.map_ref_ids (fun id -> id + 100) s in
+        ignore
+          (Stmt.fold_refs
+             (fun () ~write:_ (r : Reference.t) -> check_true "bumped" (r.id >= 100))
+             () [ s' ]));
+    case "map_loop_ids renumbers every loop" (fun () ->
+        let _, s = build () in
+        let s' = Stmt.map_loop_ids (fun id -> id + 50) s in
+        ignore
+          (Stmt.fold
+             (fun () st ->
+               match st with
+               | Stmt.For l -> check_true "bumped" (l.Stmt.loop_id >= 50)
+               | _ -> ())
+             () [ s' ]));
+    case "direct_flops counts operators" (fun () ->
+        let b = B.create ~name:"x" () in
+        B.array_ b "A" [| 4 |];
+        let open B.A in
+        let s = B.assign b "A" [ c 0 ] F.(const 1.0 + (const 2.0 * const 3.0)) in
+        check_int "flops" 2 (Stmt.direct_flops s));
+  ]
+
+let cmp_tests =
+  [
+    case "eval_cmp covers all operators" (fun () ->
+        check_true "lt" (Stmt.eval_cmp Stmt.Lt 1 2);
+        check_true "le" (Stmt.eval_cmp Stmt.Le 2 2);
+        check_true "gt" (Stmt.eval_cmp Stmt.Gt 3 2);
+        check_true "ge" (Stmt.eval_cmp Stmt.Ge 2 2);
+        check_true "eq" (Stmt.eval_cmp Stmt.Eq 2 2);
+        check_true "ne" (Stmt.eval_cmp Stmt.Ne 1 2));
+    case "eval_fcmp mirrors eval_cmp" (fun () ->
+        check_true "lt" (Stmt.eval_fcmp Stmt.Lt 1.0 2.0);
+        check_false "eq" (Stmt.eval_fcmp Stmt.Eq 1.0 2.0));
+  ]
+
+let () =
+  Alcotest.run "stmt"
+    [ ("folds", folds); ("subst-ids", subst_and_ids); ("cmp", cmp_tests) ]

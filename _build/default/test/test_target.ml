@@ -1,0 +1,187 @@
+open Ccdp_ir
+open Ccdp_analysis
+open Ccdp_test_support.Tutil
+module B = Builder
+module F = Builder.F
+
+let dist = Dist.block_along ~rank:2 ~dim:1
+let cfg = Ccdp_machine.Config.t3d ~n_pes:4
+
+let pipeline ?innermost_only ?group_spatial (p : Program.t) =
+  let p = Program.inline p in
+  let ep = Epoch.partition p.Program.main in
+  let infos = Ref_info.collect ep in
+  let region = Region.make p ~n_pes:4 in
+  let stale = Stale.analyze region infos in
+  (Target.analyze ?innermost_only ?group_spatial region cfg infos stale, infos)
+
+let builder () =
+  let b = B.create ~name:"tg" () in
+  B.param b "n" 16;
+  B.array_ b "A" [| 16; 16 |] ~dist;
+  B.array_ b "O" [| 16; 16 |] ~dist;
+  b
+
+let init_epoch b =
+  let open B.A in
+  B.doall b "j" (bc 0) (bc 15)
+    [ B.for_ b "i" (bc 0) (bc 15) [ B.assign b "A" [ v "i"; v "j" ] (F.const 1.0) ] ]
+
+let cls_of_array (t : Target.t) infos name =
+  let r =
+    List.find
+      (fun (i : Ref_info.t) -> (not i.write) && i.ref_.Reference.array_name = name)
+      infos
+  in
+  Target.cls_of t r.Ref_info.ref_.Reference.id
+
+let tests =
+  [
+    case "clean reads classify Normal" (fun () ->
+        let b = builder () in
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              init_epoch b;
+              B.doall b "j" (bc 0) (bc 15)
+                [
+                  B.for_ b "i" (bc 0) (bc 15)
+                    [ B.assign b "O" [ v "i"; v "j" ] (B.rd b "A" [ v "i"; v "j" ]) ];
+                ];
+            ]
+        in
+        let t, infos = pipeline p in
+        check_true "normal" (cls_of_array t infos "A" = Annot.Normal));
+    case "stale innermost reads become leads" (fun () ->
+        let b = builder () in
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              init_epoch b;
+              B.doall b "j" (bc 0) (bc 14)
+                [
+                  B.for_ b "i" (bc 0) (bc 15)
+                    [ B.assign b "O" [ v "i"; v "j" ] (B.rd b "A" [ v "i"; v "j" +! c 1 ]) ];
+                ];
+            ]
+        in
+        let t, infos = pipeline p in
+        check_true "lead" (cls_of_array t infos "A" = Annot.Lead));
+    case "stale reads outside the innermost loop are demoted to bypass" (fun () ->
+        let b = builder () in
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              init_epoch b;
+              B.doall b "j" (bc 0) (bc 14)
+                [
+                  (* the read sits in the DOALL body, above an inner loop *)
+                  B.assign b "O" [ c 0; v "j" ] (B.rd b "A" [ c 0; v "j" +! c 1 ]);
+                  B.for_ b "i" (bc 0) (bc 15)
+                    [ B.assign b "O" [ v "i"; v "j" ] (F.const 0.0) ];
+                ];
+            ]
+        in
+        let t, infos = pipeline p in
+        check_true "bypass" (cls_of_array t infos "A" = Annot.Bypass));
+    case "innermost_only:false keeps them as targets" (fun () ->
+        let b = builder () in
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              init_epoch b;
+              B.doall b "j" (bc 0) (bc 14)
+                [
+                  B.assign b "O" [ c 0; v "j" ] (B.rd b "A" [ c 0; v "j" +! c 1 ]);
+                  B.for_ b "i" (bc 0) (bc 15)
+                    [ B.assign b "O" [ v "i"; v "j" ] (F.const 0.0) ];
+                ];
+            ]
+        in
+        let t, infos = pipeline ~innermost_only:false p in
+        check_true "lead" (cls_of_array t infos "A" = Annot.Lead));
+    case "group-spatial members are covered by the lead" (fun () ->
+        let b = builder () in
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              init_epoch b;
+              B.doall b ~sched:Stmt.Static_cyclic "j" (bc 0) (bc 15)
+                [
+                  B.for_ b "i" (bc 1) (bc 14)
+                    [
+                      B.assign b "O" [ v "i"; v "j" ]
+                        F.(
+                          B.rd b "A" [ v "i" -! c 1; v "j" ]
+                          + B.rd b "A" [ v "i"; v "j" ]
+                          + B.rd b "A" [ v "i" +! c 1; v "j" ]);
+                    ];
+                ];
+            ]
+        in
+        let t, infos = pipeline p in
+        let classes =
+          List.filter_map
+            (fun (i : Ref_info.t) ->
+              if (not i.write) && i.ref_.Reference.array_name = "A" then
+                Some (Target.cls_of t i.ref_.Reference.id)
+              else None)
+            infos
+        in
+        let leads = List.filter (fun c -> c = Annot.Lead) classes in
+        let covered =
+          List.filter (function Annot.Covered _ -> true | _ -> false) classes
+        in
+        check_int "one lead" 1 (List.length leads);
+        check_int "two covered" 2 (List.length covered));
+    case "group_spatial:false gives every stale read its own lead" (fun () ->
+        let b = builder () in
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              init_epoch b;
+              B.doall b ~sched:Stmt.Static_cyclic "j" (bc 0) (bc 15)
+                [
+                  B.for_ b "i" (bc 1) (bc 14)
+                    [
+                      B.assign b "O" [ v "i"; v "j" ]
+                        F.(
+                          B.rd b "A" [ v "i" -! c 1; v "j" ]
+                          + B.rd b "A" [ v "i" +! c 1; v "j" ]);
+                    ];
+                ];
+            ]
+        in
+        let t, infos = pipeline ~group_spatial:false p in
+        let leads =
+          List.filter
+            (fun (i : Ref_info.t) ->
+              (not i.write)
+              && i.ref_.Reference.array_name = "A"
+              && Target.cls_of t i.ref_.Reference.id = Annot.Lead)
+            infos
+        in
+        check_int "two leads" 2 (List.length leads));
+    case "serial code segments hold targets too" (fun () ->
+        let b = builder () in
+        let open B.A in
+        let p =
+          B.finish b
+            [
+              init_epoch b;
+              B.assign b "O" [ c 0; c 0 ] (B.rd b "A" [ c 0; c 9 ]);
+            ]
+        in
+        let t, infos = pipeline p in
+        check_true "lead in serial code" (cls_of_array t infos "A" = Annot.Lead);
+        check_true "one serial LSC"
+          (List.exists (fun (l : Target.lsc) -> l.Target.inner = None) t.Target.lscs));
+  ]
+
+let () = Alcotest.run "target" [ ("fig1", tests) ]

@@ -1,0 +1,100 @@
+open Ccdp_machine
+open Ccdp_test_support.Tutil
+
+let geometry =
+  [
+    case "64 PEs factor into a 4x4x4 cube" (fun () ->
+        let t = Torus.of_pes 64 in
+        check_true "cube" (Torus.dims t = (4, 4, 4)));
+    case "8 PEs factor into 2x2x2" (fun () ->
+        check_true "cube" (Torus.dims (Torus.of_pes 8) = (2, 2, 2)));
+    case "every power of two factors exactly" (fun () ->
+        List.iter
+          (fun n ->
+            let x, y, z = Torus.dims (Torus.of_pes n) in
+            check_int (Printf.sprintf "volume for %d" n) n (x * y * z))
+          [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]);
+    case "coords round-trip within dims" (fun () ->
+        let t = Torus.of_pes 64 in
+        for pe = 0 to 63 do
+          let x, y, z = Torus.coords t pe in
+          let nx, ny, nz = Torus.dims t in
+          check_true "in range" (x < nx && y < ny && z < nz)
+        done);
+  ]
+
+let distances =
+  [
+    case "hops to self is zero" (fun () ->
+        let t = Torus.of_pes 64 in
+        for pe = 0 to 63 do
+          check_int "self" 0 (Torus.hops t pe pe)
+        done);
+    case "hops are symmetric" (fun () ->
+        let t = Torus.of_pes 32 in
+        for a = 0 to 31 do
+          for b = 0 to 31 do
+            check_int "sym" (Torus.hops t a b) (Torus.hops t b a)
+          done
+        done);
+    case "wraparound shortens long paths" (fun () ->
+        let t = Torus.of_pes 64 in
+        (* x-neighbours at opposite edge: 0 and 3 are 1 hop via wraparound *)
+        check_int "wrap" 1 (Torus.hops t 0 3));
+    case "no pair exceeds the diameter" (fun () ->
+        let t = Torus.of_pes 64 in
+        for a = 0 to 63 do
+          for b = 0 to 63 do
+            check_true "bounded" (Torus.hops t a b <= Torus.diameter t)
+          done
+        done);
+    case "4x4x4 diameter is 6" (fun () ->
+        check_int "diameter" 6 (Torus.diameter (Torus.of_pes 64)));
+  ]
+
+let latency_model =
+  [
+    case "t3d_torus validates and charges distance" (fun () ->
+        let cfg = Config.t3d_torus ~n_pes:8 in
+        check_true "valid" (Config.validate cfg = []);
+        check_true "torus on" cfg.Config.torus;
+        check_true "hop positive" (cfg.Config.hop > 0));
+    case "remote reads cost more to farther owners" (fun () ->
+        let open Ccdp_ir in
+        let module B = Builder in
+        let b = B.create ~name:"t" () in
+        B.array_ b "A" [| 8; 8 |] ~dist:(Dist.block_along ~rank:2 ~dim:1);
+        let p =
+          B.finish b
+            [ Stmt.Assign (B.ref_ b "A" [ B.A.c 0; B.A.c 0 ], Builder.F.const 0.0) ]
+        in
+        let cfg = Config.t3d_torus ~n_pes:8 in
+        let sys =
+          Ccdp_runtime.Memsys.create cfg p ~plan:(Ccdp_analysis.Annot.empty ())
+            Ccdp_runtime.Memsys.Base
+        in
+        let torus = Torus.of_pes 8 in
+        let r id = Reference.make ~id "A" [| Affine.var "i"; Affine.var "j" |] in
+        (* column j is owned by PE j on 8 PEs with 8 columns *)
+        let cost owner =
+          let t0 = Ccdp_runtime.Memsys.clock sys ~pe:0 in
+          ignore (Ccdp_runtime.Memsys.read sys ~pe:0 (r owner) ~idx:[| 0; owner |]);
+          Ccdp_runtime.Memsys.clock sys ~pe:0 - t0
+        in
+        (* pick a 1-hop and a diameter-distance owner from PE 0 *)
+        let near = ref 1 and far = ref 1 in
+        for pe = 1 to 7 do
+          if Torus.hops torus 0 pe < Torus.hops torus 0 !near then near := pe;
+          if Torus.hops torus 0 pe > Torus.hops torus 0 !far then far := pe
+        done;
+        let c_near = cost !near in
+        let c_far = cost !far in
+        check_true "distance visible" (c_far > c_near));
+    case "uniform preset charges equal remote costs" (fun () ->
+        let cfg = Config.t3d ~n_pes:8 in
+        check_false "no torus" cfg.Config.torus);
+  ]
+
+let () =
+  Alcotest.run "torus"
+    [ ("geometry", geometry); ("distance", distances); ("latency", latency_model) ]

@@ -1,0 +1,68 @@
+open Ccdp_machine
+open Ccdp_runtime
+open Ccdp_workloads
+open Ccdp_test_support.Tutil
+
+let run_mode mode (w : Workload.t) n_pes =
+  let cfg = Config.t3d ~n_pes in
+  match mode with
+  | Memsys.Ccdp ->
+      let c = Ccdp_core.Pipeline.compile cfg w.program in
+      Interp.run cfg c.Ccdp_core.Pipeline.program ~plan:c.Ccdp_core.Pipeline.plan
+        ~mode ()
+  | _ ->
+      Interp.run cfg
+        (Ccdp_ir.Program.inline w.program)
+        ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
+
+let tests =
+  [
+    case "identical states verify" (fun () ->
+        let w = Extras.jacobi ~n:10 ~iters:1 in
+        let r = run_mode Memsys.Base w 4 in
+        let rep = Verify.against_sequential w.Workload.program ~init:(fun _ -> ()) r in
+        check_true "ok" rep.Verify.ok;
+        check_true "checked elements" (rep.Verify.checked > 0);
+        check_float "no diff" 0.0 rep.Verify.max_abs_diff);
+    case "incoherent execution is caught with element detail" (fun () ->
+        let w = Extras.jacobi ~n:10 ~iters:2 in
+        let r = run_mode Memsys.Incoherent w 4 in
+        let rep = Verify.against_sequential w.Workload.program ~init:(fun _ -> ()) r in
+        check_false "broken" rep.Verify.ok;
+        check_true "has witnesses" (rep.Verify.mismatches <> []);
+        let m = List.hd rep.Verify.mismatches in
+        check_true "reports array name" (String.length m.Verify.array_name > 0));
+    case "the CCDP scheme repairs the incoherence" (fun () ->
+        let w = Extras.jacobi ~n:10 ~iters:2 in
+        let r = run_mode Memsys.Ccdp w 4 in
+        let rep = Verify.against_sequential w.Workload.program ~init:(fun _ -> ()) r in
+        check_true "coherent" rep.Verify.ok);
+    case "invalidation also repairs it (the conservative way)" (fun () ->
+        let w = Extras.jacobi ~n:10 ~iters:2 in
+        let r = run_mode Memsys.Invalidate w 4 in
+        let rep = Verify.against_sequential w.Workload.program ~init:(fun _ -> ()) r in
+        check_true "coherent" rep.Verify.ok);
+    case "tolerance admits small differences" (fun () ->
+        let w = Extras.triad ~n:8 in
+        let a = run_mode Memsys.Base w 2 in
+        let b = run_mode Memsys.Base w 2 in
+        let rep =
+          Verify.compare_states ~tol:0.5 ~expected:a.Interp.sys ~got:b.Interp.sys
+            (Ccdp_ir.Program.inline w.Workload.program)
+        in
+        check_true "ok" rep.Verify.ok);
+    case "max_report caps the mismatch list" (fun () ->
+        let w = Extras.jacobi ~n:10 ~iters:2 in
+        let r = run_mode Memsys.Incoherent w 4 in
+        let seq =
+          run_mode Memsys.Seq w 1
+        in
+        let rep =
+          Verify.compare_states ~max_report:2 ~expected:seq.Interp.sys
+            ~got:r.Interp.sys
+            (Ccdp_ir.Program.inline w.Workload.program)
+        in
+        check_true "capped" (List.length rep.Verify.mismatches <= 2));
+  ]
+
+let () = Alcotest.run "verify" [ ("verify", tests) ]
