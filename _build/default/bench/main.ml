@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- ablate
      dune exec bench/main.exe -- sweep
      dune exec bench/main.exe -- micro
+     dune exec bench/main.exe -- oracle       -- staleness-oracle overhead
      dune exec bench/main.exe -- all --full   -- paper-shaped sizes (slow) *)
 
 open Ccdp_workloads
@@ -73,6 +74,54 @@ let sweeps sizes =
   Experiment.sweep_queue ~n_pes:sizes.abl_pes (Extras.opaque_sweep ~n:sizes.n) ppf;
   Experiment.sweep_cache ~n_pes:sizes.abl_pes
     (Mxm.workload ~n:sizes.n) ppf
+
+(* ---- staleness-oracle overhead ------------------------------------- *)
+
+(* Host-time cost of arming the dynamic staleness oracle. The oracle is
+   pure instrumentation: it must not change the simulated machine (cycles
+   are asserted identical) and should stay cheap enough to leave on for
+   every fuzz run. *)
+let oracle_overhead sizes =
+  header "Staleness-oracle overhead (host time; simulated cycles unchanged)";
+  let ws =
+    [
+      Tomcatv.workload ~n:sizes.n ~iters:sizes.iters;
+      Mxm.workload ~n:sizes.n;
+      Extras.jacobi ~n:sizes.n ~iters:sizes.iters;
+    ]
+  in
+  Format.fprintf ppf "%-10s %12s %12s %9s %12s %10s@." "workload" "off (s)"
+    "on (s)" "overhead" "checks" "violations";
+  List.iter
+    (fun (w : Workload.t) ->
+      let cfg = Ccdp_machine.Config.t3d ~n_pes:sizes.abl_pes in
+      let compiled = Pipeline.compile cfg w.Workload.program in
+      let run ~oracle =
+        Ccdp_runtime.Interp.run cfg ~oracle compiled.Pipeline.program
+          ~plan:compiled.Pipeline.plan ~mode:Ccdp_runtime.Memsys.Ccdp ()
+      in
+      let time ~oracle =
+        let t0 = Sys.time () in
+        let r = run ~oracle in
+        (Sys.time () -. t0, r)
+      in
+      ignore (run ~oracle:false) (* warm up *);
+      let t_off, r_off = time ~oracle:false in
+      let t_on, r_on = time ~oracle:true in
+      if r_on.Ccdp_runtime.Interp.cycles <> r_off.Ccdp_runtime.Interp.cycles
+      then
+        failwith
+          (Printf.sprintf "%s: oracle changed simulated time (%d vs %d)"
+             w.Workload.name r_on.Ccdp_runtime.Interp.cycles
+             r_off.Ccdp_runtime.Interp.cycles);
+      let sys = r_on.Ccdp_runtime.Interp.sys in
+      Format.fprintf ppf "%-10s %12.3f %12.3f %8.1f%% %12d %10d@."
+        w.Workload.name t_off t_on
+        (if t_off > 0.0 then 100.0 *. ((t_on /. t_off) -. 1.0) else 0.0)
+        (Ccdp_runtime.Memsys.oracle_checked sys)
+        (Ccdp_runtime.Memsys.oracle_violation_count sys))
+    ws;
+  Format.fprintf ppf "@."
 
 (* ---- bechamel microbenchmarks -------------------------------------- *)
 
@@ -155,9 +204,10 @@ let () =
   let full = List.mem "--full" args in
   let sizes = if full then full_sizes else default_sizes in
   let has cmd = List.mem cmd args in
-  let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro") in
+  let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro" || has "oracle") in
   if all || has "table1" || has "table2" then tables sizes;
   if all then extras_table sizes;
   if all || has "ablate" then ablations sizes;
   if all || has "sweep" then sweeps sizes;
+  if all || has "oracle" then oracle_overhead sizes;
   if has "micro" then micro ()

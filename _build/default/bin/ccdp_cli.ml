@@ -154,7 +154,13 @@ let load_cmd =
       & info [] ~docv:"FILE" ~doc:"CRAFT-dialect source file.")
   in
   let run path pe mode verify =
-    let program = Ccdp_ir.Craft_parse.file path in
+    let program =
+      try Ccdp_ir.Craft_parse.file path
+      with Ccdp_ir.Craft_parse.Error (ln, col, msg) ->
+        if col > 0 then Printf.eprintf "%s:%d:%d: error: %s\n" path ln col msg
+        else Printf.eprintf "%s:%d: error: %s\n" path ln msg;
+        exit 1
+    in
     let cfg = Ccdp_machine.Config.t3d ~n_pes:pe in
     let compiled = Ccdp_core.Pipeline.compile cfg program in
     Format.printf "%a@.@." Ccdp_core.Pipeline.report compiled;
@@ -215,6 +221,53 @@ let parallelize_cmd =
        ~doc:"Run the Polaris-style dependence test over a workload")
     Term.(const run $ workload_arg $ n_arg $ iters_arg)
 
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are deterministic).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random programs to check.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"DIR"
+          ~doc:"Write each shrunk failing reproducer there as a .craft file.")
+  in
+  let break_stale_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "break-stale" ] ~docv:"K"
+          ~doc:
+            "Fault injection: drop the K-th stale mark from every compile, \
+             demonstrating that the oracle catches an unsound analysis.")
+  in
+  let run seed count dump break_stale =
+    let mutate_stale = Option.map Ccdp_fuzz.Driver.drop_stale_mark break_stale in
+    let progress i =
+      if i mod 50 = 0 then Printf.eprintf "  ... %d/%d\n%!" i count
+    in
+    let s =
+      Ccdp_fuzz.Driver.campaign ?mutate_stale ?dump_dir:dump ~progress ~seed
+        ~count ()
+    in
+    Format.printf "%a@." Ccdp_fuzz.Driver.pp_summary s;
+    if s.Ccdp_fuzz.Driver.s_failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential soundness fuzzing: random CRAFT programs through BASE \
+          and every CCDP scheduling variant, checked against sequential \
+          execution and the dynamic staleness oracle")
+    Term.(const run $ seed_arg $ count_arg $ dump_arg $ break_stale_arg)
+
 let sweep_cmd =
   let run n iters pe name =
     let w = Workload.find (workloads_of ~n ~iters) name in
@@ -230,7 +283,7 @@ let main =
        ~doc:"Compiler-directed cache coherence with data prefetching (Lim & Yew, IPPS'97)")
     [
       list_cmd; analyze_cmd; run_cmd; table1_cmd; table2_cmd; ablate_cmd;
-      sweep_cmd; parallelize_cmd; profile_cmd; emit_cmd; load_cmd;
+      sweep_cmd; parallelize_cmd; profile_cmd; emit_cmd; load_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -12,12 +12,13 @@ type t = {
   decisions : Schedule.decision list;
 }
 
-let compile cfg ?tuning ?innermost_only ?group_spatial ?prefetch_clean program =
+let compile cfg ?tuning ?innermost_only ?group_spatial ?prefetch_clean
+    ?(mutate_stale = fun s -> s) program =
   let program = Program.inline program in
   let epochs = Epoch.partition program.Program.main in
   let infos = Ref_info.collect epochs in
   let region = Region.make program ~n_pes:cfg.Ccdp_machine.Config.n_pes in
-  let stale = Stale.analyze region infos in
+  let stale = mutate_stale (Stale.analyze region infos) in
   let target =
     Target.analyze ?innermost_only ?group_spatial ?prefetch_clean region cfg
       infos stale

@@ -17,12 +17,17 @@ type t = {
   decisions : Ccdp_analysis.Schedule.decision list;
 }
 
+(** [mutate_stale] rewrites the stale-analysis result before target
+    analysis and scheduling consume it — a fault-injection hook: the
+    differential fuzzer drops a mark to prove the staleness oracle catches
+    an unsound analysis. Defaults to the identity. *)
 val compile :
   Ccdp_machine.Config.t ->
   ?tuning:Ccdp_analysis.Schedule.tuning ->
   ?innermost_only:bool ->
   ?group_spatial:bool ->
   ?prefetch_clean:bool ->
+  ?mutate_stale:(Ccdp_analysis.Stale.result -> Ccdp_analysis.Stale.result) ->
   Ccdp_ir.Program.t ->
   t
 

@@ -1,0 +1,1 @@
+lib/fuzz/driver.ml: Ccdp_analysis Ccdp_core Ccdp_machine Ccdp_runtime Filename Format Gen Hashtbl List Option Printf Random Shrink Sys

@@ -1,0 +1,1 @@
+lib/fuzz/driver.mli: Ccdp_analysis Format Gen

@@ -1,0 +1,1 @@
+lib/fuzz/gen.ml: Affine Bound Builder Ccdp_ir Dist Format List Printf Random Stmt String

@@ -1,0 +1,1 @@
+lib/fuzz/gen.mli: Ccdp_ir Format Random

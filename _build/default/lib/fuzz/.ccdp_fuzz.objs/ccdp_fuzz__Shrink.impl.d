@@ -1,0 +1,1 @@
+lib/fuzz/shrink.ml: Gen List

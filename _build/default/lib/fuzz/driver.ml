@@ -1,0 +1,206 @@
+module Config = Ccdp_machine.Config
+module Pipeline = Ccdp_core.Pipeline
+module Interp = Ccdp_runtime.Interp
+module Memsys = Ccdp_runtime.Memsys
+module Verify = Ccdp_runtime.Verify
+module Schedule = Ccdp_analysis.Schedule
+module Stale = Ccdp_analysis.Stale
+module Annot = Ccdp_analysis.Annot
+
+type failure_kind = Mismatch | Oracle
+
+type failure = {
+  f_index : int;
+  f_variant : string;
+  f_kind : failure_kind;
+  f_detail : string;
+  f_original : Gen.desc;
+  f_shrunk : Gen.desc;
+  f_reproducer : string option;
+}
+
+type summary = {
+  s_programs : int;
+  s_runs : int;
+  s_oracle_checks : int;
+  s_failures : failure list;
+}
+
+(* BASE runs with an empty plan and uncached shared data; the CCDP
+   variants compile with one scheduling technique allowed (the others
+   fall back through the demotion chain, so each plan is still total). *)
+type variant = {
+  vname : string;
+  mode : Memsys.mode;
+  tuning : Schedule.tuning option;
+}
+
+let variants =
+  let t = Schedule.default_tuning in
+  [
+    { vname = "BASE"; mode = Memsys.Base; tuning = None };
+    { vname = "CCDP/all"; mode = Memsys.Ccdp; tuning = Some t };
+    {
+      vname = "CCDP/vpg";
+      mode = Memsys.Ccdp;
+      tuning = Some { t with Schedule.allow_sp = false; allow_mbp = false };
+    };
+    {
+      vname = "CCDP/sp";
+      mode = Memsys.Ccdp;
+      tuning = Some { t with Schedule.allow_vpg = false; allow_mbp = false };
+    };
+    {
+      vname = "CCDP/mbp";
+      mode = Memsys.Ccdp;
+      tuning = Some { t with Schedule.allow_vpg = false; allow_sp = false };
+    };
+  ]
+
+let variant_names = List.map (fun v -> v.vname) variants
+
+let cfg_of (d : Gen.desc) =
+  if d.Gen.torus then Config.t3d_torus ~n_pes:d.Gen.n_pes
+  else Config.t3d ~n_pes:d.Gen.n_pes
+
+let drop_stale_mark k (r : Stale.result) =
+  match List.sort compare (Stale.stale_ids r) with
+  | [] -> r
+  | ids ->
+      let n = List.length ids in
+      let victim = List.nth ids (((k mod n) + n) mod n) in
+      let verdicts = Hashtbl.copy r.Stale.verdicts in
+      Hashtbl.replace verdicts victim Stale.Clean;
+      { r with Stale.verdicts; n_stale = r.Stale.n_stale - 1 }
+
+let run_variant ?mutate_stale cfg (d : Gen.desc) program v =
+  match v.tuning with
+  | None ->
+      Interp.run cfg ~oracle:true program ~plan:(Annot.empty ()) ~mode:v.mode ()
+  | Some tuning ->
+      let compiled =
+        Pipeline.compile cfg ~tuning ~prefetch_clean:d.Gen.pclean ?mutate_stale
+          program
+      in
+      Interp.run cfg ~oracle:true compiled.Pipeline.program
+        ~plan:compiled.Pipeline.plan ~mode:v.mode ()
+
+(* One description through the sequential baseline plus every variant;
+   returns (variant runs, oracle assertions, first failure). The oracle is
+   consulted before the numeric comparison: a stale hit whose value happens
+   to coincide with the fresh one is still a bug. *)
+let check_full ?mutate_stale (d : Gen.desc) =
+  let cfg = cfg_of d in
+  let program = Gen.build d in
+  let seq =
+    Interp.run
+      { cfg with Config.n_pes = 1 }
+      program ~plan:(Annot.empty ()) ~mode:Memsys.Seq ()
+  in
+  let runs = ref 0 and checks = ref 0 in
+  let rec loop = function
+    | [] -> None
+    | v :: rest -> (
+        let r = run_variant ?mutate_stale cfg d program v in
+        incr runs;
+        checks := !checks + Memsys.oracle_checked r.Interp.sys;
+        let nviol = Memsys.oracle_violation_count r.Interp.sys in
+        if nviol > 0 then
+          let detail =
+            Format.asprintf "@[<v>%d stale hit(s); first witnesses:@,%a@]"
+              nviol
+              (Format.pp_print_list Memsys.pp_violation)
+              (Memsys.oracle_violations r.Interp.sys)
+          in
+          Some (v.vname, Oracle, detail)
+        else
+          let rep =
+            Verify.compare_states ~expected:seq.Interp.sys ~got:r.Interp.sys
+              program
+          in
+          if not rep.Verify.ok then
+            Some (v.vname, Mismatch, Format.asprintf "%a" Verify.pp_report rep)
+          else loop rest)
+  in
+  let failure = loop variants in
+  (!runs, !checks, failure)
+
+let check_desc ?mutate_stale d =
+  let _, _, failure = check_full ?mutate_stale d in
+  failure
+
+let reproducer_text (d : Gen.desc) =
+  let compiled =
+    Pipeline.compile (cfg_of d) ~prefetch_clean:d.Gen.pclean (Gen.build d)
+  in
+  Ccdp_core.Craft_emit.to_string compiled
+
+let campaign ?mutate_stale ?dump_dir ?(progress = fun _ -> ()) ~seed ~count ()
+    =
+  let rng = Random.State.make [| seed; 0x51ab |] in
+  let runs = ref 0 and checks = ref 0 and failures = ref [] in
+  for i = 0 to count - 1 do
+    let d = Gen.generate rng in
+    let r, c, failure = check_full ?mutate_stale d in
+    runs := !runs + r;
+    checks := !checks + c;
+    (match failure with
+    | None -> ()
+    | Some (vname, kind, detail) ->
+        let still_fails d' =
+          Option.is_some (check_desc ?mutate_stale d')
+        in
+        let shrunk = Shrink.minimize d ~still_fails in
+        let reproducer =
+          match dump_dir with
+          | None -> None
+          | Some dir ->
+              (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+              let path =
+                Filename.concat dir (Printf.sprintf "fuzz_%d_%d.craft" seed i)
+              in
+              let oc = open_out path in
+              output_string oc (reproducer_text shrunk);
+              close_out oc;
+              Some path
+        in
+        failures :=
+          {
+            f_index = i;
+            f_variant = vname;
+            f_kind = kind;
+            f_detail = detail;
+            f_original = d;
+            f_shrunk = shrunk;
+            f_reproducer = reproducer;
+          }
+          :: !failures);
+    progress (i + 1)
+  done;
+  {
+    s_programs = count;
+    s_runs = !runs;
+    s_oracle_checks = !checks;
+    s_failures = List.rev !failures;
+  }
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v2>program #%d, variant %s: %s@,%s@,shrunk to:@,%a%a@]" f.f_index
+    f.f_variant
+    (match f.f_kind with
+    | Mismatch -> "numeric mismatch vs sequential"
+    | Oracle -> "staleness-oracle violation")
+    f.f_detail Gen.pp f.f_shrunk
+    (fun ppf -> function
+      | None -> ()
+      | Some p -> Format.fprintf ppf "@,reproducer: %s" p)
+    f.f_reproducer
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>fuzz: %d programs, %d variant runs, %d oracle checks, %d failure(s)"
+    s.s_programs s.s_runs s.s_oracle_checks
+    (List.length s.s_failures);
+  List.iter (fun f -> Format.fprintf ppf "@,%a" pp_failure f) s.s_failures;
+  Format.fprintf ppf "@]"

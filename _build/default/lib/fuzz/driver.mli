@@ -1,0 +1,72 @@
+(** The differential soundness campaign.
+
+    Every generated program is compiled and executed under BASE plus the
+    CCDP scheduling variants (all techniques, VPG-only, SP-only, MBP-only),
+    each with the dynamic staleness oracle armed, and checked two ways:
+
+    - {b numerics}: final shared-array contents must equal the sequential
+      execution bit-for-bit ({!Ccdp_runtime.Verify.compare_states});
+    - {b oracle}: zero staleness-oracle violations — no cache hit may
+      return a word older than the last pre-epoch write, even when the
+      stale value numerically coincides with the fresh one.
+
+    A failure is shrunk to a one-step-minimal description
+    ({!Shrink.minimize}) and optionally dumped as a [.craft] reproducer. *)
+
+type failure_kind =
+  | Mismatch  (** numeric divergence from sequential execution *)
+  | Oracle  (** staleness-oracle violation *)
+
+type failure = {
+  f_index : int;  (** 0-based index of the program in the campaign *)
+  f_variant : string;
+  f_kind : failure_kind;
+  f_detail : string;  (** rendered verify report / first oracle witnesses *)
+  f_original : Gen.desc;
+  f_shrunk : Gen.desc;
+  f_reproducer : string option;  (** path of the dumped [.craft] file *)
+}
+
+type summary = {
+  s_programs : int;
+  s_runs : int;  (** variant executions (sequential baselines excluded) *)
+  s_oracle_checks : int;  (** oracle assertions evaluated across all runs *)
+  s_failures : failure list;
+}
+
+(** Names of the execution variants, in run order:
+    ["BASE"; "CCDP/all"; "CCDP/vpg"; "CCDP/sp"; "CCDP/mbp"]. *)
+val variant_names : string list
+
+(** Fault injection for self-tests: return a copy of the stale-analysis
+    result with the [k]-th (mod count, sorted by id) stale mark dropped to
+    Clean — the compiler bug the oracle exists to catch. Identity when the
+    analysis marked nothing. Pass as [mutate_stale]. *)
+val drop_stale_mark :
+  int -> Ccdp_analysis.Stale.result -> Ccdp_analysis.Stale.result
+
+(** Check one description across every variant; [Some (variant, kind,
+    detail)] on the first failure. *)
+val check_desc :
+  ?mutate_stale:(Ccdp_analysis.Stale.result -> Ccdp_analysis.Stale.result) ->
+  Gen.desc ->
+  (string * failure_kind * string) option
+
+(** CRAFT-dialect source of a description (compiled with its own config),
+    suitable for [ccdp load] and regression suites. *)
+val reproducer_text : Gen.desc -> string
+
+(** Run a campaign of [count] programs drawn from [seed]. Failures are
+    shrunk; with [dump_dir] each shrunk reproducer is written there as
+    [fuzz_<seed>_<index>.craft]. [progress] is called after each program
+    with the number checked so far. *)
+val campaign :
+  ?mutate_stale:(Ccdp_analysis.Stale.result -> Ccdp_analysis.Stale.result) ->
+  ?dump_dir:string ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+
+val pp_summary : Format.formatter -> summary -> unit

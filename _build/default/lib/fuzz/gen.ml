@@ -1,0 +1,249 @@
+open Ccdp_ir
+module B = Builder
+module F = Builder.F
+
+type sched = Block | Aligned | Cyclic | Dynamic of int
+
+type stmt_desc = {
+  dst : int;
+  doi : int;
+  reads : (int * int * int) list;
+  guarded : bool;
+}
+
+type epoch_desc =
+  | Par of {
+      sched : sched;
+      lo1 : bool;
+      opaque_hi : bool;
+      stmts : stmt_desc list;
+    }
+  | Sweep of { src : int; col : int; dst : int }
+
+type desc = {
+  n : int;
+  dist_dim : int;
+  n_pes : int;
+  torus : bool;
+  pclean : bool;
+  epochs : epoch_desc list;
+  wrap : bool;
+}
+
+let array_names = [ "A0"; "A1"; "A2" ]
+let n_arrays = List.length array_names
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let int_range rng lo hi = lo + Random.State.int rng (hi - lo + 1)
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+let gen_stmt rng =
+  let dst = int_range rng 0 (n_arrays - 1) in
+  let doi = int_range rng (-1) 1 in
+  let guarded = int_range rng 0 3 = 0 in
+  let nreads = int_range rng 1 3 in
+  let reads =
+    List.init nreads (fun _ ->
+        (int_range rng 0 (n_arrays - 1), int_range rng (-1) 1, int_range rng (-1) 1))
+  in
+  { dst; doi; reads; guarded }
+
+let gen_epoch rng n =
+  if int_range rng 0 4 = 0 then
+    Sweep
+      {
+        src = int_range rng 0 (n_arrays - 1);
+        col = int_range rng 1 (n - 2);
+        dst = int_range rng 0 (n_arrays - 1);
+      }
+  else
+    let sched =
+      match int_range rng 0 3 with
+      | 0 -> Block
+      | 1 -> Aligned
+      | 2 -> Cyclic
+      | _ -> Dynamic (pick rng [ 1; 2; 3 ])
+    in
+    Par
+      {
+        sched;
+        lo1 = Random.State.bool rng;
+        opaque_hi = int_range rng 0 3 = 0;
+        stmts = List.init (int_range rng 1 2) (fun _ -> gen_stmt rng);
+      }
+
+let generate rng =
+  let n = pick rng [ 8; 12; 16 ] in
+  {
+    n;
+    dist_dim = int_range rng 0 1;
+    n_pes = pick rng [ 2; 3; 4; 8 ];
+    torus = int_range rng 0 2 = 0;
+    pclean = Random.State.bool rng;
+    epochs = List.init (int_range rng 2 4) (fun _ -> gen_epoch rng n);
+    wrap = Random.State.bool rng;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Race-freedom discipline per parallel epoch: an array is either only
+   read or only written, and writes stay within the task's own DOALL
+   column. Reads of written arrays are dropped; when every array is
+   written the statement degenerates to a constant store. *)
+let sanitize_epoch e =
+  match e with
+  | Sweep _ -> e
+  | Par p ->
+      let written = List.map (fun s -> s.dst) p.stmts in
+      let stmts =
+        List.map
+          (fun s ->
+            let ok (a, _, _) = not (List.mem a written) in
+            let reads = List.filter ok s.reads in
+            let reads =
+              if reads <> [] then reads
+              else List.filter ok [ ((s.dst + 1) mod n_arrays, 0, 0) ]
+            in
+            { s with reads })
+          p.stmts
+      in
+      Par { p with stmts }
+
+let build (d : desc) =
+  let n = d.n in
+  let b = B.create ~name:"fuzz" () in
+  B.param b "n" n;
+  let dist = Dist.block_along ~rank:2 ~dim:d.dist_dim in
+  List.iter (fun a -> B.array_ b a [| n; n |] ~dist) array_names;
+  let open B.A in
+  let arr k = List.nth array_names k in
+  let init =
+    (* deterministic full initialization of every array *)
+    B.doall b "j" (bc 0) (bc (n - 1))
+      [
+        B.for_ b "i" (bc 0)
+          (bc (n - 1))
+          (List.mapi
+             (fun k a ->
+               B.assign b a
+                 [ v "i"; v "j" ]
+                 F.(
+                   (iv "i" * const (0.25 +. (0.125 *. float_of_int k)))
+                   - (iv "j" * const 0.0625)))
+             array_names);
+      ]
+  in
+  let mk_epoch e =
+    match sanitize_epoch e with
+    | Sweep { src; col; dst } ->
+        [
+          Stmt.Sassign ("acc", F.const 0.0);
+          B.for_ b "k" (bc 1)
+            (bc (n - 2))
+            [
+              Stmt.Sassign
+                ("acc", F.(sv "acc" + B.rd b (arr src) [ v "k"; c col ]));
+            ];
+          B.assign b (arr dst) [ c 0; c 0 ] F.(sv "acc" * const 0.03125);
+        ]
+    | Par { sched; lo1; opaque_hi; stmts } ->
+        let sched =
+          match sched with
+          | Block -> Stmt.Static_block
+          | Aligned -> Stmt.Static_aligned n
+          | Cyclic -> Stmt.Static_cyclic
+          | Dynamic c -> Stmt.Dynamic c
+        in
+        let lo = if lo1 then 1 else 0 and hi = if lo1 then n - 2 else n - 1 in
+        let hi_bound =
+          if opaque_hi then Bound.opaque (Affine.const hi) else bc hi
+        in
+        (* stencil offsets are only safe on the clipped sub-range *)
+        let clip o = if lo1 then o else 0 in
+        [
+          B.doall b ~sched "j" (bc lo) hi_bound
+            [
+              B.for_ b "i" (bc lo) (bc hi)
+                (List.map
+                   (fun s ->
+                     let rhs =
+                       List.fold_left
+                         (fun acc (a, oi, oj) ->
+                           F.(
+                             acc
+                             + B.rd b (arr a)
+                                 [ v "i" +! c (clip oi); v "j" +! c (clip oj) ]))
+                         (F.const 0.5) s.reads
+                     in
+                     let assign =
+                       B.assign b (arr s.dst)
+                         [ v "i" +! c (clip s.doi); v "j" ]
+                         F.(rhs * const 0.125)
+                     in
+                     if s.guarded then
+                       (* structural guard: the analyses must treat both
+                          branches as possible; the else branch writes the
+                          same element so the write-set stays race-free *)
+                       Stmt.If
+                         ( Stmt.Icond (Stmt.Lt, v "i", c ((n / 2) + lo)),
+                           [ assign ],
+                           [
+                             B.assign b (arr s.dst)
+                               [ v "i" +! c (clip s.doi); v "j" ]
+                               (F.const 0.25);
+                           ] )
+                     else assign)
+                   stmts);
+            ];
+        ]
+  in
+  let body = List.concat_map mk_epoch d.epochs in
+  let main =
+    if d.wrap then [ init; B.for_ b "t" (bc 1) (bc 2) body ] else init :: body
+  in
+  B.finish b main
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_sched ppf = function
+  | Block -> Format.fprintf ppf "block"
+  | Aligned -> Format.fprintf ppf "aligned"
+  | Cyclic -> Format.fprintf ppf "cyclic"
+  | Dynamic c -> Format.fprintf ppf "dynamic(%d)" c
+
+let pp_epoch ppf = function
+  | Sweep { src; col; dst } ->
+      Format.fprintf ppf "sweep %s(:,%d) -> %s" (List.nth array_names src) col
+        (List.nth array_names dst)
+  | Par { sched; lo1; opaque_hi; stmts } ->
+      Format.fprintf ppf "par %a%s%s:" pp_sched sched
+        (if lo1 then " lo1" else "")
+        (if opaque_hi then " opaque-hi" else "");
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "@,    %s[i%+d,j] <- %s%s"
+            (List.nth array_names s.dst) s.doi
+            (String.concat " + "
+               (List.map
+                  (fun (a, oi, oj) ->
+                    Printf.sprintf "%s[i%+d,j%+d]" (List.nth array_names a) oi
+                      oj)
+                  s.reads))
+            (if s.guarded then "  (guarded)" else ""))
+        stmts
+
+let pp ppf d =
+  Format.fprintf ppf
+    "@[<v>n=%d dist_dim=%d pes=%d%s%s%s@,%a@]" d.n d.dist_dim d.n_pes
+    (if d.torus then " torus" else "")
+    (if d.pclean then " prefetch-clean" else "")
+    (if d.wrap then " wrapped(x2)" else "")
+    (Format.pp_print_list pp_epoch)
+    d.epochs

@@ -1,0 +1,56 @@
+(** Random CRAFT program generation for the differential soundness fuzzer.
+
+    Programs are drawn as first-order {e descriptions} — epoch sequences of
+    DOALL/serial loops over shared distributed arrays with affine (and
+    runtime-opaque) subscript/bound structure — then lowered to {!build}able
+    IR. The description is the currency of {!Shrink}: it stays valid under
+    every shrinking step.
+
+    The generated space is race-free by construction, mirroring the paper's
+    epoch model (no dependences between concurrent tasks of one epoch):
+    within a parallel epoch each array is either only read or only written,
+    and every write of a task lands in that task's own DOALL column. All
+    constants are small dyadic rationals, so floating-point results are
+    exact and differential comparison against sequential execution needs no
+    tolerance. *)
+
+type sched = Block | Aligned | Cyclic | Dynamic of int
+
+type stmt_desc = {
+  dst : int;  (** written array, index into {!array_names} *)
+  doi : int;  (** write row offset, -1..1 (active only with [lo1]) *)
+  reads : (int * int * int) list;  (** (array, row offset, col offset) *)
+  guarded : bool;  (** wrap in a structural IF (paper Fig. 2 case 5) *)
+}
+
+type epoch_desc =
+  | Par of {
+      sched : sched;
+      lo1 : bool;  (** iterate 1..n-2 (enables ±1 stencil offsets) *)
+      opaque_hi : bool;  (** DOALL upper bound opaque to the analyses *)
+      stmts : stmt_desc list;
+    }
+  | Sweep of { src : int; col : int; dst : int }
+      (** serial epoch: scalar reduction over one column, result written to
+          one element *)
+
+type desc = {
+  n : int;  (** array edge *)
+  dist_dim : int;  (** distributed dimension, 0 or 1 *)
+  n_pes : int;
+  torus : bool;  (** 3-D torus distance model *)
+  pclean : bool;  (** also prefetch clean references (future-work ext.) *)
+  epochs : epoch_desc list;
+  wrap : bool;  (** wrap the epoch sequence in a 2-iteration serial loop *)
+}
+
+val array_names : string list
+
+(** Draw one description from a deterministic PRNG state. *)
+val generate : Random.State.t -> desc
+
+(** Lower a description to a validated program (race-freedom enforced:
+    reads of arrays the same parallel epoch writes are dropped). *)
+val build : desc -> Ccdp_ir.Program.t
+
+val pp : Format.formatter -> desc -> unit

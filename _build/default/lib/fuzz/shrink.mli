@@ -1,0 +1,17 @@
+(** Greedy minimization of failing fuzz descriptions.
+
+    Shrinking operates on {!Gen.desc} (never on lowered IR), so every
+    candidate is well-formed by construction. The strategy is standard
+    delta-debugging: propose one-step simplifications in decreasing order
+    of aggressiveness, keep the first candidate on which the failure
+    predicate still holds, and iterate to a fixpoint. *)
+
+(** One-step simplifications of a description, most aggressive first
+    (structure removal before parameter flattening). *)
+val candidates : Gen.desc -> Gen.desc list
+
+(** [minimize d ~still_fails] greedily shrinks [d] while preserving
+    [still_fails]; the result is one-step minimal: no candidate of the
+    returned description fails. [still_fails d] must be deterministic.
+    [max_steps] bounds the number of predicate evaluations (default 400). *)
+val minimize : ?max_steps:int -> Gen.desc -> still_fails:(Gen.desc -> bool) -> Gen.desc

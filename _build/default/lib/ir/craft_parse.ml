@@ -1,6 +1,8 @@
-exception Error of int * string
+exception Error of int * int * string
 
-let fail ln fmt = Printf.ksprintf (fun m -> raise (Error (ln, m))) fmt
+(* column 0 marks a whole-line (structural) failure *)
+let fail ln fmt = Printf.ksprintf (fun m -> raise (Error (ln, 0, m))) fmt
+let failc ln col fmt = Printf.ksprintf (fun m -> raise (Error (ln, col, m))) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Lexer (per line)                                                    *)
@@ -19,11 +21,12 @@ let is_ident_char c =
 
 let is_digit c = c >= '0' && c <= '9'
 
+(* tokens carry their 1-based start column on the source line *)
 let lex_line ln s =
   let n = String.length s in
   let toks = ref [] in
   let i = ref 0 in
-  let push t = toks := t :: !toks in
+  let push t = toks := (t, !i + 1) :: !toks in
   while !i < n do
     let c = s.[!i] in
     if c = ' ' || c = '\t' || c = '\r' then incr i
@@ -38,7 +41,7 @@ let lex_line ln s =
         | "GE" -> Stmt.Ge
         | "EQ" -> Stmt.Eq
         | "NE" -> Stmt.Ne
-        | _ -> fail ln "unknown relational operator .%s." op
+        | _ -> failc ln (!i + 1) "unknown relational operator .%s." op
       in
       push (REL rel);
       i := !i + 4
@@ -62,11 +65,11 @@ let lex_line ln s =
       (if !isfloat then
          match float_of_string_opt text with
          | Some f -> push (FLOAT f)
-         | None -> fail ln "bad number %s" text
+         | None -> failc ln (!i + 1) "bad number %s" text
        else
          match int_of_string_opt text with
          | Some k -> push (INT k)
-         | None -> fail ln "bad integer %s" text);
+         | None -> failc ln (!i + 1) "bad integer %s" text);
       i := !j
     end
     else if is_ident_char c && not (is_digit c) then begin
@@ -80,7 +83,7 @@ let lex_line ln s =
       | '(' | ')' | ',' | '=' | '+' | '-' | '*' | '/' | ':' | '!' ->
           push (SYM c);
           incr i
-      | _ -> fail ln "unexpected character %C" c
+      | _ -> failc ln (!i + 1) "unexpected character %C" c
   done;
   List.rev !toks
 
@@ -88,27 +91,45 @@ let lex_line ln s =
 (* Token-stream helpers                                                *)
 (* ------------------------------------------------------------------ *)
 
-type stream = { mutable toks : token list; ln : int }
+type stream = {
+  mutable toks : (token * int) list;
+  ln : int;
+  mutable last : int;  (** column of the most recently consumed token *)
+}
 
-let peek st = match st.toks with [] -> None | t :: _ -> Some t
-let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+let stream ln toks = { toks; ln; last = 1 }
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+
+(* column the next error should point at: the pending token, or (at end of
+   line) the last consumed one *)
+let col st = match st.toks with (_, c) :: _ -> c | [] -> st.last
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | (_, c) :: r ->
+      st.last <- c;
+      st.toks <- r
+
+let fail_at st fmt =
+  Printf.ksprintf (fun m -> raise (Error (st.ln, col st, m))) fmt
 
 let expect_sym st c =
   match peek st with
   | Some (SYM x) when x = c -> advance st
-  | _ -> fail st.ln "expected '%c'" c
+  | _ -> fail_at st "expected '%c'" c
 
 let expect_ident st =
   match peek st with
   | Some (IDENT x) -> advance st; x
-  | _ -> fail st.ln "expected identifier"
+  | _ -> fail_at st "expected identifier"
 
 let low = String.lowercase_ascii
 
 let expect_kw st kw =
   match peek st with
   | Some (IDENT x) when low x = kw -> advance st
-  | _ -> fail st.ln "expected %s" (String.uppercase_ascii kw)
+  | _ -> fail_at st "expected %s" (String.uppercase_ascii kw)
 
 let eat_sym st c =
   match peek st with
@@ -139,7 +160,7 @@ let rec parse_affine st =
             advance st;
             match peek st with
             | Some (INT k) -> advance st; Affine.scale k a
-            | _ -> fail st.ln "affine expressions multiply by constants only")
+            | _ -> fail_at st "affine expressions multiply by constants only")
         | _ -> a)
   and atom () =
     match peek st with
@@ -151,7 +172,7 @@ let rec parse_affine st =
         expect_sym st ')';
         e
     | Some (SYM '-') -> advance st; Affine.neg (atom ())
-    | _ -> fail st.ln "expected affine expression"
+    | _ -> fail_at st "expected affine expression"
   in
   let rec more acc =
     match peek st with
@@ -219,12 +240,12 @@ let rec parse_fexpr env st =
             done;
             expect_sym st ')';
             Fexpr.Ref (Builder.ref_ env.b name (List.rev !subs))
-        | None, Some (SYM '(') -> fail st.ln "%s is not a declared array" v0
+        | None, Some (SYM '(') -> fail_at st "%s is not a declared array" v0
         | _ ->
             if List.mem v env.loop_vars || Hashtbl.mem env.params v then
               Fexpr.Ivar v
             else Fexpr.Svar v)
-    | _ -> fail st.ln "expected expression"
+    | _ -> fail_at st "expected expression"
   in
   let rec factor acc =
     match peek st with
@@ -274,10 +295,10 @@ let parse_bound st =
       advance st;
       match peek st with
       | Some (IDENT t) when low t = "runtime" -> advance st; Bound.opaque e
-      | _ -> fail st.ln "expected 'runtime' after '!'")
+      | _ -> fail_at st "expected 'runtime' after '!'")
   | _ -> Bound.known e
 
-let parse_dist ln st name =
+let parse_dist st name =
   expect_sym st '(';
   let dims = ref [] in
   let dim () =
@@ -290,7 +311,7 @@ let parse_dist ln st name =
             advance st;
             let w = match peek st with
               | Some (INT w) -> advance st; w
-              | _ -> fail ln "expected block width"
+              | _ -> fail_at st "expected block width"
             in
             expect_sym st ')';
             Dist.Block_cyclic w
@@ -311,7 +332,7 @@ let parse_cond env st =
   (* decide affine vs float comparison by attempting affine first on a
      snapshot; the attempt only stands when every variable is an induction
      variable or parameter (a scalar comparison is a float comparison) *)
-  let snapshot = st.toks in
+  let snapshot = st.toks and snapshot_last = st.last in
   let structural e =
     List.for_all
       (fun v -> List.mem v env.loop_vars || Hashtbl.mem env.params v)
@@ -336,18 +357,19 @@ let parse_cond env st =
   | Some c -> c
   | None ->
       st.toks <- snapshot;
+      st.last <- snapshot_last;
       let a = parse_fexpr env st in
       let op =
         match peek st with
         | Some (REL op) -> advance st; op
-        | _ -> fail st.ln "expected relational operator"
+        | _ -> fail_at st "expected relational operator"
       in
       let b = parse_fexpr env st in
       expect_sym st ')';
       Stmt.Fcond (op, a, b)
 
 let classify env ln toks =
-  let st = { toks; ln } in
+  let st = stream ln toks in
   match peek st with
   | None -> None
   | Some (IDENT t) when low t = "program" ->
@@ -364,8 +386,8 @@ let classify env ln toks =
             advance st;
             match peek st with
             | Some (INT v) -> advance st; -v
-            | _ -> fail ln "expected integer")
-        | _ -> fail ln "expected integer"
+            | _ -> fail_at st "expected integer")
+        | _ -> fail_at st "expected integer"
       in
       expect_sym st ')';
       Some (Lparameter (name, v))
@@ -375,14 +397,14 @@ let classify env ln toks =
       expect_sym st '*';
       (match peek st with
       | Some (INT 8) -> advance st
-      | _ -> fail ln "expected REAL*8");
+      | _ -> fail_at st "expected REAL*8");
       let name = expect_ident st in
       expect_sym st '(';
       let dims = ref [] in
       let dim () =
         match peek st with
         | Some (INT d) -> advance st; d
-        | _ -> fail ln "expected dimension"
+        | _ -> fail_at st "expected dimension"
       in
       dims := [ dim () ];
       while eat_sym st ',' do
@@ -396,7 +418,7 @@ let classify env ln toks =
       | Some (IDENT d) when low d = "shared" ->
           advance st;
           let name = expect_ident st in
-          Some (Lshared (name, parse_dist ln st name))
+          Some (Lshared (name, parse_dist st name))
       | Some (IDENT d) when low d = "replicated" ->
           advance st;
           let name = expect_ident st in
@@ -416,7 +438,7 @@ let classify env ln toks =
                   expect_sym st '(';
                   let e = match peek st with
                     | Some (INT e) -> advance st; e
-                    | _ -> fail ln "expected extent"
+                    | _ -> fail_at st "expected extent"
                   in
                   expect_sym st ')';
                   Stmt.Static_aligned e
@@ -425,15 +447,15 @@ let classify env ln toks =
                   expect_sym st '(';
                   let c = match peek st with
                     | Some (INT c) -> advance st; c
-                    | _ -> fail ln "expected chunk"
+                    | _ -> fail_at st "expected chunk"
                   in
                   expect_sym st ')';
                   Stmt.Dynamic c
-              | _ -> fail ln "unknown schedule"
+              | _ -> fail_at st "unknown schedule"
             else Stmt.Static_block
           in
           Some (Ldoshared sched)
-      | _ -> fail ln "unknown CDIR$ directive")
+      | _ -> fail_at st "unknown CDIR$ directive")
   | Some (IDENT t) when low t = "do" ->
       advance st;
       let var = low (expect_ident st) in
@@ -444,7 +466,7 @@ let classify env ln toks =
       let step = if eat_sym st ',' then (
           match peek st with
           | Some (INT s) -> advance st; s
-          | _ -> fail ln "expected step")
+          | _ -> fail_at st "expected step")
         else 1
       in
       Some (Ldo (var, lo, hi, step))
@@ -470,15 +492,15 @@ let classify env ln toks =
           expect_sym st ')';
           expect_sym st '=';
           let e = parse_fexpr env st in
-          if not (at_end st) then fail ln "trailing tokens after assignment";
+          if not (at_end st) then fail_at st "trailing tokens after assignment";
           Some (Lassign_arr (name, List.rev !subs, e))
       | _, Some (SYM '=') ->
           advance st;
           let e = parse_fexpr env st in
-          if not (at_end st) then fail ln "trailing tokens after assignment";
+          if not (at_end st) then fail_at st "trailing tokens after assignment";
           Some (Lassign_sca (v, e))
-      | _ -> fail ln "cannot parse statement starting with %s" v0)
-  | Some _ -> fail ln "cannot parse line"
+      | _ -> fail_at st "cannot parse statement starting with %s" v0)
+  | Some _ -> fail_at st "cannot parse line"
 
 (* ------------------------------------------------------------------ *)
 (* Program assembly                                                    *)
@@ -514,7 +536,7 @@ let program src =
      resolution into induction variables vs task scalars depends on it) *)
   let dists : (string, Dist.t) Hashtbl.t = Hashtbl.create 8 in
   let decls : (string * int list) list ref = ref [] in
-  let body_lines : (int * token list) list ref = ref [] in
+  let body_lines : (int * (token * int) list) list ref = ref [] in
   let name = ref "parsed" in
   List.iteri
     (fun k line ->
@@ -531,7 +553,7 @@ let program src =
                    (String.trim (String.sub trimmed 5 (String.length trimmed - 5)))
                    "doshared"))
       then
-        match classify env ln (lex_line ln trimmed) with
+        match classify env ln (lex_line ln line) with
         | Some (Lprogram n) -> name := n
         | Some (Lparameter (p, v)) ->
             Hashtbl.replace env.params p ();
@@ -541,7 +563,7 @@ let program src =
             decls := (nm, dims) :: !decls
         | Some (Lshared (nm, d)) -> Hashtbl.replace dists (low nm) d
         | _ -> fail ln "expected a declaration"
-      else body_lines := (ln, lex_line ln trimmed) :: !body_lines)
+      else body_lines := (ln, lex_line ln line) :: !body_lines)
     raw;
   (* declare arrays now that dists are known: a directive means shared *)
   List.iter

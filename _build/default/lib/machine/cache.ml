@@ -4,6 +4,7 @@ type t = {
   lwords : int;
   tags : int array;  (** sets*assoc slots; -1 = invalid *)
   data : float array;  (** sets*assoc*line_words payload *)
+  vers : int array;  (** per-word version tags captured at fill/update *)
   last_use : int array;  (** recency stamp per slot *)
   fill_ticks : int array;  (** externally supplied fill stamps per slot *)
   mutable tick : int;
@@ -17,6 +18,7 @@ let create ~sets ~assoc ~line_words =
     lwords = line_words;
     tags = Array.make (sets * assoc) (-1);
     data = Array.make (sets * assoc * line_words) 0.0;
+    vers = Array.make (sets * assoc * line_words) 0;
     last_use = Array.make (sets * assoc) 0;
     fill_ticks = Array.make (sets * assoc) 0;
     tick = 0;
@@ -52,8 +54,12 @@ let read t ~addr =
 
 let probe_line t ~line = slot_of_line t line >= 0
 
-let fill t ?(tick = 0) ~line payload =
+let fill t ?(tick = 0) ?vers ~line payload =
   if Array.length payload <> t.lwords then invalid_arg "Cache.fill: payload size";
+  (match vers with
+  | Some v when Array.length v <> t.lwords ->
+      invalid_arg "Cache.fill: version payload size"
+  | Some _ | None -> ());
   let set = line mod t.sets in
   let base = set * t.assoc in
   (* reuse the slot if the line is already resident, else the LRU way *)
@@ -71,6 +77,9 @@ let fill t ?(tick = 0) ~line payload =
   let evicted = if t.tags.(slot) >= 0 && t.tags.(slot) <> line then Some t.tags.(slot) else None in
   t.tags.(slot) <- line;
   Array.blit payload 0 t.data (slot * t.lwords) t.lwords;
+  (match vers with
+  | Some v -> Array.blit v 0 t.vers (slot * t.lwords) t.lwords
+  | None -> Array.fill t.vers (slot * t.lwords) t.lwords 0);
   t.fill_ticks.(slot) <- tick;
   touch t slot;
   evicted
@@ -79,10 +88,20 @@ let fill_tick t ~line =
   let slot = slot_of_line t line in
   if slot < 0 then None else Some t.fill_ticks.(slot)
 
-let update_if_present t ~addr value =
+let update_if_present t ?ver ~addr value =
   let line = addr / t.lwords in
   let slot = slot_of_line t line in
-  if slot >= 0 then t.data.((slot * t.lwords) + (addr mod t.lwords)) <- value
+  if slot >= 0 then begin
+    let off = (slot * t.lwords) + (addr mod t.lwords) in
+    t.data.(off) <- value;
+    match ver with Some v -> t.vers.(off) <- v | None -> ()
+  end
+
+let word_version t ~addr =
+  let line = addr / t.lwords in
+  let slot = slot_of_line t line in
+  if slot < 0 then None
+  else Some t.vers.((slot * t.lwords) + (addr mod t.lwords))
 
 let invalidate_line t ~line =
   let slot = slot_of_line t line in

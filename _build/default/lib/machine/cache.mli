@@ -29,8 +29,10 @@ val probe_line : t -> line:int -> bool
 (** Install a line (payload must have length [line_words]); evicts the
     least-recently-used way of the set. Returns the evicted line address, if
     a valid line was displaced. [tick] stamps the fill time for
-    timestamp-based (HSCD) self-invalidation checks. *)
-val fill : t -> ?tick:int -> line:int -> float array -> int option
+    timestamp-based (HSCD) self-invalidation checks. [vers] stamps the
+    per-word version tags of the payload (the staleness oracle compares
+    them against memory's write versions); absent, the tags reset to 0. *)
+val fill : t -> ?tick:int -> ?vers:int array -> line:int -> float array -> int option
 
 (** Fill-time stamp of a resident line ([None] on a miss) — the version
     check of hardware-supported compiler-directed schemes compares this
@@ -38,8 +40,14 @@ val fill : t -> ?tick:int -> line:int -> float array -> int option
 val fill_tick : t -> line:int -> int option
 
 (** Write-through update: if the addressed line is resident, patch the
-    cached copy (memory is updated by the caller). *)
-val update_if_present : t -> addr:int -> float -> unit
+    cached copy (memory is updated by the caller). [ver] additionally
+    stamps the word's version tag with the write's version. *)
+val update_if_present : t -> ?ver:int -> addr:int -> float -> unit
+
+(** Version tag of a resident word without recency update ([None] on a
+    miss). The staleness oracle asserts this is no older than the last
+    write to the address that completed before the current epoch. *)
+val word_version : t -> addr:int -> int option
 
 val invalidate_line : t -> line:int -> unit
 val invalidate_all : t -> unit

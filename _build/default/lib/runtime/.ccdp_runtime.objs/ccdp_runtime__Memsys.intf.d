@@ -1,1 +1,1 @@
-lib/runtime/memsys.mli: Addr_map Ccdp_analysis Ccdp_ir Ccdp_machine
+lib/runtime/memsys.mli: Addr_map Ccdp_analysis Ccdp_ir Ccdp_machine Format

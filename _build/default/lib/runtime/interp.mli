@@ -29,9 +29,12 @@ val pp_profile : Format.formatter -> Ccdp_ir.Epoch.t -> result -> unit
 
 (** Run a program. The program must be call-free ({!Ccdp_ir.Program.inline}
     first); [init] populates array values before timing starts; [plan]
-    should be {!Ccdp_analysis.Annot.empty} for non-CCDP modes. *)
+    should be {!Ccdp_analysis.Annot.empty} for non-CCDP modes. [oracle]
+    enables the dynamic staleness oracle (see {!Memsys.create}); inspect
+    its verdicts on the result's [sys] via {!Memsys.oracle_violations}. *)
 val run :
   Ccdp_machine.Config.t ->
+  ?oracle:bool ->
   Ccdp_ir.Program.t ->
   plan:Ccdp_analysis.Annot.plan ->
   mode:Memsys.mode ->

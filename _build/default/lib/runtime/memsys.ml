@@ -18,6 +18,36 @@ let mode_name = function
    writer may trust same-epoch fills: nobody else changed memory. *)
 type version = { mutable settled : int; mutable writers : int }
 
+(* Dynamic staleness oracle: memory carries a per-word version stamp
+   (monotonic write counter) and the epoch in which the stamp was produced;
+   cache lines capture the stamps of their words at fill/update time. A
+   cache hit whose captured version predates a write completed before the
+   current epoch has observed a stale copy — a concrete unsoundness witness
+   for the stale-reference analysis, independent of whether the numeric
+   value happens to coincide. *)
+type violation = {
+  v_ref : int;  (** offending reference id *)
+  v_pe : int;
+  v_array : string;
+  v_index : int array;
+  v_addr : int;
+  v_cached_version : int;
+  v_mem_version : int;
+  v_write_epoch : int;  (** epoch that produced the missed write *)
+  v_read_epoch : int;  (** epoch in which the stale hit happened *)
+}
+
+type oracle = {
+  wver : int array;  (** per-word last-write version *)
+  wepoch : int array;  (** epoch tick of the last write; -1 = init *)
+  mutable next_ver : int;
+  mutable checked : int;
+  mutable n_violations : int;
+  mutable violations : violation list;  (** first few witnesses, oldest first *)
+}
+
+let max_kept_violations = 16
+
 type pe_ctx = {
   pe : Pe.t;
   vget : (int, int) Hashtbl.t;  (** line -> ready cycle *)
@@ -44,9 +74,10 @@ type t = {
       (** reference ids that returned a value differing from memory
           (photographed in INCOHERENT mode; ground truth for validating the
           stale-reference analysis) *)
+  ora : oracle option;
 }
 
-let create cfg (p : Program.t) ~plan md =
+let create cfg ?(oracle = false) (p : Program.t) ~plan md =
   let mach = Machine.create cfg in
   let amap =
     Addr_map.make p ~n_pes:cfg.Config.n_pes ~line_words:cfg.Config.line_words
@@ -77,6 +108,19 @@ let create cfg (p : Program.t) ~plan md =
     epoch_tick = 0;
     versions = Hashtbl.create 16;
     observed_stale = Hashtbl.create 16;
+    ora =
+      (if oracle then
+         let words = Addr_map.total_words amap in
+         Some
+           {
+             wver = Array.make words 0;
+             wepoch = Array.make words (-1);
+             next_ver = 0;
+             checked = 0;
+             n_violations = 0;
+             violations = [];
+           }
+       else None);
   }
 
 let cfg t = t.cfg
@@ -87,7 +131,17 @@ let plan t = t.pl
 let decl t name = Hashtbl.find t.decls name
 
 let set t name idx v =
-  List.iter (fun a -> t.mem.(a) <- v) (Addr_map.all_copies t.amap name idx)
+  List.iter
+    (fun a ->
+      t.mem.(a) <- v;
+      match t.ora with
+      | Some o ->
+          (* untimed initialization: versioned, but settled before epoch 0 *)
+          o.next_ver <- o.next_ver + 1;
+          o.wver.(a) <- o.next_ver;
+          o.wepoch.(a) <- -1
+      | None -> ())
+    (Addr_map.all_copies t.amap name idx)
 
 let get t name idx = t.mem.(Addr_map.canonical t.amap name idx)
 let charge t ~pe c =
@@ -137,8 +191,16 @@ let line_payload t line =
   Array.sub t.mem (line * lw) lw
 
 let fill t ctx line =
+  let vers =
+    match t.ora with
+    | None -> None
+    | Some o ->
+        let lw = t.cfg.Config.line_words in
+        Some (Array.sub o.wver (line * lw) lw)
+  in
   ignore
-    (Cache.fill ctx.pe.Pe.cache ~tick:t.epoch_tick ~line (line_payload t line));
+    (Cache.fill ctx.pe.Pe.cache ~tick:t.epoch_tick ?vers ~line
+       (line_payload t line));
   Hashtbl.replace ctx.fresh line ()
 
 let record_arrival ctx ~stall =
@@ -150,12 +212,48 @@ let record_arrival ctx ~stall =
   end
   else s.Stats.pf_on_time <- s.Stats.pf_on_time + 1
 
+(* Oracle assertion at a cache hit: the captured word version must be no
+   older than the last write settled before the current epoch. Writes of
+   the current epoch are exempt — under the epoch model's race-freedom a
+   same-epoch writer of a read location can only be the reading PE itself,
+   whose write-through patched the cached copy (and its version). *)
+let oracle_check t ctx vref addr =
+  match (t.ora, vref) with
+  | Some o, Some ((r : Reference.t), idx) ->
+      o.checked <- o.checked + 1;
+      let cv =
+        match Cache.word_version ctx.pe.Pe.cache ~addr with
+        | Some v -> v
+        | None -> 0
+      in
+      if o.wver.(addr) > cv && o.wepoch.(addr) < t.epoch_tick then begin
+        o.n_violations <- o.n_violations + 1;
+        if List.length o.violations < max_kept_violations then
+          o.violations <-
+            o.violations
+            @ [
+                {
+                  v_ref = r.Reference.id;
+                  v_pe = ctx.pe.Pe.id;
+                  v_array = r.Reference.array_name;
+                  v_index = Array.copy idx;
+                  v_addr = addr;
+                  v_cached_version = cv;
+                  v_mem_version = o.wver.(addr);
+                  v_write_epoch = o.wepoch.(addr);
+                  v_read_epoch = t.epoch_tick;
+                };
+              ]
+      end
+  | _ -> ()
+
 (* The ordinary cached-read protocol: consume a pending vector-get or queue
    entry if one exists, then the cache, then demand-fetch. [fresh_only]
    restricts cache hits to lines filled since the last barrier (used for
    leading references, whose cached copy is only trustworthy when this
-   epoch's prefetch machinery put it there). *)
-let cached_read ?(fresh_only = false) t ctx addr target =
+   epoch's prefetch machinery put it there). [vref] identifies the dynamic
+   reference for oracle reporting (tracked shared reads only). *)
+let cached_read ?(fresh_only = false) ?vref t ctx addr target =
   let self = ctx.pe.Pe.id in
   let lw = t.cfg.Config.line_words in
   let line = addr / lw in
@@ -185,6 +283,7 @@ let cached_read ?(fresh_only = false) t ctx addr target =
           in
           match cache_hit with
           | Some v ->
+              oracle_check t ctx vref addr;
               ctx.pe.Pe.stats.Stats.hits <- ctx.pe.Pe.stats.Stats.hits + 1;
               Pe.advance ctx.pe t.cfg.Config.hit;
               v
@@ -257,7 +356,7 @@ let writer_bit pe = if pe < 62 then 1 lsl pe else -1
    matters: a line filled in the same epoch as another PE's write to it may
    have captured pre-write words (false sharing at epoch granularity); own
    writes are exempt, since memory was not changed by anyone else. *)
-let hscd_read t ctx name addr target =
+let hscd_read ?vref t ctx name addr target =
   let lw = t.cfg.Config.line_words in
   let line = addr / lw in
   let effective =
@@ -273,7 +372,7 @@ let hscd_read t ctx name addr target =
       ctx.pe.Pe.stats.Stats.invalidations <-
         ctx.pe.Pe.stats.Stats.invalidations + 1
   | Some _ | None -> ());
-  cached_read t ctx addr target
+  cached_read ?vref t ctx addr target
 
 let read t ~pe (r : Reference.t) ~idx =
   let ctx = t.ctxs.(pe) in
@@ -282,60 +381,73 @@ let read t ~pe (r : Reference.t) ~idx =
   if not (tracked_shared t r.array_name) then
     (* private / replicated data: cached and local in every mode *)
     cached_read t ctx addr `Local
-  else if t.md = Incoherent then begin
-    (* ground-truth staleness detection: an incoherent read that returns a
-       value other than memory's has observed an actually-stale copy *)
-    let v = cached_read t ctx addr target in
-    if v <> t.mem.(addr) then Hashtbl.replace t.observed_stale r.id ();
-    v
-  end
   else
-    match t.md with
-    | Seq | Invalidate | Incoherent -> cached_read t ctx addr target
-    | Hscd -> hscd_read t ctx r.array_name addr target
-    | Base -> uncached_read t ctx addr target
-    | Ccdp -> (
-        let open Ccdp_analysis in
-        match Annot.cls_of t.pl r.id with
-        | Annot.Normal -> cached_read t ctx addr target
-        | Annot.Covered _ ->
-            (* a stale covered read may only hit lines its leader staged
-               this epoch: at loop boundaries the covered span can reach one
-               element past the leader's clamped range, and when chunk and
-               line sizes misalign that element lands in a line the leader
-               never touched — a leftover stale copy. Fresh-only turns that
-               corner into a demand miss of current memory. Clean covers
-               (latency-hiding groups) may trust any copy. *)
-            cached_read ~fresh_only:(not (clean_lead t r.id)) t ctx addr target
-        | Annot.Bypass -> bypass_read t ctx addr target
-        | Annot.Lead -> (
-            match Annot.op_of t.pl r.id with
-            | Some (Annot.Back { cycles; _ }) ->
-                if clean_lead t r.id then cached_read t ctx addr target
-                else moved_back_read t ctx addr target ~back:cycles
-            | Some (Annot.Pipelined _) | Some (Annot.Vector _)
-              when clean_lead t r.id ->
-                cached_read t ctx addr target
-            | Some (Annot.Pipelined _) | Some (Annot.Vector _) -> (
-                (* the prefetch machinery must have staged the line: pending
-                   entries are consumed by the normal path; a fresh cached
-                   line is a earlier consume; anything else means the issue
-                   was dropped -> bypass fetch *)
-                let lw = t.cfg.Config.line_words in
-                let line = addr / lw in
-                if
-                  Hashtbl.mem ctx.vget line
-                  || Prefetch_queue.find ctx.pe.Pe.queue ~line <> None
-                  || Hashtbl.mem ctx.fresh line
-                then cached_read ~fresh_only:true t ctx addr target
-                else bypass_read t ctx addr target)
-            | None -> bypass_read t ctx addr target))
+    let vref = (r, idx) in
+    if t.md = Incoherent then begin
+      (* ground-truth staleness detection: an incoherent read that returns a
+         value other than memory's has observed an actually-stale copy *)
+      let v = cached_read ~vref t ctx addr target in
+      if v <> t.mem.(addr) then Hashtbl.replace t.observed_stale r.id ();
+      v
+    end
+    else
+      match t.md with
+      | Seq | Invalidate | Incoherent -> cached_read ~vref t ctx addr target
+      | Hscd -> hscd_read ~vref t ctx r.array_name addr target
+      | Base -> uncached_read t ctx addr target
+      | Ccdp -> (
+          let open Ccdp_analysis in
+          match Annot.cls_of t.pl r.id with
+          | Annot.Normal -> cached_read ~vref t ctx addr target
+          | Annot.Covered _ ->
+              (* a stale covered read may only hit lines its leader staged
+                 this epoch: at loop boundaries the covered span can reach one
+                 element past the leader's clamped range, and when chunk and
+                 line sizes misalign that element lands in a line the leader
+                 never touched — a leftover stale copy. Fresh-only turns that
+                 corner into a demand miss of current memory. Clean covers
+                 (latency-hiding groups) may trust any copy. *)
+              cached_read
+                ~fresh_only:(not (clean_lead t r.id))
+                ~vref t ctx addr target
+          | Annot.Bypass -> bypass_read t ctx addr target
+          | Annot.Lead -> (
+              match Annot.op_of t.pl r.id with
+              | Some (Annot.Back { cycles; _ }) ->
+                  if clean_lead t r.id then cached_read ~vref t ctx addr target
+                  else moved_back_read t ctx addr target ~back:cycles
+              | Some (Annot.Pipelined _) | Some (Annot.Vector _)
+                when clean_lead t r.id ->
+                  cached_read ~vref t ctx addr target
+              | Some (Annot.Pipelined _) | Some (Annot.Vector _) -> (
+                  (* the prefetch machinery must have staged the line: pending
+                     entries are consumed by the normal path; a fresh cached
+                     line is a earlier consume; anything else means the issue
+                     was dropped -> bypass fetch *)
+                  let lw = t.cfg.Config.line_words in
+                  let line = addr / lw in
+                  if
+                    Hashtbl.mem ctx.vget line
+                    || Prefetch_queue.find ctx.pe.Pe.queue ~line <> None
+                    || Hashtbl.mem ctx.fresh line
+                  then cached_read ~fresh_only:true ~vref t ctx addr target
+                  else bypass_read t ctx addr target)
+              | None -> bypass_read t ctx addr target))
 
 let write t ~pe (r : Reference.t) ~idx v =
   let ctx = t.ctxs.(pe) in
   ctx.pe.Pe.stats.Stats.writes <- ctx.pe.Pe.stats.Stats.writes + 1;
   let addr, target = Addr_map.resolve t.amap ~pe r.array_name idx in
   t.mem.(addr) <- v;
+  let ver =
+    match t.ora with
+    | None -> None
+    | Some o ->
+        o.next_ver <- o.next_ver + 1;
+        o.wver.(addr) <- o.next_ver;
+        o.wepoch.(addr) <- t.epoch_tick;
+        Some o.next_ver
+  in
   (if t.md = Hscd && tracked_shared t r.array_name then
      match Hashtbl.find_opt t.versions r.array_name with
      | Some v -> v.writers <- v.writers lor writer_bit pe
@@ -349,7 +461,7 @@ let write t ~pe (r : Reference.t) ~idx v =
     | Seq | Ccdp | Invalidate | Incoherent | Hscd -> true
     | Base -> false
   in
-  if caches_it then Cache.update_if_present ctx.pe.Pe.cache ~addr v;
+  if caches_it then Cache.update_if_present ctx.pe.Pe.cache ?ver ~addr v;
   Pe.advance ctx.pe
     (if tracked_shared t r.array_name then store_cost t target
      else t.cfg.Config.store_local)
@@ -483,6 +595,22 @@ let epoch_boundary t =
 
 let time t = Machine.time t.mach
 let total_stats t = Machine.total_stats t.mach
+
+let oracle_enabled t = t.ora <> None
+let oracle_checked t = match t.ora with Some o -> o.checked | None -> 0
+
+let oracle_violation_count t =
+  match t.ora with Some o -> o.n_violations | None -> 0
+
+let oracle_violations t = match t.ora with Some o -> o.violations | None -> []
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "stale hit: ref %d on PE %d read %s(%s) [addr %d] in epoch %d; cached \
+     version %d predates version %d written in epoch %d"
+    v.v_ref v.v_pe v.v_array
+    (String.concat "," (Array.to_list (Array.map string_of_int v.v_index)))
+    v.v_addr v.v_read_epoch v.v_cached_version v.v_mem_version v.v_write_epoch
 
 let observed_stale_ids t =
   Hashtbl.fold (fun id () acc -> id :: acc) t.observed_stale []

@@ -34,9 +34,16 @@ val mode_name : mode -> string
 
 type t
 
+(** [create cfg ?oracle program ~plan mode]. With [~oracle:true] the memory
+    system maintains the dynamic staleness oracle: every memory word carries
+    a version stamp (monotonic write counter) plus the epoch that produced
+    it, cache lines capture per-word stamps at fill/update time, and every
+    cache hit of a tracked shared read asserts the captured stamp is no
+    older than the last write settled before the current epoch. Violations
+    are concrete unsoundness witnesses for the stale-reference analysis. *)
 val create :
-  Ccdp_machine.Config.t -> Ccdp_ir.Program.t -> plan:Ccdp_analysis.Annot.plan ->
-  mode -> t
+  Ccdp_machine.Config.t -> ?oracle:bool -> Ccdp_ir.Program.t ->
+  plan:Ccdp_analysis.Annot.plan -> mode -> t
 
 val cfg : t -> Ccdp_machine.Config.t
 val mode : t -> mode
@@ -95,3 +102,32 @@ val stale_cached_words : t -> int
     analysis must over-approximate (every observed id must be classified
     potentially stale). *)
 val observed_stale_ids : t -> int list
+
+(** {1 Staleness oracle} *)
+
+(** One stale cache hit witnessed by the oracle. *)
+type violation = {
+  v_ref : int;  (** offending reference id *)
+  v_pe : int;
+  v_array : string;
+  v_index : int array;
+  v_addr : int;  (** global word address *)
+  v_cached_version : int;
+  v_mem_version : int;
+  v_write_epoch : int;  (** epoch that produced the missed write *)
+  v_read_epoch : int;  (** epoch in which the stale hit happened *)
+}
+
+val oracle_enabled : t -> bool
+
+(** Number of oracle assertions evaluated (cache hits of tracked shared
+    reads). 0 when the oracle is off. *)
+val oracle_checked : t -> int
+
+val oracle_violation_count : t -> int
+
+(** The first few witnesses, oldest first (the count above is exact even
+    when this list is truncated). *)
+val oracle_violations : t -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit

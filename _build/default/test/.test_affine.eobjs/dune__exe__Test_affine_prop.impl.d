@@ -1,0 +1,1 @@
+test/test_affine_prop.ml: Affine Alcotest Bound Ccdp_analysis Ccdp_ir Ccdp_test_support List Printf QCheck Section Stmt String

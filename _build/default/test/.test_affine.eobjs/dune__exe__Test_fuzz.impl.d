@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Ccdp_analysis Ccdp_fuzz Ccdp_ir Ccdp_machine Ccdp_runtime Ccdp_test_support Format List Option Random

@@ -1,0 +1,9 @@
+(* CI smoke batch: a short fixed-seed differential campaign, exposed as the
+   `fuzz-smoke` dune alias. Fails (exit 1) on any numeric mismatch or
+   staleness-oracle violation; the full-size campaign lives behind
+   `ccdp_cli fuzz`. *)
+
+let () =
+  let s = Ccdp_fuzz.Driver.campaign ~seed:1 ~count:100 () in
+  Format.printf "%a@." Ccdp_fuzz.Driver.pp_summary s;
+  if s.Ccdp_fuzz.Driver.s_failures <> [] then exit 1

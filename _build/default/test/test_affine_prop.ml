@@ -1,0 +1,187 @@
+(* Property-based tests of the IR algebra the analyses lean on: affine
+   expression arithmetic against a naive evaluator, Section set operations
+   against brute-force enumeration, and Iterspace range reasoning against
+   direct loop execution. Failures here would silently corrupt every
+   downstream analysis, so the properties are checked on random inputs
+   rather than hand-picked ones. *)
+
+open Ccdp_ir
+open Ccdp_test_support.Tutil
+
+let vars = [ "i"; "j"; "k"; "n" ]
+
+(* ---- affine expressions ------------------------------------------- *)
+
+(* (constant, terms, environment) with every variable bound *)
+let affine_gen =
+  QCheck.Gen.(
+    let term = pair (oneofl vars) (int_range (-9) 9) in
+    triple (int_range (-50) 50) (list_size (int_range 0 6) term)
+      (flatten_l (List.map (fun v -> map (fun x -> (v, x)) (int_range (-20) 20)) vars)))
+
+let affine_arb =
+  QCheck.make
+    ~print:(fun (c, ts, env) ->
+      Printf.sprintf "%d + %s under [%s]" c
+        (String.concat " + "
+           (List.map (fun (v, k) -> Printf.sprintf "%d*%s" k v) ts))
+        (String.concat "; "
+           (List.map (fun (v, x) -> Printf.sprintf "%s=%d" v x) env)))
+    affine_gen
+
+let naive_eval c ts env =
+  List.fold_left (fun acc (v, k) -> acc + (k * List.assoc v env)) c ts
+
+let lookup env v = List.assoc v env
+
+let affine_suite =
+  [
+    qcheck ~count:500 "of_terms/eval agrees with the naive sum" affine_arb
+      (fun (c, ts, env) ->
+        Affine.eval (Affine.of_terms c ts) (lookup env) = naive_eval c ts env);
+    qcheck ~count:500 "add is pointwise" affine_arb (fun (c, ts, env) ->
+        let a = Affine.of_terms c ts in
+        let b = Affine.of_terms (-c) (List.map (fun (v, k) -> (v, k + 1)) ts) in
+        Affine.eval (Affine.add a b) (lookup env)
+        = Affine.eval a (lookup env) + Affine.eval b (lookup env));
+    qcheck ~count:500 "sub then add round-trips" affine_arb
+      (fun (c, ts, env) ->
+        let a = Affine.of_terms c ts in
+        let b = Affine.of_terms 7 [ ("i", 3); ("j", -2) ] in
+        Affine.eval (Affine.add (Affine.sub a b) b) (lookup env)
+        = Affine.eval a (lookup env));
+    qcheck ~count:500 "scale multiplies the value" affine_arb
+      (fun (c, ts, env) ->
+        let a = Affine.of_terms c ts in
+        Affine.eval (Affine.scale (-3) a) (lookup env)
+        = -3 * Affine.eval a (lookup env));
+    qcheck ~count:500 "subst = eval with the substituted value" affine_arb
+      (fun (c, ts, env) ->
+        let a = Affine.of_terms c ts in
+        let by = Affine.of_terms 2 [ ("j", 5) ] in
+        Affine.eval (Affine.subst a "i" by) (lookup env)
+        = Affine.eval a (fun v ->
+              if v = "i" then Affine.eval by (lookup env) else lookup env v));
+    qcheck ~count:500 "uniformly_generated iff constant offset" affine_arb
+      (fun (c, ts, env) ->
+        ignore env;
+        let a = Affine.of_terms c ts in
+        let b = Affine.of_terms (c + 13) ts in
+        Affine.uniformly_generated a b
+        && Affine.offset_between a b = Some 13);
+  ]
+
+(* ---- sections ------------------------------------------------------ *)
+
+(* random 2-D progression sections over a small universe *)
+let section_gen =
+  QCheck.Gen.(
+    let dim =
+      int_range 0 6 >>= fun lo ->
+      int_range lo (lo + 12) >>= fun hi ->
+      int_range 1 4 >|= fun step -> Section.dim ~lo ~hi ~step
+    in
+    map2 (fun a b -> Section.of_dims [ a; b ]) dim dim)
+
+let section_arb = QCheck.make ~print:Section.to_string section_gen
+
+let pair_arb =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "%s vs %s" (Section.to_string a) (Section.to_string b))
+    QCheck.Gen.(pair section_gen section_gen)
+
+let points s = List.map (fun (x, y) -> [| x; y |]) (enum_section2 s)
+
+let section_suite =
+  [
+    qcheck ~count:300 "size equals enumeration length" section_arb (fun s ->
+        Section.size s = Some (List.length (enum_section2 s)));
+    qcheck ~count:300 "mem agrees with enumeration" section_arb (fun s ->
+        List.for_all (Section.mem s) (points s));
+    qcheck ~count:300 "inter over-approximates the true intersection"
+      pair_arb (fun (a, b) ->
+        let i = Section.inter a b in
+        List.for_all
+          (fun p -> (not (Section.mem b p)) || Section.mem i p)
+          (points a));
+    qcheck ~count:300 "inter is monotone: contained in both hulls" pair_arb
+      (fun (a, b) ->
+        match Section.inter a b with
+        | Section.Empty -> true
+        | i ->
+            List.for_all
+              (fun p -> Section.mem (Section.hull a b) p)
+              (points i));
+    qcheck ~count:300 "overlaps is sound (never misses a shared point)"
+      pair_arb (fun (a, b) ->
+        let shared = List.exists (Section.mem b) (points a) in
+        (not shared) || Section.overlaps a b);
+    qcheck ~count:300 "contains is sound w.r.t. enumeration" pair_arb
+      (fun (a, b) ->
+        (not (Section.contains a b))
+        || List.for_all (Section.mem a) (points b));
+    qcheck ~count:300 "hull covers both operands" pair_arb (fun (a, b) ->
+        let h = Section.hull a b in
+        List.for_all (Section.mem h) (points a)
+        && List.for_all (Section.mem h) (points b));
+    qcheck ~count:300 "inter with self is identity on membership"
+      section_arb (fun s ->
+        let i = Section.inter s s in
+        List.for_all (Section.mem i) (points s));
+  ]
+
+(* ---- iteration spaces ---------------------------------------------- *)
+
+let mk_loop lo hi =
+  {
+    Stmt.loop_id = 0;
+    var = "i";
+    lo = Bound.of_int lo;
+    hi = Bound.of_int hi;
+    step = 1;
+    kind = Stmt.Serial;
+    body = [];
+  }
+
+let range_arb =
+  QCheck.make
+    ~print:(fun (lo, hi) -> Printf.sprintf "%d..%d" lo hi)
+    QCheck.Gen.(
+      int_range (-10) 20 >>= fun lo ->
+      int_range lo (lo + 30) >|= fun hi -> (lo, hi))
+
+let iterspace_suite =
+  [
+    qcheck ~count:300 "trip_count counts actual iterations" range_arb
+      (fun (lo, hi) ->
+        let env = Ccdp_analysis.Iterspace.of_loops ~params:[] [] in
+        let count = ref 0 in
+        for _ = lo to hi do
+          incr count
+        done;
+        Ccdp_analysis.Iterspace.trip_count (mk_loop lo hi) env = Some !count);
+    qcheck ~count:300 "bound_range brackets an affine bound in the loop env"
+      range_arb (fun (lo, hi) ->
+        let outer = mk_loop lo hi in
+        let env = Ccdp_analysis.Iterspace.of_loops ~params:[] [ outer ] in
+        (* i + 2 over i in lo..hi spans lo+2 .. hi+2 *)
+        let b = Bound.known (Affine.add (Affine.var "i") (Affine.const 2)) in
+        Ccdp_analysis.Iterspace.bound_range b env = Some (lo + 2, hi + 2));
+    qcheck ~count:300 "volume of a loop section matches the trip count"
+      range_arb (fun (lo, hi) ->
+        let outer = mk_loop lo hi in
+        let env = Ccdp_analysis.Iterspace.of_loops ~params:[] [ outer ] in
+        match Section.of_subscripts [| Affine.var "i" |] env with
+        | Section.Dims _ as s ->
+            Section.size s = Some (hi - lo + 1)
+        | _ -> false);
+  ]
+
+let () =
+  Alcotest.run "affine-prop"
+    [
+      ("affine", affine_suite);
+      ("section", section_suite);
+      ("iterspace", iterspace_suite);
+    ]

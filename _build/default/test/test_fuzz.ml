@@ -1,0 +1,191 @@
+(* The differential soundness subsystem, tested on itself:
+
+   - a deterministic-seed smoke campaign (>= 200 generated programs through
+     BASE and every CCDP variant with the staleness oracle armed) must be
+     silent;
+   - an intentionally unsound stale analysis (one mark dropped) must be
+     caught, and by the oracle specifically;
+   - the oracle must flag the Incoherent mode on a program built to leave
+     stale copies behind, while CCDP on the same program stays clean;
+   - the shrinker must preserve the failure predicate and reach a one-step
+     minimum. *)
+
+open Ccdp_test_support.Tutil
+module Gen = Ccdp_fuzz.Gen
+module Shrink = Ccdp_fuzz.Shrink
+module Driver = Ccdp_fuzz.Driver
+module Memsys = Ccdp_runtime.Memsys
+module Interp = Ccdp_runtime.Interp
+
+let quiet = fun _ -> ()
+
+(* Two parallel epochs with cross-array, cross-column (j+1) reads, wrapped
+   in a 2-iteration serial loop: on the second iteration every PE re-reads
+   columns a neighbour rewrote. Incoherent caches serve stale copies. *)
+let cross_desc : Gen.desc =
+  {
+    Gen.n = 8;
+    dist_dim = 1;
+    n_pes = 4;
+    torus = false;
+    pclean = false;
+    wrap = true;
+    epochs =
+      [
+        Gen.Par
+          {
+            sched = Gen.Cyclic;
+            lo1 = true;
+            opaque_hi = false;
+            stmts =
+              [ { Gen.dst = 0; doi = 0; reads = [ (1, 0, 1) ]; guarded = false } ];
+          };
+        Gen.Par
+          {
+            sched = Gen.Cyclic;
+            lo1 = true;
+            opaque_hi = false;
+            stmts =
+              [ { Gen.dst = 1; doi = 0; reads = [ (0, 0, 1) ]; guarded = false } ];
+          };
+      ];
+  }
+
+let run_mode desc mode =
+  let cfg = Ccdp_machine.Config.t3d ~n_pes:desc.Gen.n_pes in
+  Interp.run cfg ~oracle:true (Gen.build desc)
+    ~plan:(Ccdp_analysis.Annot.empty ())
+    ~mode ()
+
+let campaign_suite =
+  [
+    case "seed-42 smoke campaign is silent (200 programs, all variants)"
+      (fun () ->
+        let s = Driver.campaign ~progress:quiet ~seed:42 ~count:200 () in
+        check_int "programs" 200 s.Driver.s_programs;
+        check_int "runs = programs x variants"
+          (200 * List.length Driver.variant_names)
+          s.Driver.s_runs;
+        check_true "oracle actually consulted" (s.Driver.s_oracle_checks > 0);
+        (match s.Driver.s_failures with
+        | [] -> ()
+        | f :: _ ->
+            Alcotest.failf "unexpected failure: %a" (fun ppf () ->
+                Format.fprintf ppf "#%d %s" f.Driver.f_index f.Driver.f_variant)
+              ()));
+    case "campaigns are deterministic per seed" (fun () ->
+        let a = Driver.campaign ~progress:quiet ~seed:11 ~count:30 () in
+        let b = Driver.campaign ~progress:quiet ~seed:11 ~count:30 () in
+        check_int "same oracle checks" a.Driver.s_oracle_checks
+          b.Driver.s_oracle_checks;
+        check_int "same runs" a.Driver.s_runs b.Driver.s_runs);
+  ]
+
+let sabotage_suite =
+  [
+    case "dropping one stale mark is caught by the oracle (<= 60 programs)"
+      (fun () ->
+        let s =
+          Driver.campaign
+            ~mutate_stale:(Driver.drop_stale_mark 0)
+            ~progress:quiet ~seed:7 ~count:60 ()
+        in
+        check_true "sabotage detected" (s.Driver.s_failures <> []);
+        check_true "detected by the oracle, not only by numerics"
+          (List.exists
+             (fun f -> f.Driver.f_kind = Driver.Oracle)
+             s.Driver.s_failures);
+        List.iter
+          (fun (f : Driver.failure) ->
+            check_true "failures only on CCDP variants"
+              (f.Driver.f_variant <> "BASE"))
+          s.Driver.s_failures);
+    case "shrunk reproducers still fail and re-lower" (fun () ->
+        let s =
+          Driver.campaign
+            ~mutate_stale:(Driver.drop_stale_mark 0)
+            ~progress:quiet ~seed:7 ~count:20 ()
+        in
+        match s.Driver.s_failures with
+        | [] -> Alcotest.fail "expected at least one failure at this seed"
+        | f :: _ ->
+            check_true "shrunk description still fails"
+              (Option.is_some
+                 (Driver.check_desc
+                    ~mutate_stale:(Driver.drop_stale_mark 0)
+                    f.Driver.f_shrunk));
+            check_true "reproducer text is parseable CRAFT"
+              (let text = Driver.reproducer_text f.Driver.f_shrunk in
+               let p = Ccdp_ir.Craft_parse.program text in
+               p.Ccdp_ir.Program.arrays <> []));
+  ]
+
+let oracle_suite =
+  [
+    case "Incoherent mode trips the oracle on cross-column reuse" (fun () ->
+        let r = run_mode cross_desc Memsys.Incoherent in
+        check_true "stale hits witnessed"
+          (Memsys.oracle_violation_count r.Interp.sys > 0);
+        match Memsys.oracle_violations r.Interp.sys with
+        | [] -> Alcotest.fail "expected witnesses"
+        | v :: _ ->
+            check_true "witness names a generated array"
+              (List.mem v.Memsys.v_array Gen.array_names);
+            check_true "cached copy predates memory"
+              (v.Memsys.v_cached_version < v.Memsys.v_mem_version);
+            check_true "stale write from an earlier epoch"
+              (v.Memsys.v_write_epoch < v.Memsys.v_read_epoch));
+    case "the same program is clean under every CCDP variant" (fun () ->
+        match Driver.check_desc cross_desc with
+        | None -> ()
+        | Some (variant, _, detail) ->
+            Alcotest.failf "%s failed:@ %s" variant detail);
+    case "BASE (uncached shared data) never trips the oracle" (fun () ->
+        let r = run_mode cross_desc Memsys.Base in
+        check_int "violations" 0 (Memsys.oracle_violation_count r.Interp.sys));
+  ]
+
+let shrink_suite =
+  [
+    case "every one-step candidate of random descriptions still lowers"
+      (fun () ->
+        let rng = Random.State.make [| 99 |] in
+        for _ = 1 to 50 do
+          let d = Gen.generate rng in
+          List.iter
+            (fun c -> ignore (Gen.build c))
+            (Shrink.candidates d)
+        done);
+    case "minimize reaches the predicate's one-step minimum" (fun () ->
+        let rng = Random.State.make [| 5 |] in
+        (* draw until we have a 4-epoch description *)
+        let rec draw () =
+          let d = Gen.generate rng in
+          if List.length d.Gen.epochs = 4 then d else draw ()
+        in
+        let d = draw () in
+        let still_fails d' = List.length d'.Gen.epochs >= 2 in
+        let m = Shrink.minimize d ~still_fails in
+        check_int "epochs" 2 (List.length m.Gen.epochs);
+        check_true "one-step minimal: no candidate still fails"
+          (not (List.exists still_fails (Shrink.candidates m))));
+    case "minimize respects its evaluation budget" (fun () ->
+        let rng = Random.State.make [| 6 |] in
+        let d = Gen.generate rng in
+        let evals = ref 0 in
+        let still_fails _ =
+          incr evals;
+          true
+        in
+        ignore (Shrink.minimize ~max_steps:10 d ~still_fails);
+        check_true "bounded" (!evals <= 10));
+  ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ("campaign", campaign_suite);
+      ("sabotage", sabotage_suite);
+      ("oracle", oracle_suite);
+      ("shrink", shrink_suite);
+    ]

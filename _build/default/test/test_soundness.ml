@@ -262,8 +262,9 @@ let check_roundtrip (d, n_pes, _) =
   let text = Ccdp_core.Craft_emit.to_string c1 in
   let c2 =
     try Ccdp_core.Pipeline.compile cfg (Craft_parse.program text)
-    with Craft_parse.Error (ln, m) ->
-      QCheck.Test.fail_reportf "reparse failed at line %d: %s@.%s" ln m text
+    with Craft_parse.Error (ln, c, m) ->
+      QCheck.Test.fail_reportf "reparse failed at line %d, column %d: %s@.%s"
+        ln c m text
   in
   let run c =
     (Interp.run cfg c.Ccdp_core.Pipeline.program ~plan:c.Ccdp_core.Pipeline.plan

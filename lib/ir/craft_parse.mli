@@ -35,10 +35,14 @@
     (call-free) program reproduces a structurally identical program, which
     the test suite checks by comparing analysis results. *)
 
-exception Error of int * string  (** line number, message *)
+exception Error of int * int * string
+(** [(line, column, message)], both 1-based; column 0 marks a whole-line
+    structural failure (e.g. a [DO] without its [ENDDO]), where no single
+    token is to blame. *)
 
 (** Parse a whole program from source text.
-    @raise Error on malformed input (with a line number). *)
+    @raise Error on malformed input (with the line and column of the
+    offending token). *)
 val program : string -> Program.t
 
 (** Parse the contents of a file. *)

@@ -103,7 +103,7 @@ let errors =
         let bad = "      PROGRAM X\n      ZZ(1) = 2.0\n      END\n" in
         check_true "raises"
           (try ignore (Craft_parse.program bad); false
-           with Craft_parse.Error (ln, _) -> ln = 2));
+           with Craft_parse.Error (ln, _, _) -> ln = 2));
     case "unbalanced DO is reported" (fun () ->
         let bad =
           "      PROGRAM X\n      REAL*8 A(4)\n      DO I = 0, 3\n      A(i) = 1.0\n      END\n"
@@ -115,6 +115,57 @@ let errors =
         check_true "raises"
           (try ignore (Craft_parse.program "      PROGRAM X\n      # nope\n"); false
            with Craft_parse.Error _ -> true));
+  ]
+
+(* malformed inputs must name the offending line AND column (1-based, on
+   the original line including indentation; column 0 = structural) *)
+let position src =
+  try
+    ignore (Craft_parse.program src);
+    Alcotest.fail "expected a parse error"
+  with Craft_parse.Error (ln, col, _) -> (ln, col)
+
+let error_positions =
+  [
+    case "unexpected character points at its column" (fun () ->
+        (*                 123456789012345 *)
+        let src = "      PROGRAM X\n      A = 1.0 # no\n      END\n" in
+        check_int "line" 2 (fst (position src));
+        check_int "col" 15 (snd (position src)));
+    case "missing loop bound points at the stray comma" (fun () ->
+        let src =
+          "      PROGRAM X\n      REAL*8 A(4)\n      DO I = 0, , 3\n      \
+           A(I) = 1.0\n      ENDDO\n      END\n"
+        in
+        check_int "line" 3 (fst (position src));
+        check_int "col" 17 (snd (position src)));
+    case "unknown CDIR$ directive points at the directive word" (fun () ->
+        let src =
+          "      PROGRAM X\n      REAL*8 A(4)\n      CDIR$ BOGUS A\n      END\n"
+        in
+        check_int "line" 3 (fst (position src));
+        check_int "col" 13 (snd (position src)));
+    case "unclosed subscript points at the token found instead" (fun () ->
+        let src =
+          "      PROGRAM X\n      REAL*8 A(4)\n      A(1 = 2.0\n      END\n"
+        in
+        check_int "line" 3 (fst (position src));
+        check_int "col" 11 (snd (position src)));
+    case "bad relational operator points at its dot" (fun () ->
+        let src =
+          "      PROGRAM X\n      REAL*8 A(4)\n      DO I = 0, 3\n      IF \
+           (I .XX. 2) THEN\n      A(I) = 1.0\n      ENDIF\n      ENDDO\n      \
+           END\n"
+        in
+        check_int "line" 4 (fst (position src));
+        check_int "col" 13 (snd (position src)));
+    case "structural failures use column 0" (fun () ->
+        let src =
+          "      PROGRAM X\n      REAL*8 A(4)\n      DO I = 0, 3\n      A(I) \
+           = 1.0\n      END\n"
+        in
+        check_int "line" 3 (fst (position src));
+        check_int "col" 0 (snd (position src)));
   ]
 
 (* ---- round trip: emit -> parse -> identical analysis and execution ---- *)
@@ -153,4 +204,9 @@ let roundtrip =
 
 let () =
   Alcotest.run "craft-parse"
-    [ ("basics", basics); ("errors", errors); ("round-trip", roundtrip) ]
+    [
+      ("basics", basics);
+      ("errors", errors);
+      ("error-positions", error_positions);
+      ("round-trip", roundtrip);
+    ]
