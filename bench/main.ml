@@ -2,6 +2,12 @@
    ablation studies indexed in DESIGN.md, and (with "micro") runs bechamel
    microbenchmarks of the compiler phases and simulator primitives.
 
+   The table/ablation/sweep grids are sharded across OCaml domains
+   (lib/exec); pass -j N (or set CCDP_JOBS) to pin the worker count,
+   -j1 to force the sequential reference path. Numbers are identical for
+   every job count. Each mode also writes its rows and tables as
+   BENCH_<mode>.json (schema: lib/core/bench_json.mli).
+
    Usage:
      dune exec bench/main.exe                 -- everything (default sizes)
      dune exec bench/main.exe -- table1       -- just Table 1
@@ -10,7 +16,8 @@
      dune exec bench/main.exe -- sweep
      dune exec bench/main.exe -- micro
      dune exec bench/main.exe -- oracle       -- staleness-oracle overhead
-     dune exec bench/main.exe -- all --full   -- paper-shaped sizes (slow) *)
+     dune exec bench/main.exe -- all --full   -- paper-shaped sizes (slow)
+     dune exec bench/main.exe -- table1 -j 8  -- eight worker domains *)
 
 open Ccdp_workloads
 open Ccdp_core
@@ -25,7 +32,17 @@ let ppf = Format.std_formatter
 let header title =
   Format.fprintf ppf "@.=== %s ===@.@." title
 
-let tables sizes =
+(* Run [f] against a fresh Bench_json document, then write
+   BENCH_<bench>.json stamped with the host wall-clock. *)
+let with_bench_json ~bench ~jobs f =
+  let doc = Bench_json.create ~bench in
+  let t0 = Unix.gettimeofday () in
+  f doc;
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  let path = Bench_json.write doc ~jobs ~wall_clock_s in
+  Format.fprintf ppf "[%s: wall %.2fs at -j%d]@." path wall_clock_s jobs
+
+let tables sizes jobs =
   header
     (Printf.sprintf
        "Paper Tables 1 and 2 (n=%d, iters=%d; simulated T3D; every run \
@@ -33,14 +50,21 @@ let tables sizes =
        sizes.n sizes.iters);
   let ws = Suite.spec_four ~n:sizes.n ~iters:sizes.iters () in
   let spec = { Experiment.default_spec with Experiment.pes = sizes.pes } in
-  let rows = Experiment.evaluate ~spec ws in
-  Experiment.print_table1 ppf rows;
-  Experiment.print_table2 ppf rows;
+  let rows = ref [] in
+  with_bench_json ~bench:"table1" ~jobs (fun doc ->
+      rows := Experiment.evaluate ~jobs ~spec ws;
+      Bench_json.add_rows doc !rows;
+      Bench_json.add_table doc (Experiment.table1 !rows);
+      Experiment.print_table1 ppf !rows);
+  with_bench_json ~bench:"table2" ~jobs (fun doc ->
+      Bench_json.add_rows doc !rows;
+      Bench_json.add_table doc (Experiment.table2 !rows);
+      Experiment.print_table2 ppf !rows);
   Format.fprintf ppf
     "Paper Table 2 reference bands: MXM 64.5-89.8%%, VPENTA 4.4-23.9%%, \
      TOMCATV 44.8-69.6%%, SWIM 2.5-13.2%%.@."
 
-let extras_table sizes =
+let extras_table sizes jobs =
   header "Extra kernels (same protocol)";
   let ws =
     [
@@ -51,36 +75,53 @@ let extras_table sizes =
     ]
   in
   let spec = { Experiment.default_spec with Experiment.pes = sizes.pes } in
-  let rows = Experiment.evaluate ~spec ws in
-  Experiment.print_table2 ppf rows
+  with_bench_json ~bench:"extras" ~jobs (fun doc ->
+      let rows = Experiment.evaluate ~jobs ~spec ws in
+      Bench_json.add_rows doc rows;
+      Bench_json.add_table doc (Experiment.table2 rows);
+      Experiment.print_table2 ppf rows)
 
-let ablations sizes =
+let ablations sizes jobs =
   header "Ablation studies (DESIGN.md experiments A-C)";
   let ws = Suite.spec_four ~n:sizes.n ~iters:sizes.iters () in
-  Experiment.ablation_target ~n_pes:sizes.abl_pes ws ppf;
-  Experiment.ablation_technique ~n_pes:sizes.abl_pes ws ppf;
-  Experiment.ablation_coherence ~n_pes:sizes.abl_pes ws ppf;
-  Experiment.ablation_prefetch_clean ~n_pes:sizes.abl_pes ws ppf;
-  Experiment.ablation_vpg_levels ~n_pes:sizes.abl_pes ws ppf;
-  Experiment.ablation_topology ~n_pes:64 ws ppf
+  with_bench_json ~bench:"ablate" ~jobs (fun doc ->
+      let emit tbl =
+        Bench_json.add_table doc tbl;
+        Experiment.print_tbl ppf tbl
+      in
+      emit (Experiment.ablation_target_table ~n_pes:sizes.abl_pes ~jobs ws);
+      emit (Experiment.ablation_technique_table ~n_pes:sizes.abl_pes ~jobs ws);
+      emit (Experiment.ablation_coherence_table ~n_pes:sizes.abl_pes ~jobs ws);
+      emit (Experiment.ablation_prefetch_clean_table ~n_pes:sizes.abl_pes ~jobs ws);
+      emit (Experiment.ablation_vpg_levels_table ~n_pes:sizes.abl_pes ~jobs ws);
+      emit (Experiment.ablation_topology_table ~n_pes:64 ~jobs ws))
 
-let sweeps sizes =
+let sweeps sizes jobs =
   header "Parameter sweeps (DESIGN.md experiment D)";
   let tom = Tomcatv.workload ~n:sizes.n ~iters:sizes.iters in
   let mxm = Mxm.workload ~n:sizes.n in
-  Experiment.sweep_remote ~n_pes:sizes.abl_pes tom ppf;
-  Experiment.sweep_remote ~n_pes:sizes.abl_pes mxm ppf;
-  (* the queue only matters on the software-pipelined path *)
-  Experiment.sweep_queue ~n_pes:sizes.abl_pes (Extras.opaque_sweep ~n:sizes.n) ppf;
-  Experiment.sweep_cache ~n_pes:sizes.abl_pes
-    (Mxm.workload ~n:sizes.n) ppf
+  with_bench_json ~bench:"sweep" ~jobs (fun doc ->
+      let emit tbl =
+        Bench_json.add_table doc tbl;
+        Experiment.print_tbl ppf tbl
+      in
+      emit (Experiment.sweep_remote_table ~n_pes:sizes.abl_pes ~jobs tom);
+      emit (Experiment.sweep_remote_table ~n_pes:sizes.abl_pes ~jobs mxm);
+      (* the queue only matters on the software-pipelined path *)
+      emit
+        (Experiment.sweep_queue_table ~n_pes:sizes.abl_pes ~jobs
+           (Extras.opaque_sweep ~n:sizes.n));
+      emit
+        (Experiment.sweep_cache_table ~n_pes:sizes.abl_pes ~jobs
+           (Mxm.workload ~n:sizes.n)))
 
 (* ---- staleness-oracle overhead ------------------------------------- *)
 
 (* Host-time cost of arming the dynamic staleness oracle. The oracle is
    pure instrumentation: it must not change the simulated machine (cycles
    are asserted identical) and should stay cheap enough to leave on for
-   every fuzz run. *)
+   every fuzz run. Timed serially — parallel workers would contend for
+   the clock. *)
 let oracle_overhead sizes =
   header "Staleness-oracle overhead (host time; simulated cycles unchanged)";
   let ws =
@@ -199,15 +240,29 @@ let micro () =
         results)
     tests
 
+(* -j N / -jN / CCDP_JOBS, falling back to the domain count. Returns the
+   job count and the argument list with the flag consumed. *)
+let parse_jobs args =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | "-j" :: v :: rest -> (int_of_string_opt v, List.rev_append acc rest)
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+        (int_of_string_opt (String.sub a 2 (String.length a - 2)),
+         List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+  in
+  let jobs, rest = go [] args in
+  (Ccdp_exec.Pool.resolve_jobs ?jobs (), rest)
+
 let () =
-  let args = Array.to_list Sys.argv in
+  let jobs, args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
   let full = List.mem "--full" args in
   let sizes = if full then full_sizes else default_sizes in
   let has cmd = List.mem cmd args in
   let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro" || has "oracle") in
-  if all || has "table1" || has "table2" then tables sizes;
-  if all then extras_table sizes;
-  if all || has "ablate" then ablations sizes;
-  if all || has "sweep" then sweeps sizes;
+  if all || has "table1" || has "table2" then tables sizes jobs;
+  if all then extras_table sizes jobs;
+  if all || has "ablate" then ablations sizes jobs;
+  if all || has "sweep" then sweeps sizes jobs;
   if all || has "oracle" then oracle_overhead sizes;
   if has "micro" then micro ()

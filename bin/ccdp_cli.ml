@@ -57,6 +57,20 @@ let mode_arg =
     & opt mode_conv Ccdp_runtime.Memsys.Ccdp
     & info [ "mode" ] ~docv:"MODE" ~doc:"seq | base | ccdp | inv | inc | hscd.")
 
+(* resolved through CCDP_JOBS and the domain count when not given; -j 1
+   bypasses the domain pool entirely (results are identical either way) *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for independent simulator runs (default: \
+           \\$(b,CCDP_JOBS) or the recommended domain count). Results are \
+           deterministic for any value; 1 disables the pool.")
+
+let resolve_jobs jobs = Ccdp_exec.Pool.resolve_jobs ?jobs ()
+
 (* ---- commands ---- *)
 
 let list_cmd =
@@ -92,10 +106,10 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute one workload on the machine model")
     Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg $ verify_arg)
 
-let eval_rows n iters pes verify spec_four =
+let eval_rows n iters pes verify spec_four jobs =
   let ws = if spec_four then Suite.spec_four ~n ~iters () else workloads_of ~n ~iters in
   let spec = { Ccdp_core.Experiment.default_spec with pes; verify } in
-  Ccdp_core.Experiment.evaluate ~spec ws
+  Ccdp_core.Experiment.evaluate ~jobs:(resolve_jobs jobs) ~spec ws
 
 let spec_four_arg =
   Arg.(
@@ -107,19 +121,19 @@ let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV instead.")
 
 let table1_cmd =
-  let run n iters pes verify spec4 csv =
-    let rows = eval_rows n iters pes verify spec4 in
+  let run n iters pes verify spec4 csv jobs =
+    let rows = eval_rows n iters pes verify spec4 jobs in
     if csv then Ccdp_core.Experiment.csv_rows Format.std_formatter rows
     else Ccdp_core.Experiment.print_table1 Format.std_formatter rows
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce paper Table 1 (speedups)")
     Term.(
       const run $ n_arg $ iters_arg $ pes_arg $ verify_arg $ spec_four_arg
-      $ csv_arg)
+      $ csv_arg $ jobs_arg)
 
 let table2_cmd =
-  let run n iters pes verify spec4 csv =
-    let rows = eval_rows n iters pes verify spec4 in
+  let run n iters pes verify spec4 csv jobs =
+    let rows = eval_rows n iters pes verify spec4 jobs in
     if csv then Ccdp_core.Experiment.csv_rows Format.std_formatter rows
     else Ccdp_core.Experiment.print_table2 Format.std_formatter rows
   in
@@ -127,7 +141,7 @@ let table2_cmd =
     (Cmd.info "table2" ~doc:"Reproduce paper Table 2 (CCDP improvement over BASE)")
     Term.(
       const run $ n_arg $ iters_arg $ pes_arg $ verify_arg $ spec_four_arg
-      $ csv_arg)
+      $ csv_arg $ jobs_arg)
 
 let ablate_cmd =
   let which_arg =
@@ -248,14 +262,14 @@ let fuzz_cmd =
             "Fault injection: drop the K-th stale mark from every compile, \
              demonstrating that the oracle catches an unsound analysis.")
   in
-  let run seed count dump break_stale =
+  let run seed count dump break_stale jobs =
     let mutate_stale = Option.map Ccdp_fuzz.Driver.drop_stale_mark break_stale in
     let progress i =
       if i mod 50 = 0 then Printf.eprintf "  ... %d/%d\n%!" i count
     in
     let s =
-      Ccdp_fuzz.Driver.campaign ?mutate_stale ?dump_dir:dump ~progress ~seed
-        ~count ()
+      Ccdp_fuzz.Driver.campaign ~jobs:(resolve_jobs jobs) ?mutate_stale
+        ?dump_dir:dump ~progress ~seed ~count ()
     in
     Format.printf "%a@." Ccdp_fuzz.Driver.pp_summary s;
     if s.Ccdp_fuzz.Driver.s_failures <> [] then exit 1
@@ -266,7 +280,8 @@ let fuzz_cmd =
          "Differential soundness fuzzing: random CRAFT programs through BASE \
           and every CCDP scheduling variant, checked against sequential \
           execution and the dynamic staleness oracle")
-    Term.(const run $ seed_arg $ count_arg $ dump_arg $ break_stale_arg)
+    Term.(
+      const run $ seed_arg $ count_arg $ dump_arg $ break_stale_arg $ jobs_arg)
 
 let sweep_cmd =
   let run n iters pe name =

@@ -1,0 +1,102 @@
+(* Hand-rolled JSON emission: the documents are small and flat, and the
+   toolchain pin has no yojson, so a minimal printer keeps the bench
+   binary dependency-free. Strings are escaped per RFC 8259; floats are
+   printed with a fixed format so payloads compare byte-for-byte. *)
+
+let buf_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_float b f =
+  (* %.6f is locale-independent and total for the finite ratios we emit *)
+  Buffer.add_string b (Printf.sprintf "%.6f" f)
+
+let buf_list b emit xs =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      emit b x)
+    xs;
+  Buffer.add_char b ']'
+
+type t = {
+  bench : string;
+  mutable rows : Experiment.row list;  (* in order *)
+  mutable tables : Experiment.table list;  (* reversed *)
+}
+
+let create ~bench = { bench; rows = []; tables = [] }
+let add_rows t rows = t.rows <- t.rows @ rows
+let add_table t tbl = t.tables <- tbl :: t.tables
+
+let buf_row b (r : Experiment.row) =
+  Buffer.add_string b "{\"workload\":";
+  buf_string b r.Experiment.workload;
+  Buffer.add_string b (Printf.sprintf ",\"pes\":%d" r.Experiment.pes);
+  Buffer.add_string b
+    (Printf.sprintf ",\"seq_cycles\":%d,\"base_cycles\":%d,\"ccdp_cycles\":%d"
+       r.Experiment.seq_cycles r.Experiment.base_cycles r.Experiment.ccdp_cycles);
+  Buffer.add_string b ",\"base_speedup\":";
+  buf_float b (Experiment.base_speedup r);
+  Buffer.add_string b ",\"ccdp_speedup\":";
+  buf_float b (Experiment.ccdp_speedup r);
+  Buffer.add_string b ",\"improvement_pct\":";
+  buf_float b (Experiment.improvement r);
+  Buffer.add_string b
+    (Printf.sprintf ",\"base_ok\":%b,\"ccdp_ok\":%b}" r.Experiment.base_ok
+       r.Experiment.ccdp_ok)
+
+let buf_table b (tbl : Experiment.table) =
+  Buffer.add_string b "{\"title\":";
+  buf_string b tbl.Experiment.title;
+  Buffer.add_string b ",\"headers\":";
+  buf_list b buf_string tbl.Experiment.headers;
+  Buffer.add_string b ",\"rows\":";
+  buf_list b (fun b row -> buf_list b buf_string row) tbl.Experiment.trows;
+  Buffer.add_char b '}'
+
+let buf_payload b t =
+  Buffer.add_string b "\"rows\":";
+  buf_list b buf_row t.rows;
+  Buffer.add_string b ",\"tables\":";
+  buf_list b buf_table (List.rev t.tables)
+
+let payload_string t =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  buf_payload b t;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_string t ~jobs ~wall_clock_s =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"bench\":";
+  buf_string b t.bench;
+  Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
+  Buffer.add_string b ",\"wall_clock_s\":";
+  buf_float b wall_clock_s;
+  Buffer.add_char b ',';
+  buf_payload b t;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let write ?(dir = ".") t ~jobs ~wall_clock_s =
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" t.bench) in
+  let oc = open_out path in
+  output_string oc (to_string t ~jobs ~wall_clock_s);
+  output_char oc '\n';
+  close_out oc;
+  path

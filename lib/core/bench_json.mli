@@ -1,0 +1,45 @@
+(** Machine-readable bench trajectory: [BENCH_<mode>.json].
+
+    Each bench mode (table1, table2, ablate, sweep, ...) accumulates its
+    evaluation rows and rendered tables into a document and writes it next
+    to the formatted output. The document separates the {e payload} —
+    rows and tables, a pure function of the simulated machine, identical
+    for every job count — from the {e envelope} (jobs used, host
+    wall-clock), which varies run to run. Determinism tests compare
+    {!payload_string}; trend tooling reads the whole file.
+
+    Schema (all numbers are JSON numbers, all flags JSON booleans):
+    {v
+    { "bench": "table1",
+      "jobs": 8,
+      "wall_clock_s": 1.234567,
+      "rows": [ { "workload": "MXM", "pes": 4,
+                  "seq_cycles": 1, "base_cycles": 1, "ccdp_cycles": 1,
+                  "base_speedup": 1.0, "ccdp_speedup": 1.0,
+                  "improvement_pct": 0.0,
+                  "base_ok": true, "ccdp_ok": true }, ... ],
+      "tables": [ { "title": "...", "headers": ["..."],
+                    "rows": [["..."]] }, ... ] }
+    v} *)
+
+type t
+
+(** [create ~bench] starts an empty document for one bench mode. *)
+val create : bench:string -> t
+
+(** Append evaluation rows (Tables 1-2 style benches). *)
+val add_rows : t -> Experiment.row list -> unit
+
+(** Append a rendered table (ablations, sweeps). *)
+val add_table : t -> Experiment.table -> unit
+
+(** The deterministic part only: [{"rows": [...], "tables": [...]}],
+    independent of job count and wall-clock. *)
+val payload_string : t -> string
+
+(** Full document including the envelope. *)
+val to_string : t -> jobs:int -> wall_clock_s:float -> string
+
+(** Write [BENCH_<bench>.json] under [dir] (default ["."]); returns the
+    path written. *)
+val write : ?dir:string -> t -> jobs:int -> wall_clock_s:float -> string

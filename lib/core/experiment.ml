@@ -1,6 +1,7 @@
 open Ccdp_machine
 open Ccdp_runtime
 open Ccdp_workloads
+module Pool = Ccdp_exec.Pool
 
 type row = {
   workload : string;
@@ -45,19 +46,35 @@ let run_mode ?tuning ~n_pes mode (w : Workload.t) =
         (Ccdp_ir.Program.inline w.program)
         ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
 
-let evaluate ?(spec = default_spec) workloads =
-  List.concat_map
-    (fun (w : Workload.t) ->
-      let seq = run_mode ~n_pes:1 Memsys.Seq w in
-      let check (r : Interp.result) =
-        if not spec.verify then true
-        else
-          (Verify.compare_states ~expected:seq.Interp.sys ~got:r.Interp.sys
-             (Ccdp_ir.Program.inline w.program))
-            .Verify.ok
+(* The grid is embarrassingly parallel: every Interp.run allocates its
+   whole machine state, so (workload, width) cells run on any domain in
+   any order. Results are collected by index (Pool.map_runs), which makes
+   the row list byte-identical to the sequential construction. *)
+let evaluate ?jobs ?(spec = default_spec) workloads =
+  Pool.with_pool ?jobs (fun pool ->
+      let seqs =
+        Pool.map_runs pool
+          ~label:(fun i -> "seq:" ^ (List.nth workloads i).Workload.name)
+          (fun _ (w : Workload.t) -> run_mode ~n_pes:1 Memsys.Seq w)
+          workloads
       in
-      List.map
-        (fun n_pes ->
+      let units =
+        List.concat_map
+          (fun (w, seq) -> List.map (fun n_pes -> (w, seq, n_pes)) spec.pes)
+          (List.combine workloads seqs)
+      in
+      Pool.map_runs pool
+        ~label:(fun i ->
+          let (w : Workload.t), _, n_pes = List.nth units i in
+          Printf.sprintf "%s@%dpe" w.Workload.name n_pes)
+        (fun _ ((w : Workload.t), (seq : Interp.result), n_pes) ->
+          let check (r : Interp.result) =
+            if not spec.verify then true
+            else
+              (Verify.compare_states ~expected:seq.Interp.sys ~got:r.Interp.sys
+                 (Ccdp_ir.Program.inline w.program))
+                .Verify.ok
+          in
           let base = run_mode ~n_pes Memsys.Base w in
           let ccdp = run_mode ~tuning:spec.tuning ~n_pes Memsys.Ccdp w in
           {
@@ -70,8 +87,7 @@ let evaluate ?(spec = default_spec) workloads =
             ccdp_ok = check ccdp;
             ccdp_stats = ccdp.Interp.stats;
           })
-        spec.pes)
-    workloads
+        units)
 
 let workload_names rows =
   List.fold_left
@@ -81,7 +97,15 @@ let workload_names rows =
 let pe_counts rows =
   List.sort_uniq compare (List.map (fun (r : row) -> r.pes) rows)
 
-let print_table1 ppf rows =
+(* ------------------------------------------------------------------ *)
+(* Tables as values                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type table = { title : string; headers : string list; trows : string list list }
+
+let print_tbl ppf t = Report.table ppf ~title:t.title ~headers:t.headers t.trows
+
+let table1 rows =
   let names = workload_names rows in
   let headers =
     "#PEs"
@@ -108,13 +132,15 @@ let print_table1 ppf rows =
              names)
       (pe_counts rows)
   in
-  Report.table ppf
-    ~title:
+  {
+    title =
       "Table 1. Speedups over sequential execution time ('!' marks a failed \
-       numeric verification)"
-    ~headers body
+       numeric verification)";
+    headers;
+    trows = body;
+  }
 
-let print_table2 ppf rows =
+let table2 rows =
   let names = workload_names rows in
   let headers = "#PEs" :: names in
   let body =
@@ -133,9 +159,14 @@ let print_table2 ppf rows =
              names)
       (pe_counts rows)
   in
-  Report.table ppf
-    ~title:"Table 2. Improvement in execution time of CCDP codes over BASE codes"
-    ~headers body
+  {
+    title = "Table 2. Improvement in execution time of CCDP codes over BASE codes";
+    headers;
+    trows = body;
+  }
+
+let print_table1 ppf rows = print_tbl ppf (table1 rows)
+let print_table2 ppf rows = print_tbl ppf (table2 rows)
 
 let csv_rows ppf rows =
   Report.csv ppf
@@ -165,6 +196,16 @@ let csv_rows ppf rows =
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Each ablation's rows are independent (one per workload, or one per
+   sweep point), so the row list is a Pool.run over them; per-row run
+   order is preserved inside the closure. *)
+
+let map_workload_rows ?jobs (workloads : Workload.t list) f =
+  Pool.run ?jobs
+    ~label:(fun i -> (List.nth workloads i).Workload.name)
+    (fun _ w -> f w)
+    workloads
+
 let ccdp_cycles_with ~n_pes ?tuning ?innermost_only ?group_spatial
     (w : Workload.t) =
   let cfg = Config.t3d ~n_pes in
@@ -175,10 +216,9 @@ let ccdp_cycles_with ~n_pes ?tuning ?innermost_only ?group_spatial
      ~mode:Memsys.Ccdp ())
     .Interp.cycles
 
-let ablation_target ?(n_pes = 16) workloads ppf =
+let ablation_target_table ?(n_pes = 16) ?jobs workloads =
   let rows =
-    List.map
-      (fun (w : Workload.t) ->
+    map_workload_rows ?jobs workloads (fun (w : Workload.t) ->
         let full = ccdp_cycles_with ~n_pes w in
         let no_group = ccdp_cycles_with ~n_pes ~group_spatial:false w in
         let all_stale =
@@ -192,21 +232,21 @@ let ablation_target ?(n_pes = 16) workloads ppf =
           Report.fpct (100. *. float_of_int (no_group - full) /. float_of_int full);
           Report.fpct (100. *. float_of_int (all_stale - full) /. float_of_int full);
         ])
-      workloads
   in
-  Report.table ppf
-    ~title:
-      (Printf.sprintf
-         "Ablation A (%d PEs): prefetch target analysis off (cycles; lower is \
-          better)" n_pes)
-    ~headers:
+  {
+    title =
+      Printf.sprintf
+        "Ablation A (%d PEs): prefetch target analysis off (cycles; lower is \
+         better)" n_pes;
+    headers =
       [
         "workload"; "full"; "no group-spatial"; "no target analysis";
         "groups save"; "target saves";
-      ]
-    rows
+      ];
+    trows = rows;
+  }
 
-let ablation_technique ?(n_pes = 16) workloads ppf =
+let ablation_technique_table ?(n_pes = 16) ?jobs workloads =
   let open Ccdp_analysis.Schedule in
   let t0 = default_tuning in
   let variants =
@@ -218,26 +258,24 @@ let ablation_technique ?(n_pes = 16) workloads ppf =
     ]
   in
   let rows =
-    List.map
-      (fun (w : Workload.t) ->
+    map_workload_rows ?jobs workloads (fun (w : Workload.t) ->
         w.name
         :: List.map
              (fun (_, tuning) ->
                string_of_int (ccdp_cycles_with ~n_pes ~tuning w))
              variants)
-      workloads
   in
-  Report.table ppf
-    ~title:
-      (Printf.sprintf
-         "Ablation B (%d PEs): single scheduling technique (cycles)" n_pes)
-    ~headers:("workload" :: List.map fst variants)
-    rows
+  {
+    title =
+      Printf.sprintf "Ablation B (%d PEs): single scheduling technique (cycles)"
+        n_pes;
+    headers = "workload" :: List.map fst variants;
+    trows = rows;
+  }
 
-let ablation_coherence ?(n_pes = 16) workloads ppf =
+let ablation_coherence_table ?(n_pes = 16) ?jobs workloads =
   let rows =
-    List.map
-      (fun (w : Workload.t) ->
+    map_workload_rows ?jobs workloads (fun (w : Workload.t) ->
         let base = (run_mode ~n_pes Memsys.Base w).Interp.cycles in
         let inv = (run_mode ~n_pes Memsys.Invalidate w).Interp.cycles in
         let hscd = (run_mode ~n_pes Memsys.Hscd w).Interp.cycles in
@@ -252,30 +290,26 @@ let ablation_coherence ?(n_pes = 16) workloads ppf =
           Report.fpct (100. *. float_of_int (inv - ccdp) /. float_of_int inv);
           Report.fpct (100. *. float_of_int (hscd - ccdp) /. float_of_int hscd);
         ])
-      workloads
   in
-  Report.table ppf
-    ~title:
-      (Printf.sprintf
-         "Ablation C (%d PEs): coherence schemes (cycles; uncached BASE, \
-          epoch-invalidate, version-based HSCD, CCDP)" n_pes)
-    ~headers:
+  {
+    title =
+      Printf.sprintf
+        "Ablation C (%d PEs): coherence schemes (cycles; uncached BASE, \
+         epoch-invalidate, version-based HSCD, CCDP)" n_pes;
+    headers =
       [ "workload"; "BASE"; "INV"; "HSCD"; "CCDP"; "vs BASE"; "vs INV";
-        "vs HSCD" ]
-    rows
+        "vs HSCD" ];
+    trows = rows;
+  }
 
-let ablation_prefetch_clean ?(n_pes = 16) workloads ppf =
+let ablation_prefetch_clean_table ?(n_pes = 16) ?jobs workloads =
   let rows =
-    List.map
-      (fun (w : Workload.t) ->
+    map_workload_rows ?jobs workloads (fun (w : Workload.t) ->
         let cfg = Config.t3d ~n_pes in
         let run ?prefetch_clean () =
           let c = Pipeline.compile cfg ?prefetch_clean w.program in
-          let r =
-            Interp.run cfg c.Pipeline.program ~plan:c.Pipeline.plan
-              ~mode:Memsys.Ccdp ()
-          in
-          r
+          Interp.run cfg c.Pipeline.program ~plan:c.Pipeline.plan
+            ~mode:Memsys.Ccdp ()
         in
         let ccdp = run () in
         let plus = run ~prefetch_clean:true () in
@@ -289,16 +323,16 @@ let ablation_prefetch_clean ?(n_pes = 16) workloads ppf =
             /. float_of_int ccdp.Interp.cycles);
           string_of_int (Stats.total_prefetches plus.Interp.stats);
         ])
-      workloads
   in
-  Report.table ppf
-    ~title:
-      (Printf.sprintf
-         "Experiment E (%d PEs): CCDP + prefetching of non-stale references           (the paper's future work)" n_pes)
-    ~headers:[ "workload"; "CCDP"; "CCDP+clean"; "extra gain"; "prefetches" ]
-    rows
+  {
+    title =
+      Printf.sprintf
+        "Experiment E (%d PEs): CCDP + prefetching of non-stale references           (the paper's future work)" n_pes;
+    headers = [ "workload"; "CCDP"; "CCDP+clean"; "extra gain"; "prefetches" ];
+    trows = rows;
+  }
 
-let ablation_vpg_levels ?(n_pes = 16) workloads ppf =
+let ablation_vpg_levels_table ?(n_pes = 16) ?jobs workloads =
   let open Ccdp_analysis.Schedule in
   let run tuning (w : Workload.t) =
     let cfg = Config.t3d ~n_pes in
@@ -306,8 +340,7 @@ let ablation_vpg_levels ?(n_pes = 16) workloads ppf =
     Interp.run cfg c.Pipeline.program ~plan:c.Pipeline.plan ~mode:Memsys.Ccdp ()
   in
   let rows =
-    List.map
-      (fun (w : Workload.t) ->
+    map_workload_rows ?jobs workloads (fun (w : Workload.t) ->
         let one = run default_tuning w in
         let two = run { default_tuning with vpg_levels = 2 } w in
         [
@@ -320,16 +353,16 @@ let ablation_vpg_levels ?(n_pes = 16) workloads ppf =
             /. float_of_int one.Interp.cycles);
           string_of_int two.Interp.stats.Stats.pf_evicted;
         ])
-      workloads
   in
-  Report.table ppf
-    ~title:
-      (Printf.sprintf
-         "Experiment G (%d PEs): one-level vs multi-level vector-prefetch           pulling (the paper's Gornish modification)" n_pes)
-    ~headers:[ "workload"; "1-level"; "2-level"; "2-level gain"; "evicted" ]
-    rows
+  {
+    title =
+      Printf.sprintf
+        "Experiment G (%d PEs): one-level vs multi-level vector-prefetch           pulling (the paper's Gornish modification)" n_pes;
+    headers = [ "workload"; "1-level"; "2-level"; "2-level gain"; "evicted" ];
+    trows = rows;
+  }
 
-let ablation_topology ?(n_pes = 64) workloads ppf =
+let ablation_topology_table ?(n_pes = 64) ?jobs workloads =
   let run cfg mode (w : Workload.t) =
     match mode with
     | Memsys.Ccdp ->
@@ -343,8 +376,7 @@ let ablation_topology ?(n_pes = 64) workloads ppf =
           .Interp.cycles
   in
   let rows =
-    List.map
-      (fun (w : Workload.t) ->
+    map_workload_rows ?jobs workloads (fun (w : Workload.t) ->
         let flat = Config.t3d ~n_pes and torus = Config.t3d_torus ~n_pes in
         let bf = run flat Memsys.Base w and bt = run torus Memsys.Base w in
         let cf = run flat Memsys.Ccdp w and ct = run torus Memsys.Ccdp w in
@@ -356,16 +388,44 @@ let ablation_topology ?(n_pes = 64) workloads ppf =
           string_of_int ct;
           Report.fpct (100. *. float_of_int (bt - ct) /. float_of_int bt);
         ])
-      workloads
   in
-  Report.table ppf
-    ~title:
-      (Printf.sprintf
-         "Experiment F (%d PEs): uniform remote latency vs 3-D torus distance           model (cycles)" n_pes)
-    ~headers:
+  {
+    title =
+      Printf.sprintf
+        "Experiment F (%d PEs): uniform remote latency vs 3-D torus distance           model (cycles)" n_pes;
+    headers =
       [ "workload"; "BASE flat"; "BASE torus"; "CCDP flat"; "CCDP torus";
-        "torus improvement" ]
-    rows
+        "torus improvement" ];
+    trows = rows;
+  }
+
+let ablation_target ?n_pes workloads ppf =
+  print_tbl ppf (ablation_target_table ?n_pes workloads)
+
+let ablation_technique ?n_pes workloads ppf =
+  print_tbl ppf (ablation_technique_table ?n_pes workloads)
+
+let ablation_coherence ?n_pes workloads ppf =
+  print_tbl ppf (ablation_coherence_table ?n_pes workloads)
+
+let ablation_prefetch_clean ?n_pes workloads ppf =
+  print_tbl ppf (ablation_prefetch_clean_table ?n_pes workloads)
+
+let ablation_vpg_levels ?n_pes workloads ppf =
+  print_tbl ppf (ablation_vpg_levels_table ?n_pes workloads)
+
+let ablation_topology ?n_pes workloads ppf =
+  print_tbl ppf (ablation_topology_table ?n_pes workloads)
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let map_point_rows ?jobs points f =
+  Pool.run ?jobs
+    ~label:(fun i -> string_of_int (List.nth points i))
+    (fun _ p -> f p)
+    points
 
 let sweep_with_cfg (w : Workload.t) cfg =
   let compiled = Pipeline.compile cfg w.Workload.program in
@@ -381,11 +441,10 @@ let sweep_with_cfg (w : Workload.t) cfg =
   in
   (base, ccdp)
 
-let sweep_cache ?(n_pes = 16) ?(points = [ 512; 1024; 2048; 4096; 8192 ])
-    (w : Workload.t) ppf =
+let sweep_cache_table ?(n_pes = 16) ?(points = [ 512; 1024; 2048; 4096; 8192 ])
+    ?jobs (w : Workload.t) =
   let rows =
-    List.map
-      (fun cache_words ->
+    map_point_rows ?jobs points (fun cache_words ->
         let cfg = { (Config.t3d ~n_pes) with Config.cache_words } in
         let run mode =
           match mode with
@@ -405,20 +464,19 @@ let sweep_cache ?(n_pes = 16) ?(points = [ 512; 1024; 2048; 4096; 8192 ])
           string_of_int (run Memsys.Hscd);
           string_of_int (run Memsys.Ccdp);
         ])
-      points
   in
-  Report.table ppf
-    ~title:
-      (Printf.sprintf "Sweep: cache capacity, %s at %d PEs (cycles)"
-         w.Workload.name n_pes)
-    ~headers:[ "cache (words)"; "INV"; "HSCD"; "CCDP" ]
-    rows
+  {
+    title =
+      Printf.sprintf "Sweep: cache capacity, %s at %d PEs (cycles)"
+        w.Workload.name n_pes;
+    headers = [ "cache (words)"; "INV"; "HSCD"; "CCDP" ];
+    trows = rows;
+  }
 
-let sweep_remote ?(n_pes = 16) ?(points = [ 30; 60; 90; 150; 300; 600 ])
-    (w : Workload.t) ppf =
+let sweep_remote_table ?(n_pes = 16) ?(points = [ 30; 60; 90; 150; 300; 600 ])
+    ?jobs (w : Workload.t) =
   let rows =
-    List.map
-      (fun remote ->
+    map_point_rows ?jobs points (fun remote ->
         let cfg = { (Config.t3d ~n_pes) with Config.remote } in
         let base, ccdp = sweep_with_cfg w cfg in
         [
@@ -427,20 +485,19 @@ let sweep_remote ?(n_pes = 16) ?(points = [ 30; 60; 90; 150; 300; 600 ])
           string_of_int ccdp;
           Report.fpct (100. *. float_of_int (base - ccdp) /. float_of_int base);
         ])
-      points
   in
-  Report.table ppf
-    ~title:
-      (Printf.sprintf "Sweep: remote latency, %s at %d PEs" w.Workload.name
-         n_pes)
-    ~headers:[ "remote (cyc)"; "BASE"; "CCDP"; "improvement" ]
-    rows
+  {
+    title =
+      Printf.sprintf "Sweep: remote latency, %s at %d PEs" w.Workload.name
+        n_pes;
+    headers = [ "remote (cyc)"; "BASE"; "CCDP"; "improvement" ];
+    trows = rows;
+  }
 
-let sweep_queue ?(n_pes = 16) ?(points = [ 4; 8; 16; 32; 64 ]) (w : Workload.t)
-    ppf =
+let sweep_queue_table ?(n_pes = 16) ?(points = [ 4; 8; 16; 32; 64 ]) ?jobs
+    (w : Workload.t) =
   let rows =
-    List.map
-      (fun q ->
+    map_point_rows ?jobs points (fun q ->
         let cfg =
           { (Config.t3d ~n_pes) with Config.prefetch_queue_words = q }
         in
@@ -455,11 +512,20 @@ let sweep_queue ?(n_pes = 16) ?(points = [ 4; 8; 16; 32; 64 ]) (w : Workload.t)
           string_of_int r.Interp.stats.Stats.pf_dropped;
           string_of_int r.Interp.stats.Stats.pf_late;
         ])
-      points
   in
-  Report.table ppf
-    ~title:
-      (Printf.sprintf "Sweep: prefetch queue capacity, %s at %d PEs"
-         w.Workload.name n_pes)
-    ~headers:[ "queue (words)"; "CCDP cycles"; "dropped"; "late" ]
-    rows
+  {
+    title =
+      Printf.sprintf "Sweep: prefetch queue capacity, %s at %d PEs"
+        w.Workload.name n_pes;
+    headers = [ "queue (words)"; "CCDP cycles"; "dropped"; "late" ];
+    trows = rows;
+  }
+
+let sweep_cache ?n_pes ?points w ppf =
+  print_tbl ppf (sweep_cache_table ?n_pes ?points w)
+
+let sweep_remote ?n_pes ?points w ppf =
+  print_tbl ppf (sweep_remote_table ?n_pes ?points w)
+
+let sweep_queue ?n_pes ?points w ppf =
+  print_tbl ppf (sweep_queue_table ?n_pes ?points w)

@@ -3,7 +3,13 @@
 
     Every parallel run is verified against the sequential execution (a wrong
     answer under any coherence scheme is an experiment failure, not a data
-    point). Speedups are ratios of simulated machine cycles. *)
+    point). Speedups are ratios of simulated machine cycles.
+
+    The grid of simulator runs is embarrassingly parallel; every entry
+    point that executes more than one run takes an optional [?jobs]
+    argument and shards the runs over a {!Ccdp_exec.Pool}. Results are
+    deterministic: the same rows, in the same order, for any job count
+    (see DESIGN.md section 8). *)
 
 type row = {
   workload : string;
@@ -40,8 +46,26 @@ val run_mode :
   Ccdp_workloads.Workload.t ->
   Ccdp_runtime.Interp.result
 
-(** Full BASE/CCDP/sequential matrix over the spec's PE counts. *)
-val evaluate : ?spec:spec -> Ccdp_workloads.Workload.t list -> row list
+(** Full BASE/CCDP/sequential matrix over the spec's PE counts, sharded
+    over [jobs] domains (default: {!Ccdp_exec.Pool.resolve_jobs}). The
+    row list is identical for every job count. *)
+val evaluate :
+  ?jobs:int -> ?spec:spec -> Ccdp_workloads.Workload.t list -> row list
+
+(** A rendered experiment table: the unit of both the plain-text report
+    ({!print_tbl}) and the JSON bench emission ({!Bench_json}). *)
+type table = {
+  title : string;
+  headers : string list;
+  trows : string list list;
+}
+
+val print_tbl : Format.formatter -> table -> unit
+
+(** Paper Tables 1 and 2 as values. *)
+val table1 : row list -> table
+
+val table2 : row list -> table
 
 (** Paper Table 1: speedups over sequential execution time. *)
 val print_table1 : Format.formatter -> row list -> unit
@@ -55,44 +79,76 @@ val csv_rows : Format.formatter -> row list -> unit
 
 (** Ablation A: prefetch target analysis disabled (every potentially-stale
     reference prefetched individually) vs the full scheme. *)
-val ablation_target :
-  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+val ablation_target_table :
+  ?n_pes:int -> ?jobs:int -> Ccdp_workloads.Workload.t list -> table
 
 (** Ablation B: scheduling restricted to a single technique. *)
-val ablation_technique :
-  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+val ablation_technique_table :
+  ?n_pes:int -> ?jobs:int -> Ccdp_workloads.Workload.t list -> table
 
 (** Ablation C: CCDP vs epoch-boundary invalidation vs BASE. *)
-val ablation_coherence :
-  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+val ablation_coherence_table :
+  ?n_pes:int -> ?jobs:int -> Ccdp_workloads.Workload.t list -> table
 
 (** Experiment E (the paper's future work, Section 6): additionally
     prefetch the non-stale references as pure latency hiding. *)
-val ablation_prefetch_clean :
-  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+val ablation_prefetch_clean_table :
+  ?n_pes:int -> ?jobs:int -> Ccdp_workloads.Workload.t list -> table
 
 (** Experiment G: the paper's one-level vector-prefetch pulling restriction
     vs Gornish's multi-level pulling (with the staging-displacement hazard
     modelled). *)
+val ablation_vpg_levels_table :
+  ?n_pes:int -> ?jobs:int -> Ccdp_workloads.Workload.t list -> table
+
+(** Experiment F: uniform remote latency vs the 3-D torus distance model. *)
+val ablation_topology_table :
+  ?n_pes:int -> ?jobs:int -> Ccdp_workloads.Workload.t list -> table
+
+(** Printing shorthands for the ablation tables (sequential). *)
+val ablation_target :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
+val ablation_technique :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
+val ablation_coherence :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
+val ablation_prefetch_clean :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
 val ablation_vpg_levels :
   ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
 
-(** Experiment F: uniform remote latency vs the 3-D torus distance model. *)
 val ablation_topology :
   ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
 
-(** Sweeps: remote latency and prefetch-queue capacity (shape studies). *)
+(** Sweeps: remote latency, prefetch-queue capacity and cache capacity
+    (shape studies), one row per point, sharded over [jobs]. *)
+val sweep_remote_table :
+  ?n_pes:int -> ?points:int list -> ?jobs:int -> Ccdp_workloads.Workload.t ->
+  table
+
+val sweep_queue_table :
+  ?n_pes:int -> ?points:int list -> ?jobs:int -> Ccdp_workloads.Workload.t ->
+  table
+
+val sweep_cache_table :
+  ?n_pes:int -> ?points:int list -> ?jobs:int -> Ccdp_workloads.Workload.t ->
+  table
+
 val sweep_remote :
-  ?n_pes:int -> ?points:int list -> Ccdp_workloads.Workload.t -> Format.formatter ->
-  unit
+  ?n_pes:int -> ?points:int list -> Ccdp_workloads.Workload.t ->
+  Format.formatter -> unit
 
 val sweep_queue :
-  ?n_pes:int -> ?points:int list -> Ccdp_workloads.Workload.t -> Format.formatter ->
-  unit
+  ?n_pes:int -> ?points:int list -> Ccdp_workloads.Workload.t ->
+  Format.formatter -> unit
 
 (** Cache-capacity sweep across the coherence schemes: blanket invalidation
     wastes retention that version-based HSCD and CCDP keep as capacity
     grows. *)
 val sweep_cache :
-  ?n_pes:int -> ?points:int list -> Ccdp_workloads.Workload.t -> Format.formatter ->
-  unit
+  ?n_pes:int -> ?points:int list -> Ccdp_workloads.Workload.t ->
+  Format.formatter -> unit

@@ -1,0 +1,57 @@
+(** Fixed-size domain pool for embarrassingly parallel simulator runs.
+
+    The experiment grid (workload x machine width x mode), the parameter
+    sweeps and the fuzz campaigns are all lists of fully independent
+    [Interp.run] invocations: the interpreter allocates every piece of
+    mutable state per run, so runs can execute on any domain in any order.
+    This module shards such a list across OCaml 5 domains while keeping
+    the {e results} deterministic: output is collected by input index, so
+    [map_runs] is observably [List.mapi] regardless of scheduling, core
+    count or job override.
+
+    Job count resolution (first match wins):
+    + an explicit [~jobs] argument (a [-j] command-line flag);
+    + the [CCDP_JOBS] environment variable;
+    + [Domain.recommended_domain_count ()].
+
+    With one job the pool spawns no domains at all — every task runs in
+    the calling domain, which is both the fallback for constrained hosts
+    and the reference order for determinism tests. *)
+
+type t
+
+(** Worker exception, re-raised in the caller with the run's identity.
+    [index] is the 0-based position of the failing input; [label] is the
+    caller-supplied run description (empty when none was given). *)
+exception Run_failed of { index : int; label : string; exn : exn }
+
+(** Resolve a job count: [jobs] argument, else [CCDP_JOBS], else
+    [Domain.recommended_domain_count ()]. Values below 1, or an
+    unparseable [CCDP_JOBS], fall back to the next source. *)
+val resolve_jobs : ?jobs:int -> unit -> int
+
+(** [create ~jobs] spawns [jobs - 1] worker domains (the calling domain
+    is the remaining worker). [jobs <= 1] spawns nothing. *)
+val create : jobs:int -> t
+
+val jobs : t -> int
+
+(** Join the worker domains. Idempotent; the pool is unusable after. *)
+val shutdown : t -> unit
+
+(** [with_pool ?jobs f] resolves the job count, runs [f] on a fresh pool
+    and shuts it down (also on exception). *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+
+(** [map_runs pool f xs] is [List.mapi f xs] computed on the pool's
+    domains. Results are collected by input index, so the output is
+    byte-identical to the sequential order for any job count. If any
+    [f i x] raises, the lowest-index failure is re-raised in the caller
+    as {!Run_failed} (after all workers have drained). [label i] names
+    run [i] in that error. Not reentrant: [f] must not call back into
+    the same pool. *)
+val map_runs : ?label:(int -> string) -> t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+(** One-shot convenience: [run ?jobs f xs] wraps [with_pool] around
+    {!map_runs}. *)
+val run : ?jobs:int -> ?label:(int -> string) -> (int -> 'a -> 'b) -> 'a list -> 'b list

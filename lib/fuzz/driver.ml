@@ -135,21 +135,25 @@ let reproducer_text (d : Gen.desc) =
   in
   Ccdp_core.Craft_emit.to_string compiled
 
-let campaign ?mutate_stale ?dump_dir ?(progress = fun _ -> ()) ~seed ~count ()
-    =
+(* Program generation stays a single sequential PRNG walk (so a seed
+   names the same program list for every job count); the expensive part —
+   compiling and running every variant of every program — is sharded over
+   the pool in batches. Results are folded in index order, so the summary
+   (and the stderr progress trace) is identical to the sequential run.
+   Shrinking happens on the calling domain: failures are rare, and the
+   shrinker's own runs are cheap one-program checks. *)
+let campaign ?jobs ?mutate_stale ?dump_dir ?(progress = fun _ -> ()) ~seed
+    ~count () =
   let rng = Random.State.make [| seed; 0x51ab |] in
+  let descs = List.init count (fun _ -> Gen.generate rng) in
   let runs = ref 0 and checks = ref 0 and failures = ref [] in
-  for i = 0 to count - 1 do
-    let d = Gen.generate rng in
-    let r, c, failure = check_full ?mutate_stale d in
+  let consume i (d, (r, c, failure)) =
     runs := !runs + r;
     checks := !checks + c;
     (match failure with
     | None -> ()
     | Some (vname, kind, detail) ->
-        let still_fails d' =
-          Option.is_some (check_desc ?mutate_stale d')
-        in
+        let still_fails d' = Option.is_some (check_desc ?mutate_stale d') in
         let shrunk = Shrink.minimize d ~still_fails in
         let reproducer =
           match dump_dir with
@@ -176,7 +180,32 @@ let campaign ?mutate_stale ?dump_dir ?(progress = fun _ -> ()) ~seed ~count ()
           }
           :: !failures);
     progress (i + 1)
-  done;
+  in
+  Ccdp_exec.Pool.with_pool ?jobs (fun pool ->
+      (* batches keep the progress callback responsive without a
+         cross-domain channel: check in parallel, fold sequentially *)
+      let batch = max 1 (8 * Ccdp_exec.Pool.jobs pool) in
+      let rec go start ds =
+        match ds with
+        | [] -> ()
+        | _ ->
+            let rec split k = function
+              | d :: rest when k > 0 ->
+                  let taken, rest = split (k - 1) rest in
+                  (d :: taken, rest)
+              | rest -> ([], rest)
+            in
+            let taken, rest = split batch ds in
+            let checked =
+              Ccdp_exec.Pool.map_runs pool
+                ~label:(fun i -> Printf.sprintf "fuzz program #%d" (start + i))
+                (fun _ d -> (d, check_full ?mutate_stale d))
+                taken
+            in
+            List.iteri (fun i r -> consume (start + i) r) checked;
+            go (start + List.length taken) rest
+      in
+      go 0 descs);
   {
     s_programs = count;
     s_runs = !runs;

@@ -59,8 +59,14 @@ val reproducer_text : Gen.desc -> string
 (** Run a campaign of [count] programs drawn from [seed]. Failures are
     shrunk; with [dump_dir] each shrunk reproducer is written there as
     [fuzz_<seed>_<index>.craft]. [progress] is called after each program
-    with the number checked so far. *)
+    with the number checked so far.
+
+    Program checks are sharded over [jobs] domains
+    ({!Ccdp_exec.Pool.resolve_jobs} resolves the default); generation,
+    shrinking and the summary fold stay on the calling domain, so for a
+    given seed the summary is identical for every job count. *)
 val campaign :
+  ?jobs:int ->
   ?mutate_stale:(Ccdp_analysis.Stale.result -> Ccdp_analysis.Stale.result) ->
   ?dump_dir:string ->
   ?progress:(int -> unit) ->

@@ -13,14 +13,10 @@ type t = {
 
 let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
 
-let of_result (r : Interp.result) =
-  let s = r.Interp.stats in
+let of_stats (s : Stats.t) ~line_words ~per_pe_cycles =
   let consumed = s.Stats.pf_on_time + s.Stats.pf_late in
   let demand_misses = Stats.total_misses s in
   let cached_reads = s.Stats.hits + demand_misses + consumed in
-  let line_words =
-    (Memsys.cfg r.Interp.sys).Config.line_words
-  in
   let remote_ops = s.Stats.annex_hits + s.Stats.annex_misses in
   let traffic_words =
     (* line-granular fills and prefetches move whole lines; uncached and
@@ -34,7 +30,7 @@ let of_result (r : Interp.result) =
   let min_pe, max_pe =
     Array.fold_left
       (fun (mn, mx) c -> (min mn c, max mx c))
-      (max_int, 0) r.Interp.per_pe_cycles
+      (max_int, 0) per_pe_cycles
   in
   {
     hit_ratio = ratio s.Stats.hits cached_reads;
@@ -51,6 +47,11 @@ let of_result (r : Interp.result) =
     traffic_words;
     load_balance = (if max_pe = 0 then 1.0 else ratio min_pe max_pe);
   }
+
+let of_result (r : Interp.result) =
+  of_stats r.Interp.stats
+    ~line_words:(Memsys.cfg r.Interp.sys).Config.line_words
+    ~per_pe_cycles:r.Interp.per_pe_cycles
 
 let pp ppf m =
   Format.fprintf ppf

@@ -26,5 +26,14 @@ type t = {
       (** min / max busy cycles across PEs (1.0 = perfectly balanced) *)
 }
 
+(** The pure counter algebra, separated from the run plumbing so tests
+    can pin it on hand-built {!Ccdp_machine.Stats.t} fixtures.
+    [line_words] sizes line-granular transfers in the traffic account;
+    [per_pe_cycles] feeds the load-balance ratio. *)
+val of_stats :
+  Ccdp_machine.Stats.t -> line_words:int -> per_pe_cycles:int array -> t
+
+(** [of_stats] over the run's totals, line size and per-PE busy cycles. *)
 val of_result : Interp.result -> t
+
 val pp : Format.formatter -> t -> unit

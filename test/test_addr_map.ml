@@ -74,4 +74,64 @@ let tests =
         check_false "different sets" (ax / 4 mod 256 = ay / 4 mod 256));
   ]
 
-let () = Alcotest.run "addr-map" [ ("mapping", tests) ]
+(* round trips between the three views of an element: (pe, name, index)
+   resolution, the canonical owner copy, and the all-copies enumeration *)
+let round_trips =
+  [
+    case "owner resolution round-trips through the canonical address"
+      (fun () ->
+        let m = map () in
+        for i = 0 to 7 do
+          for j = 0 to 7 do
+            let c = Addr_map.canonical m "A" [| i; j |] in
+            let owner = c / Addr_map.pe_span m in
+            let a, w = Addr_map.resolve m ~pe:owner "A" [| i; j |] in
+            check_int "same address" c a;
+            check_true "owner is local" (w = `Local)
+          done
+        done);
+    case "resolve lands in all_copies for every PE" (fun () ->
+        let m = map () in
+        List.iter
+          (fun (name, idx) ->
+            let copies = Addr_map.all_copies m name idx in
+            for pe = 0 to 3 do
+              let a, _ = Addr_map.resolve m ~pe name idx in
+              check_true "member" (List.mem a copies)
+            done)
+          [ ("A", [| 2; 5 |]); ("R", [| 3 |]); ("Pv", [| 6 |]) ]);
+    case "remote tag names the owner window" (fun () ->
+        let m = map () in
+        for pe = 0 to 3 do
+          for j = 0 to 7 do
+            let a, w = Addr_map.resolve m ~pe "A" [| 1; j |] in
+            match w with
+            | `Local ->
+                check_int "local window" pe (a / Addr_map.pe_span m)
+            | `Remote owner ->
+                check_int "remote window" owner (a / Addr_map.pe_span m);
+                check_false "never self" (owner = pe)
+          done
+        done);
+    case "array bases are line-aligned in every window" (fun () ->
+        let m = map () in
+        List.iter
+          (fun (name, idx) ->
+            List.iter
+              (fun a -> check_int "aligned" 0 (a mod 4))
+              (Addr_map.all_copies m name idx))
+          [ ("A", [| 0; 0 |]); ("R", [| 0 |]); ("Pv", [| 0 |]) ]);
+    case "replicated copies land at the same window offset" (fun () ->
+        let m = map () in
+        let offsets =
+          List.map
+            (fun a -> a mod Addr_map.pe_span m)
+            (Addr_map.all_copies m "R" [| 5 |])
+        in
+        match offsets with
+        | o :: rest -> List.iter (fun o' -> check_int "offset" o o') rest
+        | [] -> Alcotest.fail "no copies");
+  ]
+
+let () =
+  Alcotest.run "addr-map" [ ("mapping", tests); ("round-trips", round_trips) ]

@@ -46,4 +46,114 @@ let tests =
         check_true "output" (String.length (Format.asprintf "%a" Metrics.pp m) > 80));
   ]
 
-let () = Alcotest.run "metrics" [ ("derived", tests) ]
+(* Hand-built Stats.t fixtures: the counter algebra of Metrics.of_stats
+   pinned against by-hand arithmetic, independent of any simulator run. *)
+
+let fixture () =
+  let open Ccdp_machine.Stats in
+  let s = create () in
+  s.reads <- 100;
+  s.writes <- 20;
+  s.hits <- 50;
+  s.miss_local <- 10;
+  s.miss_remote <- 5;
+  s.uncached_local <- 3;
+  s.uncached_remote <- 4;
+  s.bypass_reads <- 1;
+  s.pf_issued <- 30;
+  s.pf_vector_words <- 16;
+  s.pf_on_time <- 20;
+  s.pf_late <- 5;
+  s.pf_late_cycles <- 50;
+  s.pf_dropped <- 2;
+  s.annex_hits <- 6;
+  s.annex_misses <- 2;
+  s
+
+let fixture_tests =
+  [
+    case "hit ratio counts hits over all cached read acquisitions" (fun () ->
+        let m =
+          Metrics.of_stats (fixture ()) ~line_words:4
+            ~per_pe_cycles:[| 100; 100 |]
+        in
+        (* cached reads = hits 50 + misses 15 + consumed prefetches 25 *)
+        check_float "hit ratio" (50. /. 90.) m.Metrics.hit_ratio);
+    case "coverage and timeliness decompose consumed prefetches" (fun () ->
+        let m =
+          Metrics.of_stats (fixture ()) ~line_words:4
+            ~per_pe_cycles:[| 100; 100 |]
+        in
+        (* consumed 25 vs demand misses 15; on-time 20 of 25 *)
+        check_float "coverage" 0.625 m.Metrics.prefetch_coverage;
+        check_float "timeliness" 0.8 m.Metrics.prefetch_timeliness;
+        check_float "late stall" 10.0 m.Metrics.avg_late_stall);
+    case "accuracy divides consumed by issued lines" (fun () ->
+        let m =
+          Metrics.of_stats (fixture ()) ~line_words:4
+            ~per_pe_cycles:[| 100; 100 |]
+        in
+        (* issued lines = 30 + 16/4 vector + 2 dropped = 36 *)
+        check_float "accuracy" (25. /. 36.) m.Metrics.prefetch_accuracy);
+    case "accuracy clamps at 1.0 when consumption exceeds issue counts"
+      (fun () ->
+        let open Ccdp_machine.Stats in
+        let s = create () in
+        s.pf_on_time <- 10;
+        s.pf_issued <- 2;
+        let m = Metrics.of_stats s ~line_words:4 ~per_pe_cycles:[| 1 |] in
+        check_float "clamped" 1.0 m.Metrics.prefetch_accuracy);
+    case "traffic words: lines for fills/prefetches, words for the rest"
+      (fun () ->
+        let m =
+          Metrics.of_stats (fixture ()) ~line_words:4
+            ~per_pe_cycles:[| 100; 100 |]
+        in
+        (* 15 misses*4 + 30 prefetches*4 + 16 vector words
+           + 3+4 uncached + 1 bypass + 20 writes *)
+        check_int "traffic" 224 m.Metrics.traffic_words;
+        let m8 =
+          Metrics.of_stats (fixture ()) ~line_words:8
+            ~per_pe_cycles:[| 100; 100 |]
+        in
+        check_int "wider lines move more" (224 + (45 * 4))
+          m8.Metrics.traffic_words);
+    case "remote ops per reference counts annex consultations" (fun () ->
+        let m =
+          Metrics.of_stats (fixture ()) ~line_words:4
+            ~per_pe_cycles:[| 100; 100 |]
+        in
+        check_float "remote" (8. /. 120.) m.Metrics.remote_ops_per_ref);
+    case "load balance is min over max busy cycles" (fun () ->
+        let m =
+          Metrics.of_stats (fixture ()) ~line_words:4
+            ~per_pe_cycles:[| 50; 100; 75 |]
+        in
+        check_float "balance" 0.5 m.Metrics.load_balance;
+        let idle =
+          Metrics.of_stats (fixture ()) ~line_words:4 ~per_pe_cycles:[| 0; 0 |]
+        in
+        check_float "all idle counts as balanced" 1.0 idle.Metrics.load_balance);
+    case "empty stats produce all-zero ratios" (fun () ->
+        let m =
+          Metrics.of_stats
+            (Ccdp_machine.Stats.create ())
+            ~line_words:4 ~per_pe_cycles:[| 0 |]
+        in
+        check_float "hit" 0.0 m.Metrics.hit_ratio;
+        check_float "coverage" 0.0 m.Metrics.prefetch_coverage;
+        check_int "traffic" 0 m.Metrics.traffic_words);
+    case "of_result agrees with of_stats on a real run" (fun () ->
+        let r = run Memsys.Ccdp (Extras.jacobi ~n:16 ~iters:1) in
+        let direct = Metrics.of_result r in
+        let via =
+          Metrics.of_stats r.Interp.stats
+            ~line_words:
+              (Memsys.cfg r.Interp.sys).Ccdp_machine.Config.line_words
+            ~per_pe_cycles:r.Interp.per_pe_cycles
+        in
+        check_true "identical" (direct = via));
+  ]
+
+let () =
+  Alcotest.run "metrics" [ ("derived", tests); ("fixtures", fixture_tests) ]

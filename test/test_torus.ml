@@ -95,6 +95,71 @@ let latency_model =
         check_false "no torus" cfg.Config.torus);
   ]
 
+(* brute-force cross-check of the hop metric against the per-dimension
+   minimal ring distance, including non-power-of-two machines *)
+let hop_oracle =
+  let ring d a b =
+    if d = 0 then 0
+    else
+      let fwd = (((a - b) mod d) + d) mod d in
+      min fwd (d - fwd)
+  in
+  [
+    case "hops equal the sum of minimal ring distances" (fun () ->
+        List.iter
+          (fun n ->
+            let t = Torus.of_pes n in
+            let nx, ny, nz = Torus.dims t in
+            for a = 0 to n - 1 do
+              for b = 0 to n - 1 do
+                let xa, ya, za = Torus.coords t a in
+                let xb, yb, zb = Torus.coords t b in
+                check_int
+                  (Printf.sprintf "%d: %d->%d" n a b)
+                  (ring nx xa xb + ring ny ya yb + ring nz za zb)
+                  (Torus.hops t a b)
+              done
+            done)
+          [ 2; 6; 12; 16; 24; 64 ]);
+    case "hops satisfy the triangle inequality" (fun () ->
+        let t = Torus.of_pes 27 in
+        for a = 0 to 26 do
+          for b = 0 to 26 do
+            for c = 0 to 26 do
+              check_true "triangle"
+                (Torus.hops t a c <= Torus.hops t a b + Torus.hops t b c)
+            done
+          done
+        done);
+    case "axis neighbours are one hop apart" (fun () ->
+        let t = Torus.of_pes 64 in
+        let nx, _, _ = Torus.dims t in
+        (* consecutive PE numbers differing in the fastest coordinate *)
+        for pe = 0 to 62 do
+          let xa, ya, za = Torus.coords t pe in
+          let xb, yb, zb = Torus.coords t (pe + 1) in
+          if ya = yb && za = zb && ring nx xa xb = 1 then
+            check_int "neighbour" 1 (Torus.hops t pe (pe + 1))
+        done);
+    case "diameter is attained by some pair" (fun () ->
+        List.iter
+          (fun n ->
+            let t = Torus.of_pes n in
+            let best = ref 0 in
+            for a = 0 to n - 1 do
+              for b = 0 to n - 1 do
+                best := max !best (Torus.hops t a b)
+              done
+            done;
+            check_int (Printf.sprintf "diameter %d" n) (Torus.diameter t) !best)
+          [ 8; 27; 64 ]);
+  ]
+
 let () =
   Alcotest.run "torus"
-    [ ("geometry", geometry); ("distance", distances); ("latency", latency_model) ]
+    [
+      ("geometry", geometry);
+      ("distance", distances);
+      ("hop-oracle", hop_oracle);
+      ("latency", latency_model);
+    ]
