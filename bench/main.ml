@@ -16,6 +16,8 @@
      dune exec bench/main.exe -- sweep
      dune exec bench/main.exe -- micro
      dune exec bench/main.exe -- oracle       -- staleness-oracle overhead
+     dune exec bench/main.exe -- perf         -- engine wall-clock throughput
+     dune exec bench/main.exe -- perf --quick -- reduced sizes (CI smoke)
      dune exec bench/main.exe -- all --full   -- paper-shaped sizes (slow)
      dune exec bench/main.exe -- table1 -j 8  -- eight worker domains *)
 
@@ -164,6 +166,123 @@ let oracle_overhead sizes =
     ws;
   Format.fprintf ppf "@."
 
+(* ---- engine wall-clock throughput ---------------------------------- *)
+
+(* Host-time throughput of the compiled-plan engine (Interp) across the
+   paper's four workloads and every coherence mode, plus the reference
+   tree-walking engine (Interp_ref) on the CCDP rows so the speedup of
+   the compiled plans is visible in the same document. Timed serially —
+   wall-clock and Gc.minor_words are per-run measurements and parallel
+   workers would contend for both. The simulated side (cycles, accesses)
+   is asserted identical between the two engines. *)
+let perf sizes ~quick jobs =
+  let n = if quick then 24 else sizes.n in
+  let iters = if quick then 1 else sizes.iters in
+  let n_pes = sizes.abl_pes in
+  header
+    (Printf.sprintf
+       "Engine throughput (host wall-clock; n=%d, iters=%d, %d PEs; \
+        engine=plan is the compiled-plan Interp, engine=ref the reference \
+        tree-walker)"
+       n iters n_pes);
+  let ws = Suite.spec_four ~n ~iters () in
+  let modes =
+    Ccdp_runtime.Memsys.[ Seq; Base; Ccdp; Invalidate; Incoherent; Hscd ]
+  in
+  let time_run f =
+    ignore (f ()) (* warm up: first run pays lowering/page-in noise *);
+    let m0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let wall = Unix.gettimeofday () -. t0 in
+    (r, wall, Gc.minor_words () -. m0)
+  in
+  let emit doc ~workload ~mode ~engine ~wall ~cycles ~accesses ~minor_words =
+    let per t = if wall > 0.0 then float_of_int t /. wall else 0.0 in
+    Bench_json.add_perf doc
+      {
+        Bench_json.p_workload = workload;
+        p_mode = Ccdp_runtime.Memsys.mode_name mode;
+        p_engine = engine;
+        p_pes = (if mode = Ccdp_runtime.Memsys.Seq then 1 else n_pes);
+        p_wall_s = wall;
+        p_cycles = cycles;
+        p_cycles_per_s = per cycles;
+        p_accesses = accesses;
+        p_accesses_per_s = per accesses;
+        p_minor_words = minor_words;
+      };
+    Format.fprintf ppf "%-8s %-10s %-5s %9.3fs %12d %14.0f %14.0f %14.0f@."
+      workload
+      (Ccdp_runtime.Memsys.mode_name mode)
+      engine wall cycles (per cycles) (per accesses) minor_words
+  in
+  with_bench_json ~bench:"perf" ~jobs (fun doc ->
+      Format.fprintf ppf "%-8s %-10s %-5s %10s %12s %14s %14s %14s@."
+        "workload" "mode" "eng" "wall" "cycles" "sim-cycles/s" "accesses/s"
+        "minor-words";
+      let mxm_ratio = ref None in
+      List.iter
+        (fun (w : Workload.t) ->
+          let cfg = Ccdp_machine.Config.t3d ~n_pes in
+          let cfg1 = Ccdp_machine.Config.t3d ~n_pes:1 in
+          let inlined = Ccdp_ir.Program.inline w.Workload.program in
+          let empty = Ccdp_analysis.Annot.empty () in
+          let compiled = Pipeline.compile cfg w.Workload.program in
+          let setup mode =
+            match mode with
+            | Ccdp_runtime.Memsys.Ccdp ->
+                (cfg, compiled.Pipeline.program, compiled.Pipeline.plan)
+            | Ccdp_runtime.Memsys.Seq -> (cfg1, inlined, empty)
+            | _ -> (cfg, inlined, empty)
+          in
+          List.iter
+            (fun mode ->
+              let mcfg, prog, plan = setup mode in
+              let r, wall, mw =
+                time_run (fun () ->
+                    Ccdp_runtime.Interp.run mcfg prog ~plan ~mode ())
+              in
+              let stats = r.Ccdp_runtime.Interp.stats in
+              let accesses =
+                stats.Ccdp_machine.Stats.reads + stats.Ccdp_machine.Stats.writes
+              in
+              emit doc ~workload:w.Workload.name ~mode ~engine:"plan" ~wall
+                ~cycles:r.Ccdp_runtime.Interp.cycles ~accesses ~minor_words:mw;
+              if mode = Ccdp_runtime.Memsys.Ccdp then begin
+                let rr, rwall, rmw =
+                  time_run (fun () ->
+                      Ccdp_runtime.Interp_ref.run mcfg prog ~plan ~mode ())
+                in
+                if rr.Ccdp_runtime.Interp_ref.cycles <> r.Ccdp_runtime.Interp.cycles
+                then
+                  failwith
+                    (Printf.sprintf
+                       "perf: engines disagree on %s/ccdp (%d vs %d cycles)"
+                       w.Workload.name r.Ccdp_runtime.Interp.cycles
+                       rr.Ccdp_runtime.Interp_ref.cycles);
+                let rstats = rr.Ccdp_runtime.Interp_ref.stats in
+                let raccesses =
+                  rstats.Ccdp_machine.Stats.reads
+                  + rstats.Ccdp_machine.Stats.writes
+                in
+                emit doc ~workload:w.Workload.name ~mode ~engine:"ref"
+                  ~wall:rwall ~cycles:rr.Ccdp_runtime.Interp_ref.cycles
+                  ~accesses:raccesses ~minor_words:rmw;
+                if String.lowercase_ascii w.Workload.name = "mxm" && wall > 0.0
+                then
+                  mxm_ratio := Some (rwall /. wall)
+              end)
+            modes)
+        ws;
+      match !mxm_ratio with
+      | Some r ->
+          Format.fprintf ppf
+            "@.MXM/ccdp compiled-plan engine: %.2fx simulated-cycles/sec of \
+             the reference engine.@."
+            r
+      | None -> ())
+
 (* ---- bechamel microbenchmarks -------------------------------------- *)
 
 let micro () =
@@ -258,11 +377,13 @@ let () =
   let jobs, args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
   let full = List.mem "--full" args in
   let sizes = if full then full_sizes else default_sizes in
+  let quick = List.mem "--quick" args in
   let has cmd = List.mem cmd args in
-  let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro" || has "oracle") in
+  let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro" || has "oracle" || has "perf") in
   if all || has "table1" || has "table2" then tables sizes jobs;
   if all then extras_table sizes jobs;
   if all || has "ablate" then ablations sizes jobs;
   if all || has "sweep" then sweeps sizes jobs;
   if all || has "oracle" then oracle_overhead sizes;
+  if all || has "perf" then perf sizes ~quick jobs;
   if has "micro" then micro ()

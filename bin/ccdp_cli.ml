@@ -1,6 +1,6 @@
 (* ccdp: command-line driver for the CCDP reproduction.
 
-   Subcommands: list, analyze, run, table1, table2, ablate, sweep. *)
+   Subcommands: list, analyze, run, table1, table2, ablate, sweep, perf. *)
 
 open Cmdliner
 open Ccdp_workloads
@@ -283,6 +283,59 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ dump_arg $ break_stale_arg $ jobs_arg)
 
+let perf_cmd =
+  let run name n iters pe mode =
+    let w = Workload.find (workloads_of ~n ~iters) name in
+    let cfg =
+      Ccdp_machine.Config.t3d
+        ~n_pes:(if mode = Ccdp_runtime.Memsys.Seq then 1 else pe)
+    in
+    let prog, plan =
+      match mode with
+      | Ccdp_runtime.Memsys.Ccdp ->
+          let compiled = Ccdp_core.Pipeline.compile cfg w.program in
+          (compiled.Ccdp_core.Pipeline.program, compiled.Ccdp_core.Pipeline.plan)
+      | _ -> (Ccdp_ir.Program.inline w.program, Ccdp_analysis.Annot.empty ())
+    in
+    let time f =
+      ignore (f ()) (* warm up *);
+      let m0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0, Gc.minor_words () -. m0)
+    in
+    let r, wall, mw =
+      time (fun () -> Ccdp_runtime.Interp.run cfg prog ~plan ~mode ())
+    in
+    let rr, rwall, rmw =
+      time (fun () -> Ccdp_runtime.Interp_ref.run cfg prog ~plan ~mode ())
+    in
+    if rr.Ccdp_runtime.Interp_ref.cycles <> r.Ccdp_runtime.Interp.cycles then
+      failwith
+        (Printf.sprintf "perf: engines disagree (%d vs %d cycles)"
+           r.Ccdp_runtime.Interp.cycles rr.Ccdp_runtime.Interp_ref.cycles);
+    let cycles = r.Ccdp_runtime.Interp.cycles in
+    let line eng wall mw =
+      Printf.printf "%-5s %9.3fs %12d cycles %14.0f sim-cycles/s %14.0f minor-words\n"
+        eng wall cycles
+        (if wall > 0.0 then float_of_int cycles /. wall else 0.0)
+        mw
+    in
+    line "plan" wall mw;
+    line "ref" rwall rmw;
+    if wall > 0.0 then
+      Printf.printf "speedup: %.2fx wall-clock, %.1f%% of the allocations\n"
+        (rwall /. wall)
+        (100.0 *. mw /. Float.max 1.0 rmw)
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Time one workload on the compiled-plan engine and the reference \
+          tree-walking engine (identical simulated cycles, host wall-clock \
+          and allocation compared)")
+    Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg)
+
 let sweep_cmd =
   let run n iters pe name =
     let w = Workload.find (workloads_of ~n ~iters) name in
@@ -299,6 +352,7 @@ let main =
     [
       list_cmd; analyze_cmd; run_cmd; table1_cmd; table2_cmd; ablate_cmd;
       sweep_cmd; parallelize_cmd; profile_cmd; emit_cmd; load_cmd; fuzz_cmd;
+      perf_cmd;
     ]
 
 let () = exit (Cmd.eval main)

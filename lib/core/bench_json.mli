@@ -20,9 +20,39 @@
                   "base_ok": true, "ccdp_ok": true }, ... ],
       "tables": [ { "title": "...", "headers": ["..."],
                     "rows": [["..."]] }, ... ] }
-    v} *)
+    v}
+
+    The perf bench additionally emits a ["perf"] key (absent from every
+    other bench, so their payloads are unchanged byte-for-byte):
+    {v
+      "perf": [ { "workload": "MXM", "mode": "ccdp", "engine": "plan",
+                  "pes": 16, "wall_s": 0.1, "cycles": 1,
+                  "cycles_per_s": 1.0, "accesses": 1,
+                  "accesses_per_s": 1.0, "minor_words": 1.0 }, ... ]
+    v}
+    Perf rows mix simulator facts (cycles, accesses — deterministic) with
+    host measurements (wall_s, throughputs, minor_words — not), so the
+    perf document's payload is not run-to-run stable and is excluded from
+    payload-equality checks. *)
 
 type t
+
+(** One engine timing: a (workload, mode, engine) cell of [bench -- perf].
+    [p_engine] is ["plan"] ({!Ccdp_runtime.Interp}) or ["ref"]
+    ({!Ccdp_runtime.Interp_ref}); [p_minor_words] is the
+    [Gc.minor_words] delta of the run. *)
+type perf_row = {
+  p_workload : string;
+  p_mode : string;
+  p_engine : string;
+  p_pes : int;
+  p_wall_s : float;
+  p_cycles : int;
+  p_cycles_per_s : float;
+  p_accesses : int;
+  p_accesses_per_s : float;
+  p_minor_words : float;
+}
 
 (** [create ~bench] starts an empty document for one bench mode. *)
 val create : bench:string -> t
@@ -32,6 +62,9 @@ val add_rows : t -> Experiment.row list -> unit
 
 (** Append a rendered table (ablations, sweeps). *)
 val add_table : t -> Experiment.table -> unit
+
+(** Append a perf row (perf bench only; rows keep insertion order). *)
+val add_perf : t -> perf_row -> unit
 
 (** The deterministic part only: [{"rows": [...], "tables": [...]}],
     independent of job count and wall-clock. *)

@@ -61,6 +61,20 @@ let owner t idx =
       | Dist.Block_cyclic w -> `Pe (i / w mod t.n_pes)
       | Dist.Degenerate -> assert false)
 
+(* Allocation-free owner: [-1] encodes "local to every PE" (replicated /
+   private data), any other value the owning PE id. Hot-path twin of
+   [owner], which boxes a polymorphic variant per call. *)
+let owner_id t idx =
+  match t.ddim with
+  | None -> if t.decl.dist = Dist.Replicated then -1 else 0
+  | Some d -> (
+      let i = idx.(d) in
+      match dim_pattern t d with
+      | Dist.Block -> i / t.chunk
+      | Dist.Cyclic -> i mod t.n_pes
+      | Dist.Block_cyclic w -> i / w mod t.n_pes
+      | Dist.Degenerate -> assert false)
+
 (* Local index along the distributed dimension within the owner's portion. *)
 let local_dim_index t i =
   match t.ddim with

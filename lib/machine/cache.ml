@@ -52,7 +52,31 @@ let read t ~addr =
     Some t.data.((slot * t.lwords) + (addr mod t.lwords))
   end
 
+let locate t ~addr =
+  let line = addr / t.lwords in
+  let slot = slot_of_line t line in
+  if slot < 0 then -1
+  else begin
+    touch t slot;
+    (slot * t.lwords) + (addr mod t.lwords)
+  end
+
+let data_at t off = t.data.(off)
+
 let probe_line t ~line = slot_of_line t line >= 0
+
+(* reuse the slot if the line is already resident, else the LRU way *)
+let slot_for_fill t line =
+  let existing = slot_of_line t line in
+  if existing >= 0 then existing
+  else begin
+    let base = line mod t.sets * t.assoc in
+    let best = ref base in
+    for w = 1 to t.assoc - 1 do
+      if t.last_use.(base + w) < t.last_use.(!best) then best := base + w
+    done;
+    !best
+  end
 
 let fill t ?(tick = 0) ?vers ~line payload =
   if Array.length payload <> t.lwords then invalid_arg "Cache.fill: payload size";
@@ -60,20 +84,7 @@ let fill t ?(tick = 0) ?vers ~line payload =
   | Some v when Array.length v <> t.lwords ->
       invalid_arg "Cache.fill: version payload size"
   | Some _ | None -> ());
-  let set = line mod t.sets in
-  let base = set * t.assoc in
-  (* reuse the slot if the line is already resident, else the LRU way *)
-  let slot =
-    let existing = slot_of_line t line in
-    if existing >= 0 then existing
-    else begin
-      let best = ref base in
-      for w = 1 to t.assoc - 1 do
-        if t.last_use.(base + w) < t.last_use.(!best) then best := base + w
-      done;
-      !best
-    end
-  in
+  let slot = slot_for_fill t line in
   let evicted = if t.tags.(slot) >= 0 && t.tags.(slot) <> line then Some t.tags.(slot) else None in
   t.tags.(slot) <- line;
   Array.blit payload 0 t.data (slot * t.lwords) t.lwords;
@@ -83,6 +94,15 @@ let fill t ?(tick = 0) ?vers ~line payload =
   t.fill_ticks.(slot) <- tick;
   touch t slot;
   evicted
+
+let fill_from t ?(tick = 0) ~vers ~line ~src ~pos () =
+  let slot = slot_for_fill t line in
+  t.tags.(slot) <- line;
+  Array.blit src pos t.data (slot * t.lwords) t.lwords;
+  if Array.length vers = 0 then Array.fill t.vers (slot * t.lwords) t.lwords 0
+  else Array.blit vers pos t.vers (slot * t.lwords) t.lwords;
+  t.fill_ticks.(slot) <- tick;
+  touch t slot
 
 let fill_tick t ~line =
   let slot = slot_of_line t line in

@@ -23,6 +23,15 @@ val line_words : t -> int
     recency. *)
 val read : t -> addr:int -> float option
 
+(** Allocation-free hit probe: the data-array offset of the addressed word
+    (pass it to {!data_at}), or [-1] on a miss. Updates recency on a hit,
+    exactly as {!read} does. *)
+val locate : t -> addr:int -> int
+
+(** Payload word at an offset returned by {!locate}. Only valid until the
+    next fill or invalidation. *)
+val data_at : t -> int -> float
+
 (** Hit test without recency update. *)
 val probe_line : t -> line:int -> bool
 
@@ -33,6 +42,16 @@ val probe_line : t -> line:int -> bool
     per-word version tags of the payload (the staleness oracle compares
     them against memory's write versions); absent, the tags reset to 0. *)
 val fill : t -> ?tick:int -> ?vers:int array -> line:int -> float array -> int option
+
+(** Scratch-free fill for the simulator's per-access path: blits the line's
+    [line_words] payload straight out of [src] starting at word [pos]
+    (memory itself), avoiding the [Array.sub] copy {!fill} requires. [vers]
+    are per-word version stamps read at the same [pos]; pass [[||]] to reset
+    the stamps to 0. Same replacement policy as {!fill} (resident slot
+    reused, else true LRU way); the eviction tag is not reported. *)
+val fill_from :
+  t -> ?tick:int -> vers:int array -> line:int -> src:float array -> pos:int ->
+  unit -> unit
 
 (** Fill-time stamp of a resident line ([None] on a miss) — the version
     check of hardware-supported compiler-directed schemes compares this

@@ -53,6 +53,24 @@ let resolve t ~pe name idx =
       if owner = pe then ((pe * t.span) + off, `Local)
       else ((owner * t.span) + off, `Remote owner)
 
+(* Pre-resolved per-array handle: one layout + base lookup at compile time,
+   then every access is pure arithmetic. Because each array's offsets stay
+   inside [base, base + aligned per-PE words) and the windows tile the
+   address space, [addr / span] recovers the owning window, so the target
+   never needs to travel alongside the address. *)
+type handle = { hlay : Ccdp_craft.Layout.t; hbase : int; hspan : int }
+
+let handle t name = { hlay = layout t name; hbase = base t name; hspan = t.span }
+
+let resolve_h h ~pe idx =
+  let off = h.hbase + Ccdp_craft.Layout.local_offset h.hlay idx in
+  let ow = Ccdp_craft.Layout.owner_id h.hlay idx in
+  if ow < 0 || ow = pe then (pe * h.hspan) + off else (ow * h.hspan) + off
+
+let target_of h ~pe ~addr =
+  let ow = addr / h.hspan in
+  if ow = pe then -1 else ow
+
 let all_copies t name idx =
   let lay = layout t name in
   let off = base t name + Ccdp_craft.Layout.local_offset lay idx in

@@ -31,6 +31,24 @@ val layout : t -> string -> Ccdp_craft.Layout.t
 val resolve :
   t -> pe:int -> string -> int array -> int * [ `Local | `Remote of int ]
 
+(** {1 Pre-resolved handles (hot path)}
+
+    A handle captures one array's layout and base so the per-access path is
+    pure arithmetic: no string hashing, no tuple or variant allocation. *)
+
+type handle
+
+val handle : t -> string -> handle
+
+(** Address of an element as seen from [pe] — same address [resolve]
+    computes, without the target component. *)
+val resolve_h : handle -> pe:int -> int array -> int
+
+(** Target encoding recovered from an address produced by [resolve_h] on the
+    same [pe]: [-1] when the access is to the PE's own window (the [`Local]
+    cases of [resolve]), else the owning PE id ([`Remote owner]). *)
+val target_of : handle -> pe:int -> addr:int -> int
+
 (** Addresses of an element in {e every} copy (one for distributed arrays,
     [n_pes] for replicated ones) — used by initialization. *)
 val all_copies : t -> string -> int array -> int list

@@ -12,69 +12,145 @@ type result = {
   sys : Memsys.t;
 }
 
+(* Statement-level register memo as a flat linear-scan buffer keyed by
+   canonical word address: scopes hold a handful of distinct elements, so a
+   scan beats hashing — and resetting is one store. [memo_caps] bounds the
+   population statically; growth is a safety net only. *)
+type memo = {
+  mutable mn : int;
+  mutable mkeys : int array;
+  mutable mvals : float array;
+}
+
+let memo_make cap =
+  let cap = max 1 cap in
+  { mn = 0; mkeys = Array.make cap 0; mvals = Array.make cap 0.0 }
+
+let memo_index m addr =
+  let n = m.mn in
+  let keys = m.mkeys in
+  let rec go i = if i >= n then -1 else if keys.(i) = addr then i else go (i + 1) in
+  go 0
+
+let memo_add m addr v =
+  (if m.mn = Array.length m.mkeys then begin
+     let cap = 2 * m.mn in
+     let nk = Array.make cap 0 and nv = Array.make cap 0.0 in
+     Array.blit m.mkeys 0 nk 0 m.mn;
+     Array.blit m.mvals 0 nv 0 m.mn;
+     m.mkeys <- nk;
+     m.mvals <- nv
+   end);
+  m.mkeys.(m.mn) <- addr;
+  m.mvals.(m.mn) <- v;
+  m.mn <- m.mn + 1
+
+let memo_put m addr v =
+  let i = memo_index m addr in
+  if i >= 0 then m.mvals.(i) <- v else memo_add m addr v
+
 let run cfg ?(oracle = false) (program : Program.t) ~plan ~mode ?init () =
   let sys = Memsys.create cfg ~oracle program ~plan mode in
   (match init with Some f -> f sys | None -> ());
   let ep = Epoch.partition program.Program.main in
+  let xp = Xplan.lower program ep plan in
   let n = cfg.Config.n_pes in
-  (* per-PE induction-variable and scalar environments; parameters preloaded *)
-  let ivs = Array.init n (fun _ -> Hashtbl.create 16) in
-  let svs = Array.init n (fun _ -> Hashtbl.create 16) in
-  List.iter
-    (fun (k, v) -> Array.iter (fun h -> Hashtbl.replace h k v) ivs)
-    program.Program.params;
-  let refs_by_id : (int, Reference.t) Hashtbl.t = Hashtbl.create 64 in
-  ignore
-    (Stmt.fold_refs
-       (fun () ~write:_ (r : Reference.t) -> Hashtbl.replace refs_by_id r.id r)
-       () program.Program.main);
+  (* per-PE frames: induction variables / parameters (ints) and
+     task-private scalars (floats), with bound flags replacing the
+     string-keyed environments' membership *)
+  let nint = max 1 (Xplan.n_int xp) and nflt = max 1 (Xplan.n_flt xp) in
+  let iframe = Array.init n (fun _ -> Array.make nint 0) in
+  let ibound = Array.init n (fun _ -> Array.make nint false) in
+  let fframe = Array.init n (fun _ -> Array.make nflt 0.0) in
+  let fbound = Array.init n (fun _ -> Array.make nflt false) in
+  Array.iter
+    (fun (slot, v) ->
+      for pe = 0 to n - 1 do
+        iframe.(pe).(slot) <- v;
+        ibound.(pe).(slot) <- true
+      done)
+    xp.Xplan.params;
+  (* per static access: prepared memory-system access + scratch index
+     buffer (one per occurrence, so concurrent evaluation never clashes) *)
+  let raccs = Array.map (Memsys.prepare_read sys) xp.Xplan.reads in
+  let waccs = Array.map (Memsys.prepare_write sys) xp.Xplan.writes in
+  let scratch_of (r : Reference.t) = Array.make (Array.length r.subs) 0 in
+  let ridx = Array.map scratch_of xp.Xplan.reads in
+  let widx = Array.map scratch_of xp.Xplan.writes in
+  let memos = Array.map memo_make xp.Xplan.memo_caps in
+  (* per loop uid: last line issued per sp op (strip-mined issue state) *)
+  let sp_lines =
+    Array.map (fun k -> Array.make (max 1 k) min_int) xp.Xplan.sp_counts
+  in
   let epochs_executed = ref 0 in
   let profile : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
   let record_epoch id dt =
     let n, c = match Hashtbl.find_opt profile id with Some x -> x | None -> (0, 0) in
     Hashtbl.replace profile id (n + 1, c + dt)
   in
-  let clean_lead id =
-    Ccdp_analysis.Stale.verdict plan.Annot.stale id = Ccdp_analysis.Stale.Clean
+  let unbound_var s =
+    invalid_arg ("Interp: unbound variable " ^ xp.Xplan.lay.Xplan.int_names.(s))
   in
-  let lookup pe v =
-    match Hashtbl.find_opt ivs.(pe) v with
-    | Some x -> x
-    | None -> invalid_arg ("Interp: unbound variable " ^ v)
+  let unbound_scalar s =
+    invalid_arg ("Interp: unbound scalar $" ^ xp.Xplan.lay.Xplan.flt_names.(s))
   in
-  let eval_affine pe e = Affine.eval e (lookup pe) in
-  let eval_idx pe (r : Reference.t) = Array.map (eval_affine pe) r.subs in
-  let set_iv pe v x = Hashtbl.replace ivs.(pe) v x in
-  let set_iv_all v x = Array.iter (fun h -> Hashtbl.replace h v x) ivs in
-  (* [memo] models statement-level register reuse: a compiler loads each
-     distinct element once per statement, further occurrences read the
-     register for free. *)
-  let rec eval_f pe memo (e : Fexpr.t) =
+  let eval_aff pe (a : Xplan.aff) =
+    let fr = iframe.(pe) and bd = ibound.(pe) in
+    let coefs = a.Xplan.acoefs and slots = a.Xplan.aslots in
+    let r = ref a.Xplan.abase in
+    for k = 0 to Array.length coefs - 1 do
+      let s = slots.(k) in
+      if not bd.(s) then unbound_var s;
+      r := !r + (coefs.(k) * fr.(s))
+    done;
+    !r
+  in
+  let eval_bound pe = function
+    | Xplan.Fin a -> eval_aff pe a
+    | Xplan.Unk -> invalid_arg "Bound.eval_exec: unknown bound is not executable"
+  in
+  (* evaluate an occurrence's subscripts into its scratch buffer *)
+  let eval_subs bufs pe (xr : Xplan.xref) =
+    let buf = bufs.(xr.Xplan.xacc) in
+    let subs = xr.Xplan.xsubs in
+    for d = 0 to Array.length subs - 1 do
+      buf.(d) <- eval_aff pe subs.(d)
+    done;
+    buf
+  in
+  let rec eval_f pe memo (e : Xplan.fexpr) =
     match e with
-    | Fexpr.Const c -> c
-    | Fexpr.Ivar v -> float_of_int (lookup pe v)
-    | Fexpr.Svar v -> (
-        match Hashtbl.find_opt svs.(pe) v with
-        | Some x -> x
-        | None -> invalid_arg ("Interp: unbound scalar $" ^ v))
-    | Fexpr.Ref r -> (
-        let idx = eval_idx pe r in
-        let key = (r.Reference.array_name, idx) in
-        match Hashtbl.find_opt memo key with
-        | Some v -> v
-        | None ->
-            let v = Memsys.read sys ~pe r ~idx in
-            Hashtbl.replace memo key v;
-            v)
-    | Fexpr.Unop (op, a) -> Fexpr.apply_unop op (eval_f pe memo a)
-    | Fexpr.Binop (op, a, b) ->
+    | Xplan.XConst c -> c
+    | Xplan.XIvar s ->
+        if not ibound.(pe).(s) then unbound_var s;
+        float_of_int iframe.(pe).(s)
+    | Xplan.XSvar s ->
+        if not fbound.(pe).(s) then unbound_scalar s;
+        fframe.(pe).(s)
+    | Xplan.XRead xr ->
+        (* [memo] models statement-level register reuse: a compiler loads
+           each distinct element once per statement, further occurrences
+           read the register for free *)
+        let idx = eval_subs ridx pe xr in
+        let acc = raccs.(xr.Xplan.xacc) in
+        let addr = Memsys.access_addr sys acc ~pe ~idx in
+        let i = memo_index memo addr in
+        if i >= 0 then memo.mvals.(i)
+        else begin
+          let v = Memsys.read_c sys ~pe acc ~idx ~addr in
+          memo_add memo addr v;
+          v
+        end
+    | Xplan.XUnop (op, a) -> Fexpr.apply_unop op (eval_f pe memo a)
+    | Xplan.XBinop (op, a, b) ->
         let x = eval_f pe memo a in
         let y = eval_f pe memo b in
         Fexpr.apply_binop op x y
   in
   let eval_cond pe memo = function
-    | Stmt.Icond (op, a, b) -> Stmt.eval_cmp op (eval_affine pe a) (eval_affine pe b)
-    | Stmt.Fcond (op, a, b) ->
+    | Xplan.XIcond (op, a, b) ->
+        Stmt.eval_cmp op (eval_aff pe a) (eval_aff pe b)
+    | Xplan.XFcond (op, a, b) ->
         Memsys.charge sys ~pe cfg.Config.flop;
         let x = eval_f pe memo a in
         let y = eval_f pe memo b in
@@ -86,171 +162,148 @@ let run cfg ?(oracle = false) (program : Program.t) ~plan ~mode ?init () =
      runtime realizes that soundly as a line-crossing test against the
      previously issued line, so boundary and phase effects can never leave
      a line unissued. *)
-  let sp_issue pe (l : Stmt.loop) ~ref_id ~every ~last_line target_iter hi =
-    if (l.step > 0 && target_iter <= hi) || (l.step < 0 && target_iter >= hi)
+  let sp_issue pe (l : Xplan.loop) (sp : Xplan.sp) k target_iter hi =
+    if (l.Xplan.l_step > 0 && target_iter <= hi)
+       || (l.Xplan.l_step < 0 && target_iter >= hi)
     then begin
-      let r = Hashtbl.find refs_by_id ref_id in
-      let saved = Hashtbl.find_opt ivs.(pe) l.var in
-      set_iv pe l.var target_iter;
-      let idx = eval_idx pe r in
-      (match saved with
-      | Some x -> set_iv pe l.var x
-      | None -> Hashtbl.remove ivs.(pe) l.var);
-      let skip_cached = clean_lead ref_id in
-      if every <= 1 then
-        Memsys.issue_line_prefetch ~skip_cached sys ~pe r.Reference.array_name
-          ~idx
+      let var = l.Xplan.l_var in
+      let sv = iframe.(pe).(var) and sb = ibound.(pe).(var) in
+      iframe.(pe).(var) <- target_iter;
+      ibound.(pe).(var) <- true;
+      let idx = eval_subs ridx pe sp.Xplan.sp_ref in
+      iframe.(pe).(var) <- sv;
+      ibound.(pe).(var) <- sb;
+      let acc = raccs.(sp.Xplan.sp_ref.Xplan.xacc) in
+      let addr = Memsys.access_addr sys acc ~pe ~idx in
+      if sp.Xplan.sp_every <= 1 then
+        Memsys.pf_issue_c ~skip_cached:sp.Xplan.sp_clean sys ~pe acc ~addr
       else begin
-        let line = Memsys.line_of sys ~pe r.Reference.array_name ~idx in
-        if line <> !last_line then begin
-          last_line := line;
-          Memsys.issue_line_prefetch ~skip_cached sys ~pe
-            r.Reference.array_name ~idx
+        let line = addr / cfg.Config.line_words in
+        let lines = sp_lines.(l.Xplan.l_uid) in
+        if line <> lines.(k) then begin
+          lines.(k) <- line;
+          Memsys.pf_issue_c ~skip_cached:sp.Xplan.sp_clean sys ~pe acc ~addr
         end
       end
     end
   in
-  (* find a nested loop statement by id (two-level vector pulls sweep it) *)
-  let rec find_loop lid stmts =
-    List.fold_left
-      (fun acc s ->
-        match acc with
-        | Some _ -> acc
-        | None -> (
-            match s with
-            | Stmt.For l when l.Stmt.loop_id = lid -> Some l
-            | Stmt.For l -> find_loop lid l.Stmt.body
-            | Stmt.If (_, a, b) -> (
-                match find_loop lid a with
-                | Some _ as r -> r
-                | None -> find_loop lid b)
-            | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ -> None))
-      None stmts
-  in
   (* issue the vector prefetches attached to a loop, for the given range *)
-  let vector_issue pe (l : Stmt.loop) ~first ~last ~step =
-    List.iter
-      (fun op ->
-        match op with
-        | Annot.Vector { ref_id; group; inner; _ } ->
-            let members =
-              List.map (Hashtbl.find refs_by_id) (ref_id :: group)
-            in
-            let name = (List.hd members).Reference.array_name in
-            let saved = Hashtbl.find_opt ivs.(pe) l.var in
-            let idxs = ref [] in
-            let collect () =
-              List.iter (fun r -> idxs := eval_idx pe r :: !idxs) members
-            in
-            let sweep_inner () =
-              match inner with
-              | None -> collect ()
-              | Some lid -> (
-                  match find_loop lid l.Stmt.body with
-                  | None -> collect ()
-                  | Some il ->
-                      let ifirst = Bound.eval_exec il.Stmt.lo (lookup pe) in
-                      let ilast = Bound.eval_exec il.Stmt.hi (lookup pe) in
-                      let isaved = Hashtbl.find_opt ivs.(pe) il.Stmt.var in
-                      let w = ref ifirst in
-                      let cont () =
-                        if il.Stmt.step > 0 then !w <= ilast else !w >= ilast
-                      in
-                      while cont () do
-                        set_iv pe il.Stmt.var !w;
-                        collect ();
-                        w := !w + il.Stmt.step
-                      done;
-                      (match isaved with
-                      | Some x -> set_iv pe il.Stmt.var x
-                      | None -> Hashtbl.remove ivs.(pe) il.Stmt.var))
-            in
-            let v = ref first in
-            let continue () = if step > 0 then !v <= last else !v >= last in
-            while continue () do
-              set_iv pe l.var !v;
-              sweep_inner ();
-              v := !v + step
-            done;
-            (match saved with
-            | Some x -> set_iv pe l.var x
-            | None -> Hashtbl.remove ivs.(pe) l.var);
-            Memsys.vget_issue ~skip_cached:(clean_lead ref_id) sys ~pe name
-              (List.rev !idxs)
-        | Annot.Pipelined _ | Annot.Back _ -> ())
-      (Annot.vectors_at plan l.Stmt.loop_id)
-  in
-  let sp_plans (l : Stmt.loop) =
-    List.filter_map
-      (fun op ->
-        match op with
-        | Annot.Pipelined { ref_id; distance; every; _ } ->
-            Some (ref_id, distance, every)
-        | Annot.Vector _ | Annot.Back _ -> None)
-      (Annot.pipelined_at plan l.Stmt.loop_id)
+  let vector_issue pe (l : Xplan.loop) ~first ~last ~step =
+    Array.iter
+      (fun (vec : Xplan.vec) ->
+        let var = l.Xplan.l_var in
+        let sv = iframe.(pe).(var) and sb = ibound.(pe).(var) in
+        let idxs = ref [] in
+        let collect () =
+          Array.iter
+            (fun m -> idxs := Array.copy (eval_subs ridx pe m) :: !idxs)
+            vec.Xplan.v_members
+        in
+        let sweep_inner () =
+          match vec.Xplan.v_inner with
+          | None -> collect ()
+          | Some il ->
+              let ifirst = eval_bound pe il.Xplan.l_lo in
+              let ilast = eval_bound pe il.Xplan.l_hi in
+              let ivar = il.Xplan.l_var in
+              let isv = iframe.(pe).(ivar) and isb = ibound.(pe).(ivar) in
+              let w = ref ifirst in
+              let cont () =
+                if il.Xplan.l_step > 0 then !w <= ilast else !w >= ilast
+              in
+              while cont () do
+                iframe.(pe).(ivar) <- !w;
+                ibound.(pe).(ivar) <- true;
+                collect ();
+                w := !w + il.Xplan.l_step
+              done;
+              iframe.(pe).(ivar) <- isv;
+              ibound.(pe).(ivar) <- isb
+        in
+        let v = ref first in
+        let continue () = if step > 0 then !v <= last else !v >= last in
+        while continue () do
+          iframe.(pe).(var) <- !v;
+          ibound.(pe).(var) <- true;
+          sweep_inner ();
+          v := !v + step
+        done;
+        iframe.(pe).(var) <- sv;
+        ibound.(pe).(var) <- sb;
+        Memsys.vget_issue_c ~skip_cached:vec.Xplan.v_clean sys ~pe
+          raccs.(vec.Xplan.v_members.(0).Xplan.xacc)
+          (List.rev !idxs))
+      l.Xplan.l_vecs
   in
   (* execute the iterations [first..last..step] of loop [l] on [pe] *)
-  let rec exec_range pe (l : Stmt.loop) ~first ~last ~step =
+  let rec exec_range pe (l : Xplan.loop) ~first ~last ~step =
     vector_issue pe l ~first ~last ~step;
-    let plans = List.map (fun p -> (p, ref min_int)) (sp_plans l) in
+    let sps = l.Xplan.l_sps in
+    let lines = sp_lines.(l.Xplan.l_uid) in
+    Array.fill lines 0 (Array.length lines) min_int;
     (* software-pipelining prologue: prefetch the first d iterations *)
-    List.iter
-      (fun ((ref_id, d, every), last_line) ->
-        for k = 0 to d - 1 do
-          sp_issue pe l ~ref_id ~every ~last_line (first + (k * step)) last
+    Array.iteri
+      (fun k (sp : Xplan.sp) ->
+        for j = 0 to sp.Xplan.sp_dist - 1 do
+          sp_issue pe l sp k (first + (j * step)) last
         done)
-      plans;
-    let saved = Hashtbl.find_opt ivs.(pe) l.var in
+      sps;
+    let var = l.Xplan.l_var in
+    let sv = iframe.(pe).(var) and sb = ibound.(pe).(var) in
+    let memo = memos.(l.Xplan.l_memo) in
+    let body = l.Xplan.l_body in
     let v = ref first in
     let continue () = if step > 0 then !v <= last else !v >= last in
     while continue () do
-      set_iv pe l.var !v;
+      iframe.(pe).(var) <- !v;
+      ibound.(pe).(var) <- true;
       Memsys.charge sys ~pe cfg.Config.loop_overhead;
-      List.iter
-        (fun ((ref_id, d, every), last_line) ->
-          sp_issue pe l ~ref_id ~every ~last_line (!v + (d * step)) last)
-        plans;
+      Array.iteri
+        (fun k (sp : Xplan.sp) ->
+          sp_issue pe l sp k (!v + (sp.Xplan.sp_dist * step)) last)
+        sps;
       (* fresh register file per iteration: scalar replacement is only
          valid within a single iteration of the innermost loop *)
-      let memo = Hashtbl.create 8 in
-      List.iter (exec_stmt pe memo) l.body;
+      memo.mn <- 0;
+      Array.iter (exec_stmt pe memo) body;
       v := !v + step
     done;
-    match saved with
-    | Some x -> set_iv pe l.var x
-    | None -> Hashtbl.remove ivs.(pe) l.var
+    iframe.(pe).(var) <- sv;
+    ibound.(pe).(var) <- sb
 
-  and exec_loop pe (l : Stmt.loop) =
-    let first = Bound.eval_exec l.lo (lookup pe) in
-    let last = Bound.eval_exec l.hi (lookup pe) in
-    exec_range pe l ~first ~last ~step:l.step
+  and exec_loop pe (l : Xplan.loop) =
+    let first = eval_bound pe l.Xplan.l_lo in
+    let last = eval_bound pe l.Xplan.l_hi in
+    exec_range pe l ~first ~last ~step:l.Xplan.l_step
 
-  and exec_stmt pe memo s =
+  and exec_stmt pe memo (s : Xplan.stmt) =
     match s with
-    | Stmt.Assign (r, e) ->
-        Memsys.charge sys ~pe (Stmt.direct_flops s * cfg.Config.flop);
-        let v = eval_f pe memo e in
-        let idx = eval_idx pe r in
-        Memsys.write sys ~pe r ~idx v;
+    | Xplan.XAssign { xflops; dst; src } ->
+        Memsys.charge sys ~pe (xflops * cfg.Config.flop);
+        let v = eval_f pe memo src in
+        let idx = eval_subs widx pe dst in
+        let wa = waccs.(dst.Xplan.xacc) in
+        let addr = Memsys.write_addr sys wa ~pe ~idx in
+        Memsys.write_c sys ~pe wa ~addr v;
         (* keep the register copy coherent with the store *)
-        Hashtbl.replace memo (r.Reference.array_name, idx) v
-    | Stmt.Sassign (x, e) ->
-        Memsys.charge sys ~pe (Stmt.direct_flops s * cfg.Config.flop);
-        Hashtbl.replace svs.(pe) x (eval_f pe memo e)
-    | Stmt.If (c, tb, eb) ->
-        if eval_cond pe memo c then List.iter (exec_stmt pe memo) tb
-        else List.iter (exec_stmt pe memo) eb
-    | Stmt.For l -> exec_loop pe l
-    | Stmt.Call _ -> invalid_arg "Interp: program contains calls; inline first"
+        memo_put memo addr v
+    | Xplan.XSassign { xflops; slot; src } ->
+        Memsys.charge sys ~pe (xflops * cfg.Config.flop);
+        fframe.(pe).(slot) <- eval_f pe memo src;
+        fbound.(pe).(slot) <- true
+    | Xplan.XIf (c, tb, eb) ->
+        if eval_cond pe memo c then Array.iter (exec_stmt pe memo) tb
+        else Array.iter (exec_stmt pe memo) eb
+    | Xplan.XFor l -> exec_loop pe l
   in
-  let exec_parallel id (l : Stmt.loop) =
+  let exec_parallel id (l : Xplan.loop) =
     incr epochs_executed;
     let t0 = Machine.time (Memsys.machine sys) in
     if mode = Memsys.Seq then exec_loop 0 l
     else begin
-      let first = Bound.eval_exec l.lo (lookup 0) in
-      let last = Bound.eval_exec l.hi (lookup 0) in
-      (match l.kind with
+      let first = eval_bound 0 l.Xplan.l_lo in
+      let last = eval_bound 0 l.Xplan.l_hi in
+      (match l.Xplan.l_src.Stmt.kind with
       | Stmt.Serial -> assert false
       | Stmt.Doall
           ((Stmt.Static_block | Stmt.Static_aligned _ | Stmt.Static_cyclic) as
@@ -258,7 +311,7 @@ let run cfg ?(oracle = false) (program : Program.t) ~plan ~mode ?init () =
           for pe = 0 to n - 1 do
             match
               Ccdp_craft.Loop_sched.triplet_of_pe sched ~n_pes:n ~pe ~lo:first
-                ~hi:last ~step:l.step
+                ~hi:last ~step:l.Xplan.l_step
             with
             | None -> ()
             | Some (f, la, s) -> exec_range pe l ~first:f ~last:la ~step:s
@@ -266,7 +319,7 @@ let run cfg ?(oracle = false) (program : Program.t) ~plan ~mode ?init () =
       | Stmt.Doall (Stmt.Dynamic chunk) ->
           let chunks =
             Ccdp_craft.Loop_sched.dynamic_chunks ~chunk ~lo:first ~hi:last
-              ~step:l.step
+              ~step:l.Xplan.l_step
           in
           List.iter
             (fun (f, la, s) ->
@@ -282,38 +335,41 @@ let run cfg ?(oracle = false) (program : Program.t) ~plan ~mode ?init () =
     Memsys.epoch_boundary sys;
     record_epoch id (Machine.time (Memsys.machine sys) - t0)
   in
-  let exec_serial_epoch id stmts =
+  let exec_serial_epoch id (stmts : Xplan.stmt array) memo_id =
     incr epochs_executed;
     let t0 = Machine.time (Memsys.machine sys) in
-    let memo = Hashtbl.create 8 in
-    List.iter (exec_stmt 0 memo) stmts;
+    let memo = memos.(memo_id) in
+    memo.mn <- 0;
+    Array.iter (exec_stmt 0 memo) stmts;
     Memsys.epoch_boundary sys;
     record_epoch id (Machine.time (Memsys.machine sys) - t0)
   in
   let rec exec_nodes nodes =
-    List.iter
+    Array.iter
       (fun node ->
         match node with
-        | Epoch.E (id, Epoch.Par l) -> exec_parallel id l
-        | Epoch.E (id, Epoch.Ser stmts) -> exec_serial_epoch id stmts
-        | Epoch.Loop (l, body) ->
-            let first = Bound.eval_exec l.Stmt.lo (lookup 0) in
-            let last = Bound.eval_exec l.Stmt.hi (lookup 0) in
+        | Xplan.NPar (id, l) -> exec_parallel id l
+        | Xplan.NSer (id, stmts, memo_id) -> exec_serial_epoch id stmts memo_id
+        | Xplan.NLoop { s_var; s_lo; s_hi; s_step; s_body } ->
+            let first = eval_bound 0 s_lo in
+            let last = eval_bound 0 s_hi in
             let v = ref first in
-            let continue () =
-              if l.Stmt.step > 0 then !v <= last else !v >= last
-            in
+            let continue () = if s_step > 0 then !v <= last else !v >= last in
             while continue () do
-              set_iv_all l.Stmt.var !v;
-              exec_nodes body;
-              v := !v + l.Stmt.step
+              for pe = 0 to n - 1 do
+                iframe.(pe).(s_var) <- !v;
+                ibound.(pe).(s_var) <- true
+              done;
+              exec_nodes s_body;
+              v := !v + s_step
             done
-        | Epoch.Branch (c, a, b) ->
-            if eval_cond 0 (Hashtbl.create 4) c then exec_nodes a
-            else exec_nodes b)
+        | Xplan.NBranch (c, memo_id, a, b) ->
+            let memo = memos.(memo_id) in
+            memo.mn <- 0;
+            if eval_cond 0 memo c then exec_nodes a else exec_nodes b)
       nodes
   in
-  exec_nodes ep.Epoch.nodes;
+  exec_nodes xp.Xplan.nodes;
   let mach = Memsys.machine sys in
   {
     mode;
@@ -328,21 +384,20 @@ let run cfg ?(oracle = false) (program : Program.t) ~plan ~mode ?init () =
   }
 
 let pp_profile ppf (ep : Epoch.t) r =
-  let descr =
-    List.map
-      (fun (id, e) ->
-        ( id,
-          match e with
-          | Epoch.Par l -> Printf.sprintf "parallel doall %s" l.Stmt.var
-          | Epoch.Ser ss -> Printf.sprintf "serial (%d stmts)" (List.length ss) ))
-      (Epoch.all ep)
-  in
+  let descr : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (id, e) ->
+      Hashtbl.replace descr id
+        (match e with
+        | Epoch.Par l -> Printf.sprintf "parallel doall %s" l.Stmt.var
+        | Epoch.Ser ss -> Printf.sprintf "serial (%d stmts)" (List.length ss)))
+    (Epoch.all ep);
   let total = max 1 r.cycles in
   Format.fprintf ppf "@[<v>epoch profile (%d machine cycles total):@," r.cycles;
   List.iter
     (fun (id, n, c) ->
       Format.fprintf ppf "  epoch %d %-24s x%-5d %9d cycles (%4.1f%%)@," id
-        (match List.assoc_opt id descr with Some d -> d | None -> "?")
+        (match Hashtbl.find_opt descr id with Some d -> d | None -> "?")
         n c
         (100.0 *. float_of_int c /. float_of_int total))
     r.epoch_profile;

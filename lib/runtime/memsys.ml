@@ -15,7 +15,9 @@ let mode_name = function
    epoch tick that contained any write; [writers] is a bitmask of the PEs
    that have written during the current epoch (all-ones when a PE id
    exceeds the mask width). A reader whose own PE is the only current
-   writer may trust same-epoch fills: nobody else changed memory. *)
+   writer may trust same-epoch fills: nobody else changed memory. A record
+   with [settled = -1; writers = 0] is indistinguishable from an absent
+   one, which lets prepared accesses pin the record up front. *)
 type version = { mutable settled : int; mutable writers : int }
 
 (* Dynamic staleness oracle: memory carries a per-word version stamp
@@ -43,15 +45,25 @@ type oracle = {
   mutable next_ver : int;
   mutable checked : int;
   mutable n_violations : int;
-  mutable violations : violation list;  (** first few witnesses, oldest first *)
+  mutable violations : violation list;  (** first few witnesses, newest first *)
 }
 
 let max_kept_violations = 16
 
+(* Per-PE vector-get staging buffer. The consumption order (oldest staged
+   line evicted first) is kept as a FIFO of [(line, generation)] pairs with
+   lazy deletion: consuming or evicting a line leaves its queue entry
+   behind as a tombstone, detected later by a generation mismatch against
+   [vstamp]. Re-staging a line that is still staged only refreshes its
+   ready cycle and keeps its queue position, exactly like the previous
+   list-based order did — and every operation is O(1) amortized where the
+   list paid O(staged lines) per consumed line. *)
 type pe_ctx = {
   pe : Pe.t;
   vget : (int, int) Hashtbl.t;  (** line -> ready cycle *)
-  mutable vget_order : int list;  (** staged lines, oldest first *)
+  vstamp : (int, int) Hashtbl.t;  (** line -> generation of its live entry *)
+  vq : (int * int) Queue.t;  (** staging order, oldest first; has tombstones *)
+  mutable vgen : int;
   mutable vget_words : int;
   fresh : (int, unit) Hashtbl.t;  (** lines filled since the last barrier *)
   mutable epoch_start : int;
@@ -65,6 +77,7 @@ type t = {
   mach : Machine.t;
   ctxs : pe_ctx array;
   decls : (string, Array_decl.t) Hashtbl.t;
+  handles : (string, Addr_map.handle) Hashtbl.t;
   pl : Ccdp_analysis.Annot.plan;
   net : Torus.t option;  (** distance model when [cfg.torus] *)
   mutable epoch_tick : int;  (** epoch-execution counter (version clock) *)
@@ -75,6 +88,7 @@ type t = {
           (photographed in INCOHERENT mode; ground truth for validating the
           stale-reference analysis) *)
   ora : oracle option;
+  wv : int array;  (** the oracle's [wver], or [[||]] when the oracle is off *)
 }
 
 let create cfg ?(oracle = false) (p : Program.t) ~plan md =
@@ -86,6 +100,20 @@ let create cfg ?(oracle = false) (p : Program.t) ~plan md =
   in
   let decls = Hashtbl.create 16 in
   List.iter (fun (a : Array_decl.t) -> Hashtbl.replace decls a.name a) p.Program.arrays;
+  let ora =
+    if oracle then
+      let words = Addr_map.total_words amap in
+      Some
+        {
+          wver = Array.make words 0;
+          wepoch = Array.make words (-1);
+          next_ver = 0;
+          checked = 0;
+          n_violations = 0;
+          violations = [];
+        }
+    else None
+  in
   {
     cfg;
     md;
@@ -97,30 +125,22 @@ let create cfg ?(oracle = false) (p : Program.t) ~plan md =
           {
             pe = Machine.pe mach i;
             vget = Hashtbl.create 64;
-            vget_order = [];
+            vstamp = Hashtbl.create 64;
+            vq = Queue.create ();
+            vgen = 0;
             vget_words = 0;
             fresh = Hashtbl.create 256;
             epoch_start = 0;
           });
     decls;
+    handles = Hashtbl.create 16;
     pl = plan;
     net = (if cfg.Config.torus then Some (Torus.of_pes cfg.Config.n_pes) else None);
     epoch_tick = 0;
     versions = Hashtbl.create 16;
     observed_stale = Hashtbl.create 16;
-    ora =
-      (if oracle then
-         let words = Addr_map.total_words amap in
-         Some
-           {
-             wver = Array.make words 0;
-             wepoch = Array.make words (-1);
-             next_ver = 0;
-             checked = 0;
-             n_violations = 0;
-             violations = [];
-           }
-       else None);
+    ora;
+    wv = (match ora with Some o -> o.wver | None -> [||]);
   }
 
 let cfg t = t.cfg
@@ -129,6 +149,14 @@ let map t = t.amap
 let machine t = t.mach
 let plan t = t.pl
 let decl t name = Hashtbl.find t.decls name
+
+let handle_of t name =
+  match Hashtbl.find_opt t.handles name with
+  | Some h -> h
+  | None ->
+      let h = Addr_map.handle t.amap name in
+      Hashtbl.replace t.handles name h;
+      h
 
 let set t name idx v =
   List.iter
@@ -154,53 +182,41 @@ let clock t ~pe = t.ctxs.(pe).pe.Pe.clock
 (* Internals                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Targets are plain ints on the per-access path: [-1] is local, anything
+   else the owning (remote) PE id — no variant boxing per access. *)
+
 let net_dist t ~pe owner =
   match t.net with
   | None -> 0
   | Some torus -> t.cfg.Config.hop * Torus.hops torus pe owner
 
-let latency_of t ~pe = function
-  | `Local -> t.cfg.Config.local
-  | `Remote owner -> t.cfg.Config.remote + net_dist t ~pe owner
+let latency_of t ~pe tgt =
+  if tgt < 0 then t.cfg.Config.local else t.cfg.Config.remote + net_dist t ~pe tgt
 
 (* Latency of a read that does not allocate in the cache: local reads
    stream through the T3D read-ahead buffer. *)
-let uncached_latency_of t ~pe = function
-  | `Local -> t.cfg.Config.uncached_local
-  | `Remote owner -> t.cfg.Config.remote + net_dist t ~pe owner
+let uncached_latency_of t ~pe tgt =
+  if tgt < 0 then t.cfg.Config.uncached_local
+  else t.cfg.Config.remote + net_dist t ~pe tgt
 
-let store_cost t = function
-  | `Local -> t.cfg.Config.store_local
-  | `Remote _ -> t.cfg.Config.store_remote
+let store_cost t tgt =
+  if tgt < 0 then t.cfg.Config.store_local else t.cfg.Config.store_remote
 
 (* Annex set-up cost of addressing a target PE (free when resident). *)
-let annex_cost t ctx = function
-  | `Local -> 0
-  | `Remote owner ->
-      if Dtb_annex.touch ctx.pe.Pe.annex owner then begin
-        ctx.pe.Pe.stats.Stats.annex_hits <- ctx.pe.Pe.stats.Stats.annex_hits + 1;
-        0
-      end
-      else begin
-        ctx.pe.Pe.stats.Stats.annex_misses <- ctx.pe.Pe.stats.Stats.annex_misses + 1;
-        t.cfg.Config.annex_setup
-      end
-
-let line_payload t line =
-  let lw = t.cfg.Config.line_words in
-  Array.sub t.mem (line * lw) lw
+let annex_cost t ctx tgt =
+  if tgt < 0 then 0
+  else if Dtb_annex.touch ctx.pe.Pe.annex tgt then begin
+    ctx.pe.Pe.stats.Stats.annex_hits <- ctx.pe.Pe.stats.Stats.annex_hits + 1;
+    0
+  end
+  else begin
+    ctx.pe.Pe.stats.Stats.annex_misses <- ctx.pe.Pe.stats.Stats.annex_misses + 1;
+    t.cfg.Config.annex_setup
+  end
 
 let fill t ctx line =
-  let vers =
-    match t.ora with
-    | None -> None
-    | Some o ->
-        let lw = t.cfg.Config.line_words in
-        Some (Array.sub o.wver (line * lw) lw)
-  in
-  ignore
-    (Cache.fill ctx.pe.Pe.cache ~tick:t.epoch_tick ?vers ~line
-       (line_payload t line));
+  Cache.fill_from ctx.pe.Pe.cache ~tick:t.epoch_tick ~vers:t.wv ~line ~src:t.mem
+    ~pos:(line * t.cfg.Config.line_words) ();
   Hashtbl.replace ctx.fresh line ()
 
 let record_arrival ctx ~stall =
@@ -217,9 +233,10 @@ let record_arrival ctx ~stall =
    the current epoch are exempt — under the epoch model's race-freedom a
    same-epoch writer of a read location can only be the reading PE itself,
    whose write-through patched the cached copy (and its version). *)
-let oracle_check t ctx vref addr =
-  match (t.ora, vref) with
-  | Some o, Some ((r : Reference.t), idx) ->
+let oracle_check t ctx (r : Reference.t) idx addr =
+  match t.ora with
+  | None -> ()
+  | Some o ->
       o.checked <- o.checked + 1;
       let cv =
         match Cache.word_version ctx.pe.Pe.cache ~addr with
@@ -228,41 +245,47 @@ let oracle_check t ctx vref addr =
       in
       if o.wver.(addr) > cv && o.wepoch.(addr) < t.epoch_tick then begin
         o.n_violations <- o.n_violations + 1;
-        if List.length o.violations < max_kept_violations then
+        (* bounded witness list: prepend (newest first), reversed at report
+           time — the n-th violation costs O(1), not O(kept list) *)
+        if o.n_violations <= max_kept_violations then
           o.violations <-
-            o.violations
-            @ [
-                {
-                  v_ref = r.Reference.id;
-                  v_pe = ctx.pe.Pe.id;
-                  v_array = r.Reference.array_name;
-                  v_index = Array.copy idx;
-                  v_addr = addr;
-                  v_cached_version = cv;
-                  v_mem_version = o.wver.(addr);
-                  v_write_epoch = o.wepoch.(addr);
-                  v_read_epoch = t.epoch_tick;
-                };
-              ]
+            {
+              v_ref = r.Reference.id;
+              v_pe = ctx.pe.Pe.id;
+              v_array = r.Reference.array_name;
+              v_index = Array.copy idx;
+              v_addr = addr;
+              v_cached_version = cv;
+              v_mem_version = o.wver.(addr);
+              v_write_epoch = o.wepoch.(addr);
+              v_read_epoch = t.epoch_tick;
+            }
+            :: o.violations
       end
-  | _ -> ()
+
+(* Consume a staged vector-get line: drop the table entries; the FIFO entry
+   stays behind as a tombstone (generation mismatch). *)
+let vget_consume ctx line lw =
+  Hashtbl.remove ctx.vget line;
+  Hashtbl.remove ctx.vstamp line;
+  ctx.vget_words <- ctx.vget_words - lw
 
 (* The ordinary cached-read protocol: consume a pending vector-get or queue
    entry if one exists, then the cache, then demand-fetch. [fresh_only]
    restricts cache hits to lines filled since the last barrier (used for
    leading references, whose cached copy is only trustworthy when this
-   epoch's prefetch machinery put it there). [vref] identifies the dynamic
-   reference for oracle reporting (tracked shared reads only). *)
-let cached_read ?(fresh_only = false) ?vref t ctx addr target =
+   epoch's prefetch machinery put it there). [track] marks tracked shared
+   reads, whose cache hits the oracle asserts over ([r], [idx] identify the
+   dynamic reference in the report). *)
+let cached_read ?(fresh_only = false) ?(track = false) t ctx (r : Reference.t)
+    idx addr tgt =
   let self = ctx.pe.Pe.id in
   let lw = t.cfg.Config.line_words in
   let line = addr / lw in
   match Hashtbl.find_opt ctx.vget line with
   | Some ready ->
       let stall = max 0 (ready - ctx.pe.Pe.clock) in
-      Hashtbl.remove ctx.vget line;
-      ctx.vget_order <- List.filter (fun l -> l <> line) ctx.vget_order;
-      ctx.vget_words <- ctx.vget_words - lw;
+      vget_consume ctx line lw;
       record_arrival ctx ~stall;
       Pe.advance ctx.pe (stall + t.cfg.Config.hit);
       fill t ctx line;
@@ -276,55 +299,53 @@ let cached_read ?(fresh_only = false) ?vref t ctx addr target =
           Pe.advance ctx.pe (stall + t.cfg.Config.pf_extract);
           fill t ctx line;
           t.mem.(addr)
-      | None -> (
-          let cache_hit =
-            if fresh_only && not (Hashtbl.mem ctx.fresh line) then None
-            else Cache.read ctx.pe.Pe.cache ~addr
+      | None ->
+          let off =
+            if fresh_only && not (Hashtbl.mem ctx.fresh line) then -1
+            else Cache.locate ctx.pe.Pe.cache ~addr
           in
-          match cache_hit with
-          | Some v ->
-              oracle_check t ctx vref addr;
-              ctx.pe.Pe.stats.Stats.hits <- ctx.pe.Pe.stats.Stats.hits + 1;
-              Pe.advance ctx.pe t.cfg.Config.hit;
-              v
-          | None ->
-              (let s = ctx.pe.Pe.stats in
-               match target with
-               | `Local -> s.Stats.miss_local <- s.Stats.miss_local + 1
-               | `Remote _ -> s.Stats.miss_remote <- s.Stats.miss_remote + 1);
-              Pe.advance ctx.pe
-                (annex_cost t ctx target + latency_of t ~pe:self target);
-              fill t ctx line;
-              t.mem.(addr)))
+          if off >= 0 then begin
+            if track then oracle_check t ctx r idx addr;
+            ctx.pe.Pe.stats.Stats.hits <- ctx.pe.Pe.stats.Stats.hits + 1;
+            Pe.advance ctx.pe t.cfg.Config.hit;
+            Cache.data_at ctx.pe.Pe.cache off
+          end
+          else begin
+            (let s = ctx.pe.Pe.stats in
+             if tgt < 0 then s.Stats.miss_local <- s.Stats.miss_local + 1
+             else s.Stats.miss_remote <- s.Stats.miss_remote + 1);
+            Pe.advance ctx.pe (annex_cost t ctx tgt + latency_of t ~pe:self tgt);
+            fill t ctx line;
+            t.mem.(addr)
+          end)
 
-let uncached_read t ctx addr target =
+let uncached_read t ctx addr tgt =
   (let s = ctx.pe.Pe.stats in
-   match target with
-   | `Local -> s.Stats.uncached_local <- s.Stats.uncached_local + 1
-   | `Remote _ -> s.Stats.uncached_remote <- s.Stats.uncached_remote + 1);
+   if tgt < 0 then s.Stats.uncached_local <- s.Stats.uncached_local + 1
+   else s.Stats.uncached_remote <- s.Stats.uncached_remote + 1);
   Pe.advance ctx.pe
-    (annex_cost t ctx target + uncached_latency_of t ~pe:ctx.pe.Pe.id target);
+    (annex_cost t ctx tgt + uncached_latency_of t ~pe:ctx.pe.Pe.id tgt);
   t.mem.(addr)
 
-let bypass_read t ctx addr target =
+let bypass_read t ctx addr tgt =
   ctx.pe.Pe.stats.Stats.bypass_reads <- ctx.pe.Pe.stats.Stats.bypass_reads + 1;
   Pe.advance ctx.pe
-    (annex_cost t ctx target + uncached_latency_of t ~pe:ctx.pe.Pe.id target);
+    (annex_cost t ctx tgt + uncached_latency_of t ~pe:ctx.pe.Pe.id tgt);
   t.mem.(addr)
 
 (* A moved-back prefetch: the issue happened [back] cycles ago (clamped to
    the epoch start), so the reader only stalls for the residual latency. *)
-let moved_back_read t ctx addr target ~back =
+let moved_back_read t ctx addr tgt ~back =
   let s = ctx.pe.Pe.stats in
   s.Stats.pf_issued <- s.Stats.pf_issued + 1;
   let lw = t.cfg.Config.line_words in
   let line = addr / lw in
   let issue_at = max ctx.epoch_start (ctx.pe.Pe.clock - back) in
-  let ready = issue_at + latency_of t ~pe:ctx.pe.Pe.id target in
+  let ready = issue_at + latency_of t ~pe:ctx.pe.Pe.id tgt in
   let stall = max 0 (ready - ctx.pe.Pe.clock) in
   record_arrival ctx ~stall;
   Pe.advance ctx.pe
-    (annex_cost t ctx target + t.cfg.Config.pf_issue + t.cfg.Config.pf_extract
+    (annex_cost t ctx tgt + t.cfg.Config.pf_issue + t.cfg.Config.pf_extract
    + stall);
   Cache.invalidate_line ctx.pe.Pe.cache ~line;
   fill t ctx line;
@@ -348,6 +369,14 @@ let tracked_shared t name =
 
 let writer_bit pe = if pe < 62 then 1 lsl pe else -1
 
+let version_record t name =
+  match Hashtbl.find_opt t.versions name with
+  | Some v -> v
+  | None ->
+      let v = { settled = -1; writers = 0 } in
+      Hashtbl.replace t.versions name v;
+      v
+
 (* HSCD (hardware-supported compiler-directed, after Choi-Yew's version
    schemes): every cache line carries its fill version, every array a
    write-version register. A hit whose line does not post-date the last
@@ -356,11 +385,11 @@ let writer_bit pe = if pe < 62 then 1 lsl pe else -1
    matters: a line filled in the same epoch as another PE's write to it may
    have captured pre-write words (false sharing at epoch granularity); own
    writes are exempt, since memory was not changed by anyone else. *)
-let hscd_read ?vref t ctx name addr target =
+let hscd_read ver t ctx (r : Reference.t) idx addr tgt =
   let lw = t.cfg.Config.line_words in
   let line = addr / lw in
   let effective =
-    match Hashtbl.find_opt t.versions name with
+    match ver with
     | None -> -1
     | Some v ->
         if v.writers = 0 || v.writers = writer_bit ctx.pe.Pe.id then v.settled
@@ -372,72 +401,144 @@ let hscd_read ?vref t ctx name addr target =
       ctx.pe.Pe.stats.Stats.invalidations <-
         ctx.pe.Pe.stats.Stats.invalidations + 1
   | Some _ | None -> ());
-  cached_read ?vref t ctx addr target
+  cached_read ~track:true t ctx r idx addr tgt
+
+(* The read protocol a reference executes, decided once per static
+   reference (mode + classification + scheduled op + stale verdict never
+   change during a run). *)
+type route =
+  | RPrivate  (** private / replicated data: cached and local in every mode *)
+  | RPlain  (** ordinary tracked cached read *)
+  | RIncoherent  (** tracked read with ground-truth staleness photography *)
+  | RHscd
+  | RUncached  (** BASE: shared data is not cached *)
+  | RCovered  (** fresh-only cached read (stale covered reference) *)
+  | RBypass
+  | RBack of int  (** moved-back prefetch, issued this many cycles early *)
+  | RLeadStaged  (** stale lead with SP/vector staging: staged-or-bypass *)
+
+let route_of t (r : Reference.t) =
+  if not (tracked_shared t r.array_name) then RPrivate
+  else
+    match t.md with
+    | Incoherent -> RIncoherent
+    | Seq | Invalidate -> RPlain
+    | Hscd -> RHscd
+    | Base -> RUncached
+    | Ccdp -> (
+        let open Ccdp_analysis in
+        match Annot.cls_of t.pl r.id with
+        | Annot.Normal -> RPlain
+        | Annot.Covered _ ->
+            (* a stale covered read may only hit lines its leader staged
+               this epoch: at loop boundaries the covered span can reach one
+               element past the leader's clamped range, and when chunk and
+               line sizes misalign that element lands in a line the leader
+               never touched — a leftover stale copy. Fresh-only turns that
+               corner into a demand miss of current memory. Clean covers
+               (latency-hiding groups) may trust any copy. *)
+            if clean_lead t r.id then RPlain else RCovered
+        | Annot.Bypass -> RBypass
+        | Annot.Lead -> (
+            match Annot.op_of t.pl r.id with
+            | Some (Annot.Back { cycles; _ }) ->
+                if clean_lead t r.id then RPlain else RBack cycles
+            | Some (Annot.Pipelined _) | Some (Annot.Vector _) ->
+                if clean_lead t r.id then RPlain else RLeadStaged
+            | None -> RBypass))
+
+let dispatch_read t ctx (r : Reference.t) ~idx ~addr ~tgt ~ver route =
+  match route with
+  | RPrivate -> cached_read t ctx r idx addr (-1)
+  | RPlain -> cached_read ~track:true t ctx r idx addr tgt
+  | RIncoherent ->
+      (* ground-truth staleness detection: an incoherent read that returns a
+         value other than memory's has observed an actually-stale copy *)
+      let v = cached_read ~track:true t ctx r idx addr tgt in
+      if v <> t.mem.(addr) then Hashtbl.replace t.observed_stale r.id ();
+      v
+  | RHscd -> hscd_read ver t ctx r idx addr tgt
+  | RUncached -> uncached_read t ctx addr tgt
+  | RCovered -> cached_read ~fresh_only:true ~track:true t ctx r idx addr tgt
+  | RBypass -> bypass_read t ctx addr tgt
+  | RBack back -> moved_back_read t ctx addr tgt ~back
+  | RLeadStaged ->
+      (* the prefetch machinery must have staged the line: pending entries
+         are consumed by the normal path; a fresh cached line is a earlier
+         consume; anything else means the issue was dropped -> bypass fetch *)
+      let line = addr / t.cfg.Config.line_words in
+      if
+        Hashtbl.mem ctx.vget line
+        || Prefetch_queue.find ctx.pe.Pe.queue ~line <> None
+        || Hashtbl.mem ctx.fresh line
+      then cached_read ~fresh_only:true ~track:true t ctx r idx addr tgt
+      else bypass_read t ctx addr tgt
 
 let read t ~pe (r : Reference.t) ~idx =
   let ctx = t.ctxs.(pe) in
   ctx.pe.Pe.stats.Stats.reads <- ctx.pe.Pe.stats.Stats.reads + 1;
-  let addr, target = Addr_map.resolve t.amap ~pe r.array_name idx in
-  if not (tracked_shared t r.array_name) then
-    (* private / replicated data: cached and local in every mode *)
-    cached_read t ctx addr `Local
-  else
-    let vref = (r, idx) in
-    if t.md = Incoherent then begin
-      (* ground-truth staleness detection: an incoherent read that returns a
-         value other than memory's has observed an actually-stale copy *)
-      let v = cached_read ~vref t ctx addr target in
-      if v <> t.mem.(addr) then Hashtbl.replace t.observed_stale r.id ();
-      v
-    end
-    else
-      match t.md with
-      | Seq | Invalidate | Incoherent -> cached_read ~vref t ctx addr target
-      | Hscd -> hscd_read ~vref t ctx r.array_name addr target
-      | Base -> uncached_read t ctx addr target
-      | Ccdp -> (
-          let open Ccdp_analysis in
-          match Annot.cls_of t.pl r.id with
-          | Annot.Normal -> cached_read ~vref t ctx addr target
-          | Annot.Covered _ ->
-              (* a stale covered read may only hit lines its leader staged
-                 this epoch: at loop boundaries the covered span can reach one
-                 element past the leader's clamped range, and when chunk and
-                 line sizes misalign that element lands in a line the leader
-                 never touched — a leftover stale copy. Fresh-only turns that
-                 corner into a demand miss of current memory. Clean covers
-                 (latency-hiding groups) may trust any copy. *)
-              cached_read
-                ~fresh_only:(not (clean_lead t r.id))
-                ~vref t ctx addr target
-          | Annot.Bypass -> bypass_read t ctx addr target
-          | Annot.Lead -> (
-              match Annot.op_of t.pl r.id with
-              | Some (Annot.Back { cycles; _ }) ->
-                  if clean_lead t r.id then cached_read ~vref t ctx addr target
-                  else moved_back_read t ctx addr target ~back:cycles
-              | Some (Annot.Pipelined _) | Some (Annot.Vector _)
-                when clean_lead t r.id ->
-                  cached_read ~vref t ctx addr target
-              | Some (Annot.Pipelined _) | Some (Annot.Vector _) -> (
-                  (* the prefetch machinery must have staged the line: pending
-                     entries are consumed by the normal path; a fresh cached
-                     line is a earlier consume; anything else means the issue
-                     was dropped -> bypass fetch *)
-                  let lw = t.cfg.Config.line_words in
-                  let line = addr / lw in
-                  if
-                    Hashtbl.mem ctx.vget line
-                    || Prefetch_queue.find ctx.pe.Pe.queue ~line <> None
-                    || Hashtbl.mem ctx.fresh line
-                  then cached_read ~fresh_only:true ~vref t ctx addr target
-                  else bypass_read t ctx addr target)
-              | None -> bypass_read t ctx addr target))
+  let h = handle_of t r.array_name in
+  let addr = Addr_map.resolve_h h ~pe idx in
+  let tgt = Addr_map.target_of h ~pe ~addr in
+  let ver = if t.md = Hscd then Hashtbl.find_opt t.versions r.array_name else None in
+  dispatch_read t ctx r ~idx ~addr ~tgt ~ver (route_of t r)
 
-let write t ~pe (r : Reference.t) ~idx v =
+(* ------------------------------------------------------------------ *)
+(* Prepared accesses: the compiled-plan interpreter resolves the route,
+   address handle and version record once per static reference, leaving
+   pure arithmetic plus the protocol itself on the per-access path.        *)
+(* ------------------------------------------------------------------ *)
+
+type raccess = {
+  ar : Reference.t;
+  ah : Addr_map.handle;
+  aroute : route;
+  aver : version option;
+}
+
+let prepare_read t (r : Reference.t) =
+  {
+    ar = r;
+    ah = handle_of t r.array_name;
+    aroute = route_of t r;
+    aver =
+      (if t.md = Hscd && tracked_shared t r.array_name then
+         Some (version_record t r.array_name)
+       else None);
+  }
+
+let access_addr _t acc ~pe ~idx = Addr_map.resolve_h acc.ah ~pe idx
+
+let read_c t ~pe acc ~idx ~addr =
+  let ctx = t.ctxs.(pe) in
+  ctx.pe.Pe.stats.Stats.reads <- ctx.pe.Pe.stats.Stats.reads + 1;
+  dispatch_read t ctx acc.ar ~idx ~addr
+    ~tgt:(Addr_map.target_of acc.ah ~pe ~addr)
+    ~ver:acc.aver acc.aroute
+
+type waccess = {
+  wh : Addr_map.handle;
+  wtracked : bool;
+  wcaches : bool;
+  wver : version option;
+}
+
+let prepare_write t (r : Reference.t) =
+  let tracked = tracked_shared t r.array_name in
+  {
+    wh = handle_of t r.array_name;
+    wtracked = tracked;
+    wcaches = ((not tracked) || match t.md with Base -> false | _ -> true);
+    wver =
+      (if t.md = Hscd && tracked then Some (version_record t r.array_name)
+       else None);
+  }
+
+let write_addr _t wa ~pe ~idx = Addr_map.resolve_h wa.wh ~pe idx
+
+let write_c t ~pe wa ~addr v =
   let ctx = t.ctxs.(pe) in
   ctx.pe.Pe.stats.Stats.writes <- ctx.pe.Pe.stats.Stats.writes + 1;
-  let addr, target = Addr_map.resolve t.amap ~pe r.array_name idx in
   t.mem.(addr) <- v;
   let ver =
     match t.ora with
@@ -448,27 +549,24 @@ let write t ~pe (r : Reference.t) ~idx v =
         o.wepoch.(addr) <- t.epoch_tick;
         Some o.next_ver
   in
-  (if t.md = Hscd && tracked_shared t r.array_name then
-     match Hashtbl.find_opt t.versions r.array_name with
-     | Some v -> v.writers <- v.writers lor writer_bit pe
-     | None ->
-         Hashtbl.replace t.versions r.array_name
-           { settled = -1; writers = writer_bit pe });
-  let caches_it =
-    (not (tracked_shared t r.array_name))
-    ||
-    match t.md with
-    | Seq | Ccdp | Invalidate | Incoherent | Hscd -> true
-    | Base -> false
-  in
-  if caches_it then Cache.update_if_present ctx.pe.Pe.cache ?ver ~addr v;
+  (match wa.wver with
+  | Some vr -> vr.writers <- vr.writers lor writer_bit pe
+  | None -> ());
+  if wa.wcaches then Cache.update_if_present ctx.pe.Pe.cache ?ver ~addr v;
   Pe.advance ctx.pe
-    (if tracked_shared t r.array_name then store_cost t target
+    (if wa.wtracked then store_cost t (Addr_map.target_of wa.wh ~pe ~addr)
      else t.cfg.Config.store_local)
 
-let issue_line_prefetch ?(skip_cached = false) t ~pe name ~idx =
-  let ctx = t.ctxs.(pe) in
-  let addr, target = Addr_map.resolve t.amap ~pe name idx in
+let write t ~pe (r : Reference.t) ~idx v =
+  let wa = prepare_write t r in
+  let addr = Addr_map.resolve_h wa.wh ~pe idx in
+  write_c t ~pe wa ~addr v
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch issue                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let issue_prefetch_at ~skip_cached t ctx ~addr ~tgt =
   let lw = t.cfg.Config.line_words in
   let line = addr / lw in
   let already =
@@ -481,33 +579,45 @@ let issue_line_prefetch ?(skip_cached = false) t ~pe name ~idx =
      queue slot are only committed when the line is not already staged *)
   Pe.advance ctx.pe t.cfg.Config.pf_issue;
   if not already then begin
-    Pe.advance ctx.pe (annex_cost t ctx target);
+    Pe.advance ctx.pe (annex_cost t ctx tgt);
     (* invalidate before issuing (paper Section 3): the stale copy must not
        be readable while the prefetch is in flight *)
     Cache.invalidate_line ctx.pe.Pe.cache ~line;
     Hashtbl.remove ctx.fresh line;
-    let ready = ctx.pe.Pe.clock + latency_of t ~pe:ctx.pe.Pe.id target in
+    let ready = ctx.pe.Pe.clock + latency_of t ~pe:ctx.pe.Pe.id tgt in
     if Prefetch_queue.try_insert ctx.pe.Pe.queue ~line ~words:lw ~ready then
       ctx.pe.Pe.stats.Stats.pf_issued <- ctx.pe.Pe.stats.Stats.pf_issued + 1
     else ctx.pe.Pe.stats.Stats.pf_dropped <- ctx.pe.Pe.stats.Stats.pf_dropped + 1
   end
 
-let line_of t ~pe name ~idx =
-  let addr, _ = Addr_map.resolve t.amap ~pe name idx in
-  addr / t.cfg.Config.line_words
+let issue_line_prefetch ?(skip_cached = false) t ~pe name ~idx =
+  let h = handle_of t name in
+  let addr = Addr_map.resolve_h h ~pe idx in
+  issue_prefetch_at ~skip_cached t t.ctxs.(pe) ~addr
+    ~tgt:(Addr_map.target_of h ~pe ~addr)
 
-let vget_issue ?(skip_cached = false) t ~pe name idxs =
+let pf_issue_c ?(skip_cached = false) t ~pe acc ~addr =
+  issue_prefetch_at ~skip_cached t t.ctxs.(pe) ~addr
+    ~tgt:(Addr_map.target_of acc.ah ~pe ~addr)
+
+let line_of t ~pe name ~idx =
+  let h = handle_of t name in
+  Addr_map.resolve_h h ~pe idx / t.cfg.Config.line_words
+
+let line_of_c t ~pe acc ~idx =
+  Addr_map.resolve_h acc.ah ~pe idx / t.cfg.Config.line_words
+
+let vget_issue_h ~skip_cached t ~pe h idxs =
   let ctx = t.ctxs.(pe) in
   let lw = t.cfg.Config.line_words in
   let lines = Hashtbl.create 64 in
   let ordered = ref [] in
-  let first_target = ref `Local in
+  let first_target = ref (-1) in
   List.iter
     (fun idx ->
-      let addr, target = Addr_map.resolve t.amap ~pe name idx in
-      (match (target, !first_target) with
-      | (`Remote _ as r), `Local -> first_target := r
-      | _ -> ());
+      let addr = Addr_map.resolve_h h ~pe idx in
+      let tgt = Addr_map.target_of h ~pe ~addr in
+      if !first_target < 0 && tgt >= 0 then first_target := tgt;
       let line = addr / lw in
       if not (Hashtbl.mem lines line) then begin
         Hashtbl.replace lines line ();
@@ -537,29 +647,37 @@ let vget_issue ?(skip_cached = false) t ~pe name idxs =
         (* the staging buffer holds at most a cache's worth of in-flight
            vector data: staging beyond that displaces the oldest unconsumed
            lines — the eviction hazard that motivates the paper's one-level
-           pulling restriction *)
+           pulling restriction. Tombstoned FIFO entries (consumed or already
+           displaced lines) are skipped without counting as evictions. *)
         while
           ctx.vget_words + lw > t.cfg.Config.cache_words
-          && ctx.vget_order <> []
+          && Hashtbl.length ctx.vget > 0
         do
-          match ctx.vget_order with
-          | oldest :: rest ->
-              ctx.vget_order <- rest;
-              Hashtbl.remove ctx.vget oldest;
-              ctx.vget_words <- ctx.vget_words - lw;
+          let oldest, gen = Queue.pop ctx.vq in
+          match Hashtbl.find_opt ctx.vstamp oldest with
+          | Some g when g = gen ->
+              vget_consume ctx oldest lw;
               s.Stats.pf_evicted <- s.Stats.pf_evicted + 1
-          | [] -> ()
+          | Some _ | None -> ()
         done;
         let ready =
           ctx.pe.Pe.clock + ((k + 1) * lw * t.cfg.Config.vget_per_word)
         in
         if not (Hashtbl.mem ctx.vget line) then begin
-          ctx.vget_order <- ctx.vget_order @ [ line ];
+          ctx.vgen <- ctx.vgen + 1;
+          Hashtbl.replace ctx.vstamp line ctx.vgen;
+          Queue.push (line, ctx.vgen) ctx.vq;
           ctx.vget_words <- ctx.vget_words + lw
         end;
         Hashtbl.replace ctx.vget line ready)
       ordered
   end
+
+let vget_issue ?(skip_cached = false) t ~pe name idxs =
+  vget_issue_h ~skip_cached t ~pe (handle_of t name) idxs
+
+let vget_issue_c ?(skip_cached = false) t ~pe acc idxs =
+  vget_issue_h ~skip_cached t ~pe acc.ah idxs
 
 let epoch_boundary t =
   Array.iter
@@ -568,7 +686,8 @@ let epoch_boundary t =
       ctx.pe.Pe.stats.Stats.pf_unused <-
         ctx.pe.Pe.stats.Stats.pf_unused + leftovers;
       Hashtbl.reset ctx.vget;
-      ctx.vget_order <- [];
+      Hashtbl.reset ctx.vstamp;
+      Queue.clear ctx.vq;
       ctx.vget_words <- 0;
       Hashtbl.reset ctx.fresh)
     t.ctxs;
@@ -602,7 +721,8 @@ let oracle_checked t = match t.ora with Some o -> o.checked | None -> 0
 let oracle_violation_count t =
   match t.ora with Some o -> o.n_violations | None -> 0
 
-let oracle_violations t = match t.ora with Some o -> o.violations | None -> []
+let oracle_violations t =
+  match t.ora with Some o -> List.rev o.violations | None -> []
 
 let pp_violation ppf v =
   Format.fprintf ppf

@@ -81,6 +81,45 @@ val line_of : t -> pe:int -> string -> idx:int array -> int
 val vget_issue :
   ?skip_cached:bool -> t -> pe:int -> string -> int array list -> unit
 
+(** {1 Prepared accesses (compiled-plan fast path)}
+
+    Everything about a static reference that never changes during a run —
+    its address-map handle, its read protocol (mode x classification x
+    scheduled op x stale verdict), its HSCD version record — is resolved
+    once by [prepare_read]/[prepare_write]. The per-access path is then
+    pure arithmetic plus the protocol itself: no string hashing, no
+    owner/target variant boxing, no per-access table lookups. The timed
+    semantics are identical to {!read}/{!write}, which share the same
+    dispatch internally. *)
+
+type raccess
+
+val prepare_read : t -> Ccdp_ir.Reference.t -> raccess
+
+(** Global word address of the access from [pe] — same address {!read}
+    resolves internally. Untimed. *)
+val access_addr : t -> raccess -> pe:int -> idx:int array -> int
+
+(** Execute a prepared read at an address computed by {!access_addr} for
+    the same [pe] and [idx]. *)
+val read_c : t -> pe:int -> raccess -> idx:int array -> addr:int -> float
+
+type waccess
+
+val prepare_write : t -> Ccdp_ir.Reference.t -> waccess
+val write_addr : t -> waccess -> pe:int -> idx:int array -> int
+val write_c : t -> pe:int -> waccess -> addr:int -> float -> unit
+
+(** Prepared twin of {!issue_line_prefetch}; [addr] from {!access_addr}. *)
+val pf_issue_c : ?skip_cached:bool -> t -> pe:int -> raccess -> addr:int -> unit
+
+(** Prepared twin of {!line_of}. *)
+val line_of_c : t -> pe:int -> raccess -> idx:int array -> int
+
+(** Prepared twin of {!vget_issue}. *)
+val vget_issue_c :
+  ?skip_cached:bool -> t -> pe:int -> raccess -> int array list -> unit
+
 (** Charge pure compute cycles to a PE. *)
 val charge : t -> pe:int -> int -> unit
 

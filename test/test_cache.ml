@@ -90,4 +90,96 @@ let props =
         Cache.valid_lines c <= 8);
   ]
 
-let () = Alcotest.run "cache" [ ("behaviour", basic); ("properties", props) ]
+(* Model-based replacement-policy properties: a naive association-list
+   cache (front of each set = most recently used) must agree with the
+   real one on every hit, every eviction tag, slot reuse on refill, and
+   final occupancy — for fill and for the blit-based fill_from alike. *)
+
+let model_sets = 4
+let model_assoc = 2
+
+(* replay [ops] on the model; returns (eviction tags, read results,
+   resident-line count), in op order *)
+let run_model ops =
+  let sets = Array.make model_sets [] in
+  let evs = ref [] and rds = ref [] in
+  List.iter
+    (fun (is_fill, line) ->
+      let s = line mod model_sets in
+      let cur = sets.(s) in
+      if is_fill then
+        if List.mem_assoc line cur then begin
+          (* resident: slot reuse — promote, never evict *)
+          sets.(s) <- (line, float_of_int line) :: List.remove_assoc line cur;
+          evs := None :: !evs
+        end
+        else if List.length cur < model_assoc then begin
+          sets.(s) <- (line, float_of_int line) :: cur;
+          evs := None :: !evs
+        end
+        else begin
+          let victim, _ = List.nth cur (List.length cur - 1) in
+          sets.(s) <-
+            (line, float_of_int line)
+            :: List.filter (fun (l, _) -> l <> victim) cur;
+          evs := Some victim :: !evs
+        end
+      else
+        match List.assoc_opt line cur with
+        | Some v ->
+            sets.(s) <- (line, v) :: List.remove_assoc line cur;
+            rds := Some v :: !rds
+        | None -> rds := None :: !rds)
+    ops;
+  ( List.rev !evs,
+    List.rev !rds,
+    Array.fold_left (fun n l -> n + List.length l) 0 sets )
+
+let ops_arb =
+  QCheck.(
+    list_of_size (QCheck.Gen.int_range 0 60) (pair bool (int_range 0 11)))
+
+let fill_props =
+  [
+    qcheck "fill agrees with a naive LRU model (hits, evictions, occupancy)"
+      ops_arb
+      (fun ops ->
+        let c = mk ~sets:model_sets ~assoc:model_assoc () in
+        let m_evs, m_rds, m_n = run_model ops in
+        let evs = ref [] and rds = ref [] in
+        List.iter
+          (fun (is_fill, line) ->
+            if is_fill then
+              evs := Cache.fill c ~line (payload (float_of_int line)) :: !evs
+            else rds := Cache.read c ~addr:(line * 4) :: !rds)
+          ops;
+        List.rev !evs = m_evs && List.rev !rds = m_rds
+        && Cache.valid_lines c = m_n);
+    qcheck "fill_from follows the same policy; locate/data_at match read"
+      ops_arb
+      (fun ops ->
+        let c = mk ~sets:model_sets ~assoc:model_assoc () in
+        let c' = mk ~sets:model_sets ~assoc:model_assoc () in
+        (* simulated memory: every word of line l holds float l *)
+        let mem = Array.init (12 * 4) (fun i -> float_of_int (i / 4)) in
+        List.for_all
+          (fun (is_fill, line) ->
+            if is_fill then begin
+              ignore (Cache.fill c ~line (payload (float_of_int line)));
+              Cache.fill_from c' ~vers:[||] ~line ~src:mem ~pos:(line * 4) ();
+              true
+            end
+            else begin
+              let addr = (line * 4) + (line mod 4) in
+              let r = Cache.read c ~addr in
+              let off = Cache.locate c' ~addr in
+              let r' = if off < 0 then None else Some (Cache.data_at c' off) in
+              r = r'
+            end)
+          ops
+        && Cache.valid_lines c = Cache.valid_lines c');
+  ]
+
+let () =
+  Alcotest.run "cache"
+    [ ("behaviour", basic); ("properties", props); ("fill properties", fill_props) ]

@@ -1,0 +1,121 @@
+(* Engine equivalence: the compiled-plan interpreter (Interp) against the
+   reference tree-walker (Interp_ref).
+
+   Interp_ref is the pre-refactor engine kept verbatim as the executable
+   specification of the timed semantics; the compiled-plan engine must
+   reproduce it cycle-for-cycle. Checked here on a fixed-seed fuzz corpus
+   and on the paper's four workloads, across every coherence mode:
+   cycles, access statistics, per-PE clocks, epoch count and profile, and
+   the final shared-memory image must all be identical (tolerance 0).
+
+   The point of the compiled plans is the hot path allocating no
+   per-iteration environments or register-memo hashtables, so the last
+   group is a Gc regression gate: the compiled engine must stay under
+   half the reference engine's minor-heap words on MXM/CCDP (it measures
+   ~1/3; the pre-refactor ratio was 1). *)
+
+open Ccdp_test_support.Tutil
+module Memsys = Ccdp_runtime.Memsys
+module Interp = Ccdp_runtime.Interp
+module Interp_ref = Ccdp_runtime.Interp_ref
+module Gen = Ccdp_fuzz.Gen
+module Workload = Ccdp_workloads.Workload
+
+let modes = Memsys.[ Seq; Base; Ccdp; Invalidate; Incoherent; Hscd ]
+
+(* same per-mode setup as Experiment.run_mode: CCDP compiles the full
+   pipeline, every other mode runs the inlined program unannotated, Seq
+   forces one PE *)
+let setup ~n_pes mode (program : Ccdp_ir.Program.t) =
+  let cfg =
+    Ccdp_machine.Config.t3d ~n_pes:(if mode = Memsys.Seq then 1 else n_pes)
+  in
+  match mode with
+  | Memsys.Ccdp ->
+      let compiled = Ccdp_core.Pipeline.compile cfg program in
+      (cfg, compiled.Ccdp_core.Pipeline.program, compiled.Ccdp_core.Pipeline.plan)
+  | _ -> (cfg, Ccdp_ir.Program.inline program, Ccdp_analysis.Annot.empty ())
+
+let assert_equal_runs name program ~n_pes mode =
+  let cfg, prog, plan = setup ~n_pes mode program in
+  let a = Interp.run cfg prog ~plan ~mode () in
+  let b = Interp_ref.run cfg prog ~plan ~mode () in
+  let tag s = name ^ "/" ^ Memsys.mode_name mode ^ ": " ^ s in
+  check_int (tag "cycles") b.Interp_ref.cycles a.Interp.cycles;
+  check_true (tag "stats") (b.Interp_ref.stats = a.Interp.stats);
+  check_true (tag "per-PE clocks")
+    (b.Interp_ref.per_pe_cycles = a.Interp.per_pe_cycles);
+  check_int (tag "epochs") b.Interp_ref.epochs a.Interp.epochs;
+  check_true (tag "epoch profile")
+    (b.Interp_ref.epoch_profile = a.Interp.epoch_profile);
+  let mem =
+    Ccdp_runtime.Verify.compare_states ~expected:b.Interp_ref.sys
+      ~got:a.Interp.sys prog
+  in
+  check_true (tag "memory image") mem.Ccdp_runtime.Verify.ok
+
+(* fixed seed: the corpus (and so the test) is deterministic *)
+let fuzz_corpus =
+  let st = Random.State.make [| 0xC0FFEE |] in
+  List.init 12 (fun i -> (i, Gen.generate st))
+
+let fuzz_cases =
+  List.map
+    (fun (i, (d : Gen.desc)) ->
+      case
+        (Printf.sprintf "fuzz #%d agrees in every mode" i)
+        (fun () ->
+          let program = Gen.build d in
+          List.iter
+            (fun mode ->
+              assert_equal_runs
+                (Printf.sprintf "fuzz%d" i)
+                program ~n_pes:d.Gen.n_pes mode)
+            modes))
+    fuzz_corpus
+
+let workload_cases =
+  List.map
+    (fun (w : Workload.t) ->
+      case (w.Workload.name ^ " agrees in every mode") (fun () ->
+          List.iter
+            (fun mode ->
+              assert_equal_runs w.Workload.name w.Workload.program ~n_pes:4
+                mode)
+            modes))
+    (Ccdp_workloads.Suite.spec_four ~n:16 ~iters:1 ())
+
+(* minor-heap words of one run of [f], after one warm-up run *)
+let minor_words_of f =
+  ignore (f ());
+  let m0 = Gc.minor_words () in
+  ignore (f ());
+  Gc.minor_words () -. m0
+
+let alloc_cases =
+  [
+    case "compiled engine allocates < 50% of the reference (MXM/ccdp)"
+      (fun () ->
+        let w = Ccdp_workloads.Mxm.workload ~n:32 in
+        let cfg, prog, plan = setup ~n_pes:8 Memsys.Ccdp w.Workload.program in
+        let plan_mw =
+          minor_words_of (fun () ->
+              Interp.run cfg prog ~plan ~mode:Memsys.Ccdp ())
+        in
+        let ref_mw =
+          minor_words_of (fun () ->
+              Interp_ref.run cfg prog ~plan ~mode:Memsys.Ccdp ())
+        in
+        check_true
+          (Printf.sprintf "plan %.0f words < 0.5 * ref %.0f words" plan_mw
+             ref_mw)
+          (plan_mw < 0.5 *. ref_mw));
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ("fuzz corpus", fuzz_cases);
+      ("workloads", workload_cases);
+      ("allocation", alloc_cases);
+    ]
