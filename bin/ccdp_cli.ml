@@ -283,6 +283,85 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ dump_arg $ break_stale_arg $ jobs_arg)
 
+let check_cmd =
+  let targets_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:"Workload name or CRAFT-dialect $(b,.craft) source file.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Check every workload in the suite (plus any TARGETs given).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
+  in
+  let werror_arg =
+    Arg.(
+      value & flag
+      & info [ "warnings-as-errors" ]
+          ~doc:"Exit non-zero on warnings too, not just errors.")
+  in
+  let run targets all n iters pe json werror =
+    let ws = workloads_of ~n ~iters in
+    let resolve t =
+      if Filename.check_suffix t ".craft" then
+        ( Filename.remove_extension (Filename.basename t),
+          try Ccdp_ir.Craft_parse.file t
+          with Ccdp_ir.Craft_parse.Error (ln, col, msg) ->
+            if col > 0 then Printf.eprintf "%s:%d:%d: error: %s\n" t ln col msg
+            else Printf.eprintf "%s:%d: error: %s\n" t ln msg;
+            exit 2 )
+      else
+        let w =
+          try Workload.find ws t
+          with Invalid_argument msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 2
+        in
+        (w.Workload.name, w.Workload.program)
+    in
+    let named =
+      (if all || targets = [] then
+         List.map (fun (w : Workload.t) -> (w.name, w.program)) ws
+       else [])
+      @ List.map resolve targets
+    in
+    let cfg = Ccdp_machine.Config.t3d ~n_pes:pe in
+    let reports =
+      List.map
+        (fun (name, program) ->
+          let compiled = Ccdp_core.Pipeline.compile cfg program in
+          { Ccdp_check.Check.name; diags = Ccdp_check.Check.certify compiled })
+        named
+    in
+    if json then print_string (Ccdp_check.Check.json reports)
+    else
+      List.iter
+        (fun r -> Format.printf "%a@." Ccdp_check.Check.pp_report r)
+        reports;
+    let gate (d : Ccdp_check.Diag.t) =
+      werror || d.Ccdp_check.Diag.severity = Ccdp_check.Diag.Error
+    in
+    if List.exists (fun r -> List.exists gate r.Ccdp_check.Check.diags) reports
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically certify compiled coherence plans: coverage of \
+          potentially-stale reads, DOALL race freedom, prefetch sizing \
+          lints. Exits 1 when an error-severity diagnostic fires, 2 on \
+          unusable targets.")
+    Term.(
+      const run $ targets_arg $ all_arg $ n_arg $ iters_arg $ pe_arg
+      $ json_arg $ werror_arg)
+
 let perf_cmd =
   let run name n iters pe mode =
     let w = Workload.find (workloads_of ~n ~iters) name in
@@ -351,8 +430,8 @@ let main =
        ~doc:"Compiler-directed cache coherence with data prefetching (Lim & Yew, IPPS'97)")
     [
       list_cmd; analyze_cmd; run_cmd; table1_cmd; table2_cmd; ablate_cmd;
-      sweep_cmd; parallelize_cmd; profile_cmd; emit_cmd; load_cmd; fuzz_cmd;
-      perf_cmd;
+      sweep_cmd; parallelize_cmd; profile_cmd; emit_cmd; load_cmd; check_cmd;
+      fuzz_cmd; perf_cmd;
     ]
 
 let () = exit (Cmd.eval main)

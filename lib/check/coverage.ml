@@ -1,0 +1,78 @@
+open Ccdp_ir
+open Ccdp_analysis
+
+(* Coherence coverage verifier: discharge, per read, the obligation
+   "potentially stale => prefetched (lead of its group), covered by a
+   lead's prefetch, or explicitly bypassed". The may-stale facts come from
+   the independent derivation, so a stale mark dropped from the pipeline's
+   own analysis (the fuzzer's fault injection) surfaces here as an
+   uncovered obligation rather than passing silently. *)
+
+let check ~(plan : Annot.plan) ~(maystale : Maystale.t) ~prefetch_clean infos =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter
+    (fun (r : Ref_info.t) ->
+      if not r.Ref_info.write then begin
+        let id = r.ref_.Reference.id in
+        let loc = r.ref_.Reference.loc in
+        let epoch = r.Ref_info.epoch in
+        let name = Reference.to_string r.ref_ in
+        let stale = Maystale.is_stale maystale id in
+        match (stale, Annot.cls_of plan id) with
+        | true, Annot.Normal ->
+            add
+              (Diag.makef Diag.Uncovered_stale ~loc ~ref_id:id ~epoch
+                 "potentially-stale read %s (may observe stale copy of \
+                  write%s %s) is neither prefetched nor bypassed"
+                 name
+                 (if List.length (Maystale.witnesses_of maystale id) > 1 then
+                    "s"
+                  else "")
+                 (String.concat ", "
+                    (List.map string_of_int
+                       (Maystale.witnesses_of maystale id))))
+        | true, Annot.Lead ->
+            if Annot.op_of plan id = None then
+              add
+                (Diag.makef Diag.Broken_cover ~loc ~ref_id:id ~epoch
+                   "leading reference %s has no prefetch operation" name)
+        | true, Annot.Covered lead_id -> (
+            match (Annot.cls_of plan lead_id, Annot.op_of plan lead_id) with
+            | Annot.Lead, Some (Annot.Vector { group; _ }) ->
+                if not (List.mem id group) then
+                  add
+                    (Diag.makef Diag.Broken_cover ~loc ~ref_id:id ~epoch
+                       "%s is covered by lead %d whose vector group does not \
+                        include it"
+                       name lead_id)
+            | Annot.Lead, Some (Annot.Pipelined _ | Annot.Back _) -> ()
+            | Annot.Lead, None ->
+                add
+                  (Diag.makef Diag.Broken_cover ~loc ~ref_id:id ~epoch
+                     "%s is covered by lead %d which has no prefetch \
+                      operation"
+                     name lead_id)
+            | (Annot.Normal | Annot.Covered _ | Annot.Bypass), _ ->
+                add
+                  (Diag.makef Diag.Broken_cover ~loc ~ref_id:id ~epoch
+                     "%s is covered by reference %d which is not a leading \
+                      reference"
+                     name lead_id))
+        | true, Annot.Bypass -> ()
+        | false, (Annot.Lead | Annot.Covered _ | Annot.Bypass) ->
+            (* prefetching clean reads is the pipeline's latency-hiding
+               option; without it, coverage of a provably clean read means
+               the annotations disagree with the dataflow *)
+            if not prefetch_clean then
+              add
+                (Diag.makef Diag.Spurious_cover ~loc ~ref_id:id ~epoch
+                   "%s is %s but the certifier derives it clean" name
+                   (match Annot.cls_of plan id with
+                   | Annot.Lead -> "a prefetch lead"
+                   | Annot.Covered _ -> "marked covered"
+                   | _ -> "bypassed"))
+        | false, Annot.Normal -> ()
+      end)
+    infos;
+  List.rev !diags

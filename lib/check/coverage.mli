@@ -1,0 +1,14 @@
+(** Coherence coverage verifier (CCDP-W001/W002/W004).
+
+    Discharges the per-read obligation "potentially stale implies
+    prefetched, covered, or bypassed" against the independent may-stale
+    derivation, and flags coverage of reads the derivation proves clean.
+    [prefetch_clean] suppresses the spurious-coverage lint: with it the
+    pipeline legitimately prefetches (and may demote) clean reads. *)
+
+val check :
+  plan:Ccdp_analysis.Annot.plan ->
+  maystale:Maystale.t ->
+  prefetch_clean:bool ->
+  Ccdp_analysis.Ref_info.t list ->
+  Diag.t list

@@ -1,0 +1,18 @@
+(** Prefetch lint suite (CCDP-W005/W006/W007/W008).
+
+    Re-derives the sizing constraints each prefetch operation must satisfy
+    — vector sections within the VPG budget and free of same-loop write
+    conflicts, pipelined distances covering the group span without
+    overflowing the prefetch queue, moved-back windows inside the tuned
+    cycle range — directly from {!Ccdp_machine.Config},
+    {!Ccdp_analysis.Volume} and the section algebra, and flags operations
+    that violate them. A plan produced by {!Ccdp_analysis.Schedule} trips
+    nothing. *)
+
+val check :
+  region:Ccdp_analysis.Region.t ->
+  cfg:Ccdp_machine.Config.t ->
+  tuning:Ccdp_analysis.Schedule.tuning ->
+  plan:Ccdp_analysis.Annot.plan ->
+  Ccdp_analysis.Ref_info.t list ->
+  Diag.t list

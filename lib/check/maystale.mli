@@ -1,0 +1,25 @@
+(** Independent may-stale derivation (the verifier's second opinion).
+
+    Computes, for every read of a tracked (shared, non-replicated) array,
+    the set of writes whose stale cached copy the read may observe — by a
+    forward walk of the epoch tree with explicit back-edge re-visits,
+    rather than {!Ccdp_analysis.Stale.analyze}'s per-read witness search
+    over reference stacks. On any program the set of stale reads derived
+    here over-approximates (and on well-formed epoch trees coincides with)
+    the stale analysis — the property the certifier's differential tests
+    pin down. *)
+
+type t
+
+val derive :
+  Ccdp_analysis.Region.t -> Ccdp_ir.Epoch.t -> Ccdp_analysis.Ref_info.t list
+  -> t
+
+(** Witness write ref ids for a read (sorted); [[]] means provably clean
+    (or untracked). *)
+val witnesses_of : t -> int -> int list
+
+val is_stale : t -> int -> bool
+
+(** All reads with at least one witness, sorted. *)
+val stale_ids : t -> int list

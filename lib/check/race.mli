@@ -1,0 +1,16 @@
+(** DOALL race detector (CCDP-W003).
+
+    Re-judges every parallel epoch's loop with an independent dependence
+    test: ZIV/strong-SIV on uniformly generated affine subscript pairs,
+    and a Banerjee-style range test on the non-uniform ones — each
+    access's subscript is narrowed to its extreme values by symbolically
+    substituting the bounds of its iteration-scoped loops, and the
+    dependence equation is infeasible when the difference range excludes
+    zero (this proves triangular-bound patterns disjoint). Scalars are
+    checked for privatizability with per-iteration definiteness: a value
+    written earlier in the same iteration — even inside a nested serial
+    loop body — never crosses tasks. A DOALL carrying a cross-iteration
+    dependence or reading an unprivatizable scalar is flagged as a
+    race. *)
+
+val check : params:(string * int) list -> Ccdp_ir.Epoch.t -> Diag.t list

@@ -10,21 +10,37 @@ type t = {
   target : Target.t;
   plan : Annot.plan;
   decisions : Schedule.decision list;
+  cfg : Ccdp_machine.Config.t;
+  tuning : Schedule.tuning;
+  prefetch_clean : bool;
 }
 
-let compile cfg ?tuning ?innermost_only ?group_spatial ?prefetch_clean
-    ?(mutate_stale = fun s -> s) program =
+let compile cfg ?(tuning = Schedule.default_tuning) ?innermost_only
+    ?group_spatial ?(prefetch_clean = false) ?(mutate_stale = fun s -> s)
+    program =
   let program = Program.inline program in
   let epochs = Epoch.partition program.Program.main in
   let infos = Ref_info.collect epochs in
   let region = Region.make program ~n_pes:cfg.Ccdp_machine.Config.n_pes in
   let stale = mutate_stale (Stale.analyze region infos) in
   let target =
-    Target.analyze ?innermost_only ?group_spatial ?prefetch_clean region cfg
+    Target.analyze ?innermost_only ?group_spatial ~prefetch_clean region cfg
       infos stale
   in
-  let plan, decisions = Schedule.analyze region cfg ?tuning infos stale target in
-  { program; epochs; infos; region; stale; target; plan; decisions }
+  let plan, decisions = Schedule.analyze region cfg ~tuning infos stale target in
+  {
+    program;
+    epochs;
+    infos;
+    region;
+    stale;
+    target;
+    plan;
+    decisions;
+    cfg;
+    tuning;
+    prefetch_clean;
+  }
 
 let report ppf t =
   Format.fprintf ppf "@[<v>== %s ==@,%a@,@,-- epochs --@,%a@,@,-- %a@,@,%a@,@,\

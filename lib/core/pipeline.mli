@@ -15,6 +15,9 @@ type t = {
   target : Ccdp_analysis.Target.t;
   plan : Ccdp_analysis.Annot.plan;
   decisions : Ccdp_analysis.Schedule.decision list;
+  cfg : Ccdp_machine.Config.t;  (** machine the plan was scheduled for *)
+  tuning : Ccdp_analysis.Schedule.tuning;  (** resolved scheduling knobs *)
+  prefetch_clean : bool;  (** were clean reads eligible for prefetching? *)
 }
 
 (** [mutate_stale] rewrites the stale-analysis result before target

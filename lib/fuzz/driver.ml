@@ -6,8 +6,10 @@ module Verify = Ccdp_runtime.Verify
 module Schedule = Ccdp_analysis.Schedule
 module Stale = Ccdp_analysis.Stale
 module Annot = Ccdp_analysis.Annot
+module Check = Ccdp_check.Check
+module Diag = Ccdp_check.Diag
 
-type failure_kind = Mismatch | Oracle
+type failure_kind = Mismatch | Oracle | Static_escape | Static_spurious
 
 type failure = {
   f_index : int;
@@ -23,6 +25,9 @@ type summary = {
   s_programs : int;
   s_runs : int;
   s_oracle_checks : int;
+  s_static_checks : int;
+  s_static_caught : int;
+  s_static_escapes : int;
   s_failures : failure list;
 }
 
@@ -85,10 +90,93 @@ let run_variant ?mutate_stale cfg (d : Gen.desc) program v =
       Interp.run cfg ~oracle:true compiled.Pipeline.program
         ~plan:compiled.Pipeline.plan ~mode:v.mode ()
 
+(* The static leg of the differential: certify the default-tuning compile
+   with the coherence verifier. [st_caught]/[st_escape] record whether an
+   injected stale-analysis fault actually changed the stale set and whether
+   the certifier flagged it; [st_failure] is the reportable finding when
+   the static and dynamic verdicts disagree in either direction. *)
+type static_leg = {
+  st_caught : bool;
+  st_escape : bool;
+  st_failure : (string * failure_kind * string) option;
+}
+
+(* Is the read's coherence obligation discharged by the plan itself —
+   prefetched as a lead, covered by a lead carrying an operation whose
+   vector group includes it, or bypassed? Mirrors the certifier's coverage
+   chain but consults only the plan: an injected fault whose victim is
+   still discharged (prefetch-clean compiles prefetch clean reads too)
+   leaves the plan sound, and silence is the correct static verdict. *)
+let discharged (plan : Annot.plan) id =
+  match Annot.cls_of plan id with
+  | Annot.Bypass -> true
+  | Annot.Lead -> Annot.op_of plan id <> None
+  | Annot.Covered lead -> (
+      match (Annot.cls_of plan lead, Annot.op_of plan lead) with
+      | Annot.Lead, Some (Annot.Vector { group; _ }) -> List.mem id group
+      | Annot.Lead, Some (Annot.Pipelined _ | Annot.Back _) -> true
+      | _, _ -> false)
+  | Annot.Normal -> false
+
+let static_certify ?mutate_stale cfg (d : Gen.desc) program =
+  let base = Pipeline.compile cfg ~prefetch_clean:d.Gen.pclean program in
+  let compiled, victims =
+    match mutate_stale with
+    | None -> (base, [])
+    | Some f ->
+        let before = List.sort compare (Stale.stale_ids base.Pipeline.stale) in
+        let after =
+          List.sort compare (Stale.stale_ids (f base.Pipeline.stale))
+        in
+        let t =
+          Pipeline.compile cfg ~prefetch_clean:d.Gen.pclean ?mutate_stale
+            program
+        in
+        (t, List.filter (fun id -> not (List.mem id after)) before)
+  in
+  let errors = Check.errors (Check.certify compiled) in
+  (* the fault is dangerous only when some victim read's obligation is no
+     longer discharged by the mutated plan *)
+  let dangerous =
+    List.exists
+      (fun id -> not (discharged compiled.Pipeline.plan id))
+      victims
+  in
+  match (errors, dangerous) with
+  | [], true ->
+      {
+        st_caught = false;
+        st_escape = true;
+        st_failure =
+          Some
+            ( "STATIC",
+              Static_escape,
+              "injected stale-analysis fault left a read uncovered but \
+               raised no static diagnostic" );
+      }
+  | [], false -> { st_caught = false; st_escape = false; st_failure = None }
+  | _ :: _, true -> { st_caught = true; st_escape = false; st_failure = None }
+  | errs, false ->
+      if victims <> [] then
+        (* fault injected and flagged, though its victims stayed covered:
+           the diagnostics come from knock-on plan damage, still a catch *)
+        { st_caught = true; st_escape = false; st_failure = None }
+      else
+        {
+          st_caught = false;
+          st_escape = false;
+          st_failure =
+            Some
+              ( "STATIC",
+                Static_spurious,
+                String.concat "\n" (List.map Diag.to_string errs) );
+        }
+
 (* One description through the sequential baseline plus every variant;
-   returns (variant runs, oracle assertions, first failure). The oracle is
-   consulted before the numeric comparison: a stale hit whose value happens
-   to coincide with the fresh one is still a bug. *)
+   returns (variant runs, oracle assertions, static leg, first dynamic
+   failure). The oracle is consulted before the numeric comparison: a stale
+   hit whose value happens to coincide with the fresh one is still a
+   bug. *)
 let check_full ?mutate_stale (d : Gen.desc) =
   let cfg = cfg_of d in
   let program = Gen.build d in
@@ -123,11 +211,19 @@ let check_full ?mutate_stale (d : Gen.desc) =
           else loop rest)
   in
   let failure = loop variants in
-  (!runs, !checks, failure)
+  let static = static_certify ?mutate_stale cfg d program in
+  (!runs, !checks, static, failure)
+
+(* Dynamic failures take reporting precedence — they carry runtime
+   witnesses; the static counters still record escapes the oracle happened
+   to catch first. *)
+let first_failure static = function
+  | Some _ as f -> f
+  | None -> static.st_failure
 
 let check_desc ?mutate_stale d =
-  let _, _, failure = check_full ?mutate_stale d in
-  failure
+  let _, _, static, failure = check_full ?mutate_stale d in
+  first_failure static failure
 
 let reproducer_text (d : Gen.desc) =
   let compiled =
@@ -147,14 +243,23 @@ let campaign ?jobs ?mutate_stale ?dump_dir ?(progress = fun _ -> ()) ~seed
   let rng = Random.State.make [| seed; 0x51ab |] in
   let descs = List.init count (fun _ -> Gen.generate rng) in
   let runs = ref 0 and checks = ref 0 and failures = ref [] in
-  let consume i (d, (r, c, failure)) =
+  let caught = ref 0 and escapes = ref 0 in
+  let consume i (d, (r, c, static, dyn_failure)) =
     runs := !runs + r;
     checks := !checks + c;
-    (match failure with
+    if static.st_caught then incr caught;
+    if static.st_escape then incr escapes;
+    (match first_failure static dyn_failure with
     | None -> ()
     | Some (vname, kind, detail) ->
         let still_fails d' = Option.is_some (check_desc ?mutate_stale d') in
         let shrunk = Shrink.minimize d ~still_fails in
+        (* the shrinker only proposes validated candidates, but a hand-built
+           starting description may itself be the problem: never report an
+           invalid reproducer *)
+        let shrunk =
+          match Gen.validate shrunk with Ok () -> shrunk | Error _ -> d
+        in
         let reproducer =
           match dump_dir with
           | None -> None
@@ -210,6 +315,9 @@ let campaign ?jobs ?mutate_stale ?dump_dir ?(progress = fun _ -> ()) ~seed
     s_programs = count;
     s_runs = !runs;
     s_oracle_checks = !checks;
+    s_static_checks = count;
+    s_static_caught = !caught;
+    s_static_escapes = !escapes;
     s_failures = List.rev !failures;
   }
 
@@ -219,7 +327,9 @@ let pp_failure ppf f =
     f.f_variant
     (match f.f_kind with
     | Mismatch -> "numeric mismatch vs sequential"
-    | Oracle -> "staleness-oracle violation")
+    | Oracle -> "staleness-oracle violation"
+    | Static_escape -> "static certifier missed an injected fault"
+    | Static_spurious -> "static certifier flagged a clean program")
     f.f_detail Gen.pp f.f_shrunk
     (fun ppf -> function
       | None -> ()
@@ -228,8 +338,10 @@ let pp_failure ppf f =
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "@[<v>fuzz: %d programs, %d variant runs, %d oracle checks, %d failure(s)"
-    s.s_programs s.s_runs s.s_oracle_checks
+    "@[<v>fuzz: %d programs, %d variant runs, %d oracle checks, %d static \
+     certifications (%d faults caught, %d escapes), %d failure(s)"
+    s.s_programs s.s_runs s.s_oracle_checks s.s_static_checks
+    s.s_static_caught s.s_static_escapes
     (List.length s.s_failures);
   List.iter (fun f -> Format.fprintf ppf "@,%a" pp_failure f) s.s_failures;
   Format.fprintf ppf "@]"

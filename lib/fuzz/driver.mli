@@ -2,20 +2,33 @@
 
     Every generated program is compiled and executed under BASE plus the
     CCDP scheduling variants (all techniques, VPG-only, SP-only, MBP-only),
-    each with the dynamic staleness oracle armed, and checked two ways:
+    each with the dynamic staleness oracle armed, and checked three ways:
 
     - {b numerics}: final shared-array contents must equal the sequential
       execution bit-for-bit ({!Ccdp_runtime.Verify.compare_states});
     - {b oracle}: zero staleness-oracle violations — no cache hit may
       return a word older than the last pre-epoch write, even when the
-      stale value numerically coincides with the fresh one.
+      stale value numerically coincides with the fresh one;
+    - {b static}: the coherence certifier ({!Ccdp_check.Check.certify})
+      over the default-tuning compile must agree with the other two legs —
+      clean programs certify clean, and an injected stale-analysis fault
+      that actually changes the stale set must raise an error-severity
+      diagnostic {e without executing anything}.
 
     A failure is shrunk to a one-step-minimal description
-    ({!Shrink.minimize}) and optionally dumped as a [.craft] reproducer. *)
+    ({!Shrink.minimize}, candidates re-validated) and optionally dumped as
+    a [.craft] reproducer. *)
 
 type failure_kind =
   | Mismatch  (** numeric divergence from sequential execution *)
   | Oracle  (** staleness-oracle violation *)
+  | Static_escape
+      (** an injected analysis fault left a read's coherence obligation
+          undischarged by the plan, but the static certifier raised no
+          diagnostic *)
+  | Static_spurious
+      (** the static certifier raised error diagnostics on a program whose
+          compile was not fault-injected *)
 
 type failure = {
   f_index : int;  (** 0-based index of the program in the campaign *)
@@ -31,6 +44,14 @@ type summary = {
   s_programs : int;
   s_runs : int;  (** variant executions (sequential baselines excluded) *)
   s_oracle_checks : int;  (** oracle assertions evaluated across all runs *)
+  s_static_checks : int;  (** programs certified statically (= programs) *)
+  s_static_caught : int;
+      (** injected faults flagged by the certifier (fault-injected compiles
+          that raised error diagnostics) *)
+  s_static_escapes : int;
+      (** dangerous injected faults — a victim read left undischarged by
+          the mutated plan — the certifier missed; counted even when the
+          dynamic legs reported the failure first *)
   s_failures : failure list;
 }
 

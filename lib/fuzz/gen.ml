@@ -209,6 +209,122 @@ let build (d : desc) =
   B.finish b main
 
 (* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* numeric range of an affine subscript over an iteration-space
+   environment; None when a variable is unresolved (opaque bound) *)
+let affine_range env e =
+  List.fold_left
+    (fun acc v ->
+      match (acc, List.assoc_opt v env) with
+      | None, _ | _, None -> None
+      | Some (mn, mx), Some (lo, hi, _) ->
+          let c = Affine.coeff e v in
+          if c >= 0 then Some (mn + (c * lo), mx + (c * hi))
+          else Some (mn + (c * hi), mx + (c * lo)))
+    (Some (Affine.const_part e, Affine.const_part e))
+    (Affine.vars e)
+
+(* every reference whose subscript ranges resolve must stay inside its
+   array's extents; opaque-bound loops widen to unknown and are skipped
+   (the interpreter still bounds-checks those at run time) *)
+let subscript_problems (p : Program.t) =
+  let problems = ref [] in
+  let check_ref env (r : Reference.t) =
+    match Program.find_array_opt p r.Reference.array_name with
+    | None -> ()
+    | Some decl ->
+        Array.iteri
+          (fun k e ->
+            match affine_range env e with
+            | None -> ()
+            | Some (lo, hi) ->
+                let extent = decl.Array_decl.dims.(k) in
+                if lo < 0 || hi >= extent then
+                  problems :=
+                    Printf.sprintf
+                      "reference %d of %s: dimension %d spans [%d, %d] outside \
+                       [0, %d)"
+                      r.Reference.id r.Reference.array_name k lo hi extent
+                    :: !problems)
+          r.Reference.subs
+  in
+  let rec walk loops stmts =
+    let env = Ccdp_analysis.Iterspace.of_loops ~params:p.Program.params loops in
+    List.iter
+      (fun s ->
+        (match Stmt.direct_write s with
+        | Some r -> check_ref env r
+        | None -> ());
+        List.iter (check_ref env) (Stmt.direct_reads s);
+        match s with
+        | Stmt.For l -> walk (loops @ [ l ]) l.Stmt.body
+        | Stmt.If (_, a, b) ->
+            walk loops a;
+            walk loops b
+        | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ -> ())
+      stmts
+  in
+  walk [] p.Program.main;
+  List.rev !problems
+
+let validate (d : desc) =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let in_arrays k = 0 <= k && k < n_arrays in
+  let small o = -1 <= o && o <= 1 in
+  let check_epoch i e =
+    match e with
+    | Sweep { src; col; dst } ->
+        if not (in_arrays src && in_arrays dst) then
+          err "epoch %d: sweep array index out of range" i
+        else if col < 0 || col >= d.n then
+          err "epoch %d: sweep column %d outside [0, %d)" i col d.n
+        else Ok ()
+    | Par { stmts; _ } ->
+        if stmts = [] then err "epoch %d: empty parallel epoch" i
+        else
+          List.fold_left
+            (fun acc (s : stmt_desc) ->
+              match acc with
+              | Error _ -> acc
+              | Ok () ->
+                  if not (in_arrays s.dst) then
+                    err "epoch %d: write array index %d out of range" i s.dst
+                  else if not (small s.doi) then
+                    err "epoch %d: write row offset %d outside [-1, 1]" i s.doi
+                  else if
+                    not
+                      (List.for_all
+                         (fun (a, oi, oj) ->
+                           in_arrays a && small oi && small oj)
+                         s.reads)
+                  then err "epoch %d: read descriptor out of range" i
+                  else Ok ())
+            (Ok ()) stmts
+  in
+  let rec check_epochs i = function
+    | [] -> Ok ()
+    | e :: rest -> (
+        match check_epoch i e with
+        | Error _ as r -> r
+        | Ok () -> check_epochs (i + 1) rest)
+  in
+  if d.n < 4 then err "array edge %d too small (minimum 4)" d.n
+  else if d.dist_dim <> 0 && d.dist_dim <> 1 then
+    err "distributed dimension %d not in {0, 1}" d.dist_dim
+  else if d.n_pes < 1 then err "PE count %d < 1" d.n_pes
+  else if d.epochs = [] then err "no epochs"
+  else
+    match check_epochs 0 d.epochs with
+    | Error _ as r -> r
+    | Ok () -> (
+        let p = build d in
+        match Program.validate p @ subscript_problems p with
+        | [] -> Ok ()
+        | probs -> Error (String.concat "; " probs))
+
+(* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 

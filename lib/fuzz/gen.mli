@@ -53,4 +53,14 @@ val generate : Random.State.t -> desc
     reads of arrays the same parallel epoch writes are dropped). *)
 val build : desc -> Ccdp_ir.Program.t
 
+(** Full validity of a description: descriptor sanity (array indices,
+    stencil offsets, sweep columns and the edge within range), structural
+    well-formedness of the lowered program ({!Ccdp_ir.Program.validate}),
+    and static subscript bounds — every reference whose subscript range
+    resolves under its loop environment must stay inside its array's
+    extents. Everything {!generate} draws and every {!Shrink} candidate of
+    a valid description satisfies this; hand-built descriptions (test
+    fixtures, reproducers edited by hand) are checked before use. *)
+val validate : desc -> (unit, string) result
+
 val pp : Format.formatter -> desc -> unit

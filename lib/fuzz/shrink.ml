@@ -91,17 +91,22 @@ let candidates (d : desc) =
 
 let minimize ?(max_steps = 400) d ~still_fails =
   let budget = ref max_steps in
+  (* a candidate that fails to re-validate is skipped without consuming
+     budget; a predicate that crashes on a candidate did not reproduce the
+     original failure (the bug under minimization is the predicate's
+     verdict, not whatever the candidate tripped over) *)
+  let keeps c =
+    match Gen.validate c with
+    | Error _ -> false
+    | Ok () ->
+        if !budget <= 0 then false
+        else begin
+          decr budget;
+          try still_fails c with _ -> false
+        end
+  in
   let rec go d =
-    let next =
-      List.find_opt
-        (fun c ->
-          if !budget <= 0 then false
-          else begin
-            decr budget;
-            still_fails c
-          end)
-        (candidates d)
-    in
+    let next = List.find_opt keeps (candidates d) in
     match next with Some c when !budget > 0 -> go c | _ -> d
   in
   go d

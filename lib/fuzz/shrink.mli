@@ -12,6 +12,11 @@ val candidates : Gen.desc -> Gen.desc list
 
 (** [minimize d ~still_fails] greedily shrinks [d] while preserving
     [still_fails]; the result is one-step minimal: no candidate of the
-    returned description fails. [still_fails d] must be deterministic.
-    [max_steps] bounds the number of predicate evaluations (default 400). *)
+    returned description fails. Candidates are re-checked with
+    {!Gen.validate} before the predicate sees them (invalid ones are
+    skipped without consuming budget), and a predicate that raises on a
+    candidate counts as not failing — minimization never crashes and never
+    walks into an ill-formed description. [still_fails d] must be
+    deterministic. [max_steps] bounds the number of predicate evaluations
+    (default 400). *)
 val minimize : ?max_steps:int -> Gen.desc -> still_fails:(Gen.desc -> bool) -> Gen.desc

@@ -21,15 +21,18 @@ let proc b pname ~formals body =
 let fresh_ref b = let id = b.next_ref in b.next_ref <- id + 1; id
 let fresh_loop b = let id = b.next_loop in b.next_loop <- id + 1; id
 
-let ref_ b name subs = Reference.make ~id:(fresh_ref b) name (Array.of_list subs)
-let rd b name subs = Fexpr.Ref (ref_ b name subs)
-let assign b name subs e = Stmt.Assign (ref_ b name subs, e)
+let ref_ b ?loc name subs =
+  Reference.make ~id:(fresh_ref b) ?loc name (Array.of_list subs)
 
-let for_ b ?(step = 1) ?(kind = Stmt.Serial) var lo hi body =
-  Stmt.For { loop_id = fresh_loop b; var; lo; hi; step; kind; body }
+let rd b ?loc name subs = Fexpr.Ref (ref_ b ?loc name subs)
+let assign b ?loc name subs e = Stmt.Assign (ref_ b ?loc name subs, e)
 
-let doall b ?(step = 1) ?(sched = Stmt.Static_block) var lo hi body =
-  for_ b ~step ~kind:(Stmt.Doall sched) var lo hi body
+let for_ b ?(step = 1) ?(kind = Stmt.Serial) ?(loc = Loc.Synthetic) var lo hi
+    body =
+  Stmt.For { loop_id = fresh_loop b; var; lo; hi; step; kind; body; loc }
+
+let doall b ?(step = 1) ?(sched = Stmt.Static_block) ?loc var lo hi body =
+  for_ b ~step ~kind:(Stmt.Doall sched) ?loc var lo hi body
 
 let call name args = Stmt.Call (name, args)
 

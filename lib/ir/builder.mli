@@ -21,24 +21,24 @@ val array_ :
 (** Declare a procedure (callable from main or other procedures). *)
 val proc : t -> string -> formals:string list -> Stmt.t list -> unit
 
-(** Fresh read/write reference. *)
-val ref_ : t -> string -> Affine.t list -> Reference.t
+(** Fresh read/write reference ([?loc] defaults to synthetic). *)
+val ref_ : t -> ?loc:Loc.t -> string -> Affine.t list -> Reference.t
 
 (** Fresh read reference as an expression. *)
-val rd : t -> string -> Affine.t list -> Fexpr.t
+val rd : t -> ?loc:Loc.t -> string -> Affine.t list -> Fexpr.t
 
 (** [assign b "A" subs e] is [A(subs) := e] with a fresh reference id. *)
-val assign : t -> string -> Affine.t list -> Fexpr.t -> Stmt.t
+val assign : t -> ?loc:Loc.t -> string -> Affine.t list -> Fexpr.t -> Stmt.t
 
 (** Serial loop with unit step by default. *)
 val for_ :
-  t -> ?step:int -> ?kind:Stmt.loop_kind -> string -> Bound.t -> Bound.t ->
-  Stmt.t list -> Stmt.t
+  t -> ?step:int -> ?kind:Stmt.loop_kind -> ?loc:Loc.t -> string -> Bound.t ->
+  Bound.t -> Stmt.t list -> Stmt.t
 
 (** DOALL loop (static block schedule by default). *)
 val doall :
-  t -> ?step:int -> ?sched:Stmt.sched -> string -> Bound.t -> Bound.t ->
-  Stmt.t list -> Stmt.t
+  t -> ?step:int -> ?sched:Stmt.sched -> ?loc:Loc.t -> string -> Bound.t ->
+  Bound.t -> Stmt.t list -> Stmt.t
 
 val call : string -> (string * Affine.t) list -> Stmt.t
 

@@ -229,6 +229,7 @@ let rec parse_fexpr env st =
         expect_sym st ')';
         Fexpr.Binop ((if f = "min" then Fexpr.Min else Fexpr.Max), a, b)
     | Some (IDENT v0) -> (
+        let vcol = col st in
         advance st;
         let v = low v0 in
         match (Hashtbl.find_opt env.arrays v, peek st) with
@@ -239,7 +240,10 @@ let rec parse_fexpr env st =
               subs := parse_affine st :: !subs
             done;
             expect_sym st ')';
-            Fexpr.Ref (Builder.ref_ env.b name (List.rev !subs))
+            Fexpr.Ref
+              (Builder.ref_ env.b
+                 ~loc:(Loc.src ~line:st.ln ~col:vcol)
+                 name (List.rev !subs))
         | None, Some (SYM '(') -> fail_at st "%s is not a declared array" v0
         | _ ->
             if List.mem v env.loop_vars || Hashtbl.mem env.params v then
@@ -279,12 +283,12 @@ type line =
   | Lreal of string * int list
   | Lshared of string * Dist.t
   | Ldoshared of Stmt.sched
-  | Ldo of string * Bound.t * Bound.t * int
+  | Ldo of string * Bound.t * Bound.t * int * Loc.t
   | Lenddo
   | Lif of Stmt.cond
   | Lelse
   | Lendif
-  | Lassign_arr of string * Affine.t list * Fexpr.t
+  | Lassign_arr of string * Affine.t list * Fexpr.t * Loc.t
   | Lassign_sca of string * Fexpr.t
   | Lend
 
@@ -457,6 +461,7 @@ let classify env ln toks =
           Some (Ldoshared sched)
       | _ -> fail_at st "unknown CDIR$ directive")
   | Some (IDENT t) when low t = "do" ->
+      let kwcol = col st in
       advance st;
       let var = low (expect_ident st) in
       expect_sym st '=';
@@ -469,7 +474,7 @@ let classify env ln toks =
           | _ -> fail_at st "expected step")
         else 1
       in
-      Some (Ldo (var, lo, hi, step))
+      Some (Ldo (var, lo, hi, step, Loc.src ~line:ln ~col:kwcol))
   | Some (IDENT t) when low t = "enddo" -> Some Lenddo
   | Some (IDENT t) when low t = "if" ->
       advance st;
@@ -480,6 +485,7 @@ let classify env ln toks =
   | Some (IDENT t) when low t = "endif" -> Some Lendif
   | Some (IDENT t) when low t = "end" -> Some Lend
   | Some (IDENT v0) -> (
+      let vcol = col st in
       advance st;
       let v = low v0 in
       match (Hashtbl.find_opt env.arrays v, peek st) with
@@ -493,7 +499,7 @@ let classify env ln toks =
           expect_sym st '=';
           let e = parse_fexpr env st in
           if not (at_end st) then fail_at st "trailing tokens after assignment";
-          Some (Lassign_arr (name, List.rev !subs, e))
+          Some (Lassign_arr (name, List.rev !subs, e, Loc.src ~line:ln ~col:vcol))
       | _, Some (SYM '=') ->
           advance st;
           let e = parse_fexpr env st in
@@ -588,7 +594,7 @@ let program src =
         match item with
         | Lend | Lenddo | Lendif | Lelse -> ([], rest, Some item)
         | Ldoshared sched -> parse_block rest ~pending_sched:(Some sched)
-        | Ldo (var, lo, hi, step) ->
+        | Ldo (var, lo, hi, step, loc) ->
             env.loop_vars <- var :: env.loop_vars;
             let body, rest', term = parse_block rest ~pending_sched:None in
             env.loop_vars <- List.tl env.loop_vars;
@@ -600,7 +606,7 @@ let program src =
               | Some s -> Stmt.Doall s
               | None -> Stmt.Serial
             in
-            let stmt = Builder.for_ b ~step ~kind var lo hi body in
+            let stmt = Builder.for_ b ~step ~kind ~loc var lo hi body in
             let more, rest'', term' = parse_block rest' ~pending_sched:None in
             (stmt :: more, rest'', term')
         | Lif c ->
@@ -617,8 +623,8 @@ let program src =
             | _ -> fail ln "IF without matching ENDIF");
             let more, rest3, term3 = parse_block rest'' ~pending_sched:None in
             (Stmt.If (c, tb, eb) :: more, rest3, term3)
-        | Lassign_arr (nm, subs, e) ->
-            let stmt = Builder.assign b nm subs e in
+        | Lassign_arr (nm, subs, e, loc) ->
+            let stmt = Builder.assign b ~loc nm subs e in
             let more, rest', term = parse_block rest ~pending_sched:None in
             (stmt :: more, rest', term)
         | Lassign_sca (v, e) ->

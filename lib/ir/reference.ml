@@ -1,6 +1,7 @@
-type t = { id : int; array_name : string; subs : Affine.t array }
+type t = { id : int; array_name : string; subs : Affine.t array; loc : Loc.t }
 
-let make ~id array_name subs = { id; array_name; subs }
+let make ~id ?(loc = Loc.Synthetic) array_name subs =
+  { id; array_name; subs; loc }
 
 let subst_env r env =
   { r with subs = Array.map (fun e -> Affine.subst_env e env) r.subs }

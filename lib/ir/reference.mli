@@ -6,9 +6,11 @@
     those ids, and the runtime consults the maps when it executes the
     occurrence. *)
 
-type t = { id : int; array_name : string; subs : Affine.t array }
+type t = { id : int; array_name : string; subs : Affine.t array; loc : Loc.t }
 
-val make : id:int -> string -> Affine.t array -> t
+(** [loc] defaults to {!Loc.Synthetic}; {!Craft_parse} supplies the source
+    span of the occurrence so diagnostics can point at [.craft] text. *)
+val make : id:int -> ?loc:Loc.t -> string -> Affine.t array -> t
 
 (** Substitute variables in every subscript (procedure inlining). The id is
     preserved — an inlined occurrence is still the same syntactic site for

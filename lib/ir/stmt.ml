@@ -21,6 +21,7 @@ and loop = {
   step : int;
   kind : loop_kind;
   body : t list;
+  loc : Loc.t;
 }
 
 let eval_cmp op a b =

@@ -44,6 +44,7 @@ and loop = {
   step : int;
   kind : loop_kind;
   body : t list;
+  loc : Loc.t;  (** span of the loop header; {!Loc.Synthetic} when built *)
 }
 
 val eval_cmp : cmp -> int -> int -> bool

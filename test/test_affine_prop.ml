@@ -142,6 +142,7 @@ let mk_loop lo hi =
     step = 1;
     kind = Stmt.Serial;
     body = [];
+    loc = Loc.Synthetic;
   }
 
 let range_arb =

@@ -7,8 +7,11 @@
      caught, and by the oracle specifically;
    - the oracle must flag the Incoherent mode on a program built to leave
      stale copies behind, while CCDP on the same program stays clean;
-   - the shrinker must preserve the failure predicate and reach a one-step
-     minimum. *)
+   - the shrinker must preserve the failure predicate, reach a one-step
+     minimum, and propose only validated candidates (Gen.validate).
+
+   The static leg of the differential (certifier vs annotations vs oracle)
+   is exercised in test_check.ml. *)
 
 open Ccdp_test_support.Tutil
 module Gen = Ccdp_fuzz.Gen
@@ -156,6 +159,62 @@ let shrink_suite =
             (fun c -> ignore (Gen.build c))
             (Shrink.candidates d)
         done);
+    case "generated descriptions and all their candidates validate" (fun () ->
+        let rng = Random.State.make [| 314 |] in
+        for _ = 1 to 100 do
+          let d = Gen.generate rng in
+          (match Gen.validate d with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "generated description invalid: %s" m);
+          List.iter
+            (fun c ->
+              match Gen.validate c with
+              | Ok () -> ()
+              | Error m -> Alcotest.failf "shrink candidate invalid: %s" m)
+            (Shrink.candidates d)
+        done);
+    case "an out-of-bounds sweep column fails validation" (fun () ->
+        let d =
+          {
+            Gen.n = 8;
+            dist_dim = 0;
+            n_pes = 2;
+            torus = false;
+            pclean = false;
+            wrap = false;
+            epochs = [ Gen.Sweep { src = 0; col = 50; dst = 1 } ];
+          }
+        in
+        match Gen.validate d with
+        | Ok () -> Alcotest.fail "expected a validation error"
+        | Error m -> check_true "mentions the column" (m <> ""));
+    case "a raising failure predicate never crashes minimization" (fun () ->
+        let rng = Random.State.make [| 8 |] in
+        let d = Gen.generate rng in
+        let m =
+          Shrink.minimize d ~still_fails:(fun _ -> failwith "flaky predicate")
+        in
+        (* no candidate "fails" under a crashing predicate: d is returned *)
+        check_true "unchanged" (m = d));
+    case "minimize skips invalid candidates without consuming budget"
+      (fun () ->
+        (* a sweep column valid only for the current edge: the n=8 shrink
+           step would clamp it, but a hand-damaged clamp would be invalid —
+           minimize must simply never select an invalid candidate *)
+        let rng = Random.State.make [| 21 |] in
+        let d = Gen.generate rng in
+        let seen = ref [] in
+        let still_fails c =
+          seen := c :: !seen;
+          false
+        in
+        ignore (Shrink.minimize d ~still_fails);
+        List.iter
+          (fun c ->
+            match Gen.validate c with
+            | Ok () -> ()
+            | Error m -> Alcotest.failf "predicate saw invalid candidate: %s" m)
+          !seen);
     case "minimize reaches the predicate's one-step minimum" (fun () ->
         let rng = Random.State.make [| 5 |] in
         (* draw until we have a 4-epoch description *)

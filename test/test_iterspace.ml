@@ -3,7 +3,7 @@ open Ccdp_analysis
 open Ccdp_test_support.Tutil
 
 let mk_loop ?(kind = Stmt.Serial) ?(step = 1) ~id var lo hi =
-  { Stmt.loop_id = id; var; lo; hi; step; kind; body = [] }
+  { Stmt.loop_id = id; var; lo; hi; step; kind; body = []; loc = Loc.Synthetic }
 
 let tests =
   [
