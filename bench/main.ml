@@ -18,6 +18,9 @@
      dune exec bench/main.exe -- oracle       -- staleness-oracle overhead
      dune exec bench/main.exe -- perf         -- engine wall-clock throughput
      dune exec bench/main.exe -- perf --quick -- reduced sizes (CI smoke)
+     dune exec bench/main.exe -- machines     -- interconnect sweep
+     dune exec bench/main.exe -- machines --machine t3d-mesh
+                                              -- one preset only
      dune exec bench/main.exe -- all --full   -- paper-shaped sizes (slow)
      dune exec bench/main.exe -- table1 -j 8  -- eight worker domains *)
 
@@ -116,6 +119,28 @@ let sweeps sizes jobs =
       emit
         (Experiment.sweep_cache_table ~n_pes:sizes.abl_pes ~jobs
            (Mxm.workload ~n:sizes.n)))
+
+(* ---- machine sweep -------------------------------------------------- *)
+
+(* Workload x mode x interconnect: the same kernels on each of the four
+   T3D interconnect variants (uniform / torus / mesh / crossbar). The
+   t3d rows are the paper machine; the others show how much of the CCDP
+   advantage survives a distance model and link contention. *)
+let machines_bench sizes ~quick ~machine jobs =
+  let n = if quick then 24 else sizes.n in
+  let iters = if quick then 1 else sizes.iters in
+  header
+    (Printf.sprintf
+       "Machine sweep (n=%d, iters=%d, %d PEs): workload x mode x \
+        interconnect"
+       n iters sizes.abl_pes);
+  let ws = Suite.spec_four ~n ~iters () in
+  with_bench_json ~bench:"machines" ~jobs (fun doc ->
+      let tbl =
+        Experiment.machines_table ~n_pes:sizes.abl_pes ?only:machine ~jobs ws
+      in
+      Bench_json.add_table doc tbl;
+      Experiment.print_tbl ppf tbl)
 
 (* ---- staleness-oracle overhead ------------------------------------- *)
 
@@ -373,17 +398,36 @@ let parse_jobs args =
   let jobs, rest = go [] args in
   (Ccdp_exec.Pool.resolve_jobs ?jobs (), rest)
 
+(* --machine NAME: restrict the machine sweep to one preset (any
+   Config.preset_of_string name, e.g. t3d-mesh or crossbar). *)
+let parse_machine args =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | "--machine" :: v :: rest -> (Some v, List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+  in
+  let machine, rest = go [] args in
+  (match machine with
+  | Some m when Ccdp_machine.Config.preset_of_string m = None ->
+      Printf.eprintf "unknown machine %S (presets: %s)\n" m
+        (String.concat ", " Ccdp_machine.Config.preset_names);
+      exit 2
+  | _ -> ());
+  (machine, rest)
+
 let () =
   let jobs, args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  let machine, args = parse_machine args in
   let full = List.mem "--full" args in
   let sizes = if full then full_sizes else default_sizes in
   let quick = List.mem "--quick" args in
   let has cmd = List.mem cmd args in
-  let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro" || has "oracle" || has "perf") in
+  let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro" || has "oracle" || has "perf" || has "machines") in
   if all || has "table1" || has "table2" then tables sizes jobs;
   if all then extras_table sizes jobs;
   if all || has "ablate" then ablations sizes jobs;
   if all || has "sweep" then sweeps sizes jobs;
+  if all || has "machines" then machines_bench sizes ~quick ~machine jobs;
   if all || has "oracle" then oracle_overhead sizes;
   if all || has "perf" then perf sizes ~quick jobs;
   if has "micro" then micro ()

@@ -57,6 +57,28 @@ let mode_arg =
     & opt mode_conv Ccdp_runtime.Memsys.Ccdp
     & info [ "mode" ] ~docv:"MODE" ~doc:"seq | base | ccdp | inv | inc | hscd.")
 
+let machine_conv =
+  let parse s =
+    match Ccdp_machine.Config.preset_of_string s with
+    | Some p -> Ok (s, p)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %S (presets: %s)" s
+               (String.concat ", " Ccdp_machine.Config.preset_names)))
+  in
+  Arg.conv (parse, fun ppf (name, _) -> Format.fprintf ppf "%s" name)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv ("t3d", Ccdp_machine.Config.t3d)
+    & info [ "machine" ] ~docv:"MACHINE"
+        ~doc:
+          "Machine preset or interconnect kind: t3d | t3d-torus | t3d-mesh \
+           | t3d-xbar | tiny (kind names uniform/torus/mesh2d/crossbar also \
+           accepted).")
+
 (* resolved through CCDP_JOBS and the domain count when not given; -j 1
    bypasses the domain pool entirely (results are identical either way) *)
 let jobs_arg =
@@ -94,9 +116,9 @@ let analyze_cmd =
     Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg)
 
 let run_cmd =
-  let run name n iters pe mode verify =
+  let run name n iters pe mode (_, machine) verify =
     let w = Workload.find (workloads_of ~n ~iters) name in
-    let r = Ccdp_core.Experiment.run_mode ~n_pes:pe mode w in
+    let r = Ccdp_core.Experiment.run_mode ~machine ~n_pes:pe mode w in
     Format.printf "%a@." Ccdp_runtime.Interp.pp_result r;
     Format.printf "%a@." Ccdp_runtime.Metrics.pp (Ccdp_runtime.Metrics.of_result r);
     if verify then
@@ -104,7 +126,9 @@ let run_cmd =
       Format.printf "%a@." Ccdp_runtime.Verify.pp_report v
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute one workload on the machine model")
-    Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg $ verify_arg)
+    Term.(
+      const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg
+      $ machine_arg $ verify_arg)
 
 let eval_rows n iters pes verify spec_four jobs =
   let ws = if spec_four then Suite.spec_four ~n ~iters () else workloads_of ~n ~iters in
@@ -363,11 +387,10 @@ let check_cmd =
       $ json_arg $ werror_arg)
 
 let perf_cmd =
-  let run name n iters pe mode =
+  let run name n iters pe mode (_, machine) =
     let w = Workload.find (workloads_of ~n ~iters) name in
     let cfg =
-      Ccdp_machine.Config.t3d
-        ~n_pes:(if mode = Ccdp_runtime.Memsys.Seq then 1 else pe)
+      machine ~n_pes:(if mode = Ccdp_runtime.Memsys.Seq then 1 else pe)
     in
     let prog, plan =
       match mode with
@@ -413,7 +436,9 @@ let perf_cmd =
          "Time one workload on the compiled-plan engine and the reference \
           tree-walking engine (identical simulated cycles, host wall-clock \
           and allocation compared)")
-    Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg)
+    Term.(
+      const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg
+      $ machine_arg)
 
 let sweep_cmd =
   let run n iters pe name =

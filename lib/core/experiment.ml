@@ -29,15 +29,15 @@ let default_spec =
     tuning = Ccdp_analysis.Schedule.default_tuning;
   }
 
-let run_mode ?tuning ~n_pes mode (w : Workload.t) =
-  let cfg = Config.t3d ~n_pes in
+let run_mode ?tuning ?(machine = Config.t3d) ~n_pes mode (w : Workload.t) =
+  let cfg = machine ~n_pes in
   match mode with
   | Memsys.Ccdp ->
       let compiled = Pipeline.compile cfg ?tuning w.program in
       Interp.run cfg compiled.Pipeline.program ~plan:compiled.Pipeline.plan
         ~mode ()
   | Memsys.Seq ->
-      let cfg = Config.t3d ~n_pes:1 in
+      let cfg = machine ~n_pes:1 in
       Interp.run cfg
         (Ccdp_ir.Program.inline w.program)
         ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
@@ -398,6 +398,73 @@ let ablation_topology_table ?(n_pes = 64) ?jobs workloads =
         "torus improvement" ];
     trows = rows;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Machine sweep                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The four T3D interconnect variants, in the order the table reports
+   them. [t3d] is the uniform-latency paper machine; the others move part
+   of the remote latency into the distance model (and, for the crossbar,
+   the shared-port contention model). *)
+let machine_presets =
+  [
+    ("t3d", Config.t3d);
+    ("t3d-torus", Config.t3d_torus);
+    ("t3d-mesh", Config.t3d_mesh);
+    ("t3d-xbar", Config.t3d_xbar);
+  ]
+
+let machines_table ?(n_pes = 16) ?only ?jobs workloads =
+  let machines =
+    match only with
+    | None -> machine_presets
+    | Some name -> (
+        match Config.preset_of_string name with
+        | Some p -> [ (String.lowercase_ascii name, p) ]
+        | None -> invalid_arg ("unknown machine preset: " ^ name))
+  in
+  let units =
+    List.concat_map (fun w -> List.map (fun m -> (w, m)) machines) workloads
+  in
+  let rows =
+    Pool.run ?jobs
+      ~label:(fun i ->
+        let (w : Workload.t), (mname, _) = List.nth units i in
+        w.Workload.name ^ "@" ^ mname)
+      (fun _ ((w : Workload.t), (mname, preset)) ->
+        let base = run_mode ~machine:preset ~n_pes Memsys.Base w in
+        let ccdp = run_mode ~machine:preset ~n_pes Memsys.Ccdp w in
+        let s = ccdp.Interp.stats in
+        [
+          w.Workload.name;
+          mname;
+          string_of_int base.Interp.cycles;
+          string_of_int ccdp.Interp.cycles;
+          Report.fpct
+            (100.
+            *. float_of_int (base.Interp.cycles - ccdp.Interp.cycles)
+            /. float_of_int base.Interp.cycles);
+          string_of_int s.Stats.link_conflicts;
+          string_of_int s.Stats.link_occ_max;
+        ])
+      units
+  in
+  {
+    title =
+      Printf.sprintf
+        "Machine sweep (%d PEs): workload x mode x interconnect (cycles)"
+        n_pes;
+    headers =
+      [
+        "workload"; "machine"; "BASE"; "CCDP"; "improvement"; "link conflicts";
+        "max link occ";
+      ];
+    trows = rows;
+  }
+
+let machines ?n_pes ?only workloads ppf =
+  print_tbl ppf (machines_table ?n_pes ?only workloads)
 
 let ablation_target ?n_pes workloads ppf =
   print_tbl ppf (ablation_target_table ?n_pes workloads)

@@ -38,9 +38,11 @@ type spec = {
 val default_spec : spec
 
 (** Run one workload at one machine width under one mode; compiles with the
-    spec's tuning for CCDP-plan modes. *)
+    spec's tuning for CCDP-plan modes. [machine] selects the machine
+    preset (default {!Ccdp_machine.Config.t3d}). *)
 val run_mode :
   ?tuning:Ccdp_analysis.Schedule.tuning ->
+  ?machine:(n_pes:int -> Ccdp_machine.Config.t) ->
   n_pes:int ->
   Ccdp_runtime.Memsys.mode ->
   Ccdp_workloads.Workload.t ->
@@ -104,6 +106,29 @@ val ablation_vpg_levels_table :
 (** Experiment F: uniform remote latency vs the 3-D torus distance model. *)
 val ablation_topology_table :
   ?n_pes:int -> ?jobs:int -> Ccdp_workloads.Workload.t list -> table
+
+(** The four T3D interconnect presets the machine sweep reports, in table
+    order: uniform, torus, mesh, crossbar. *)
+val machine_presets :
+  (string * (n_pes:int -> Ccdp_machine.Config.t)) list
+
+(** Machine sweep: workload × mode × interconnect. One row per
+    (workload, machine preset) with BASE/CCDP cycles, improvement and the
+    link-contention counters; [only] restricts the sweep to a single named
+    preset (any {!Ccdp_machine.Config.preset_of_string} name). *)
+val machines_table :
+  ?n_pes:int ->
+  ?only:string ->
+  ?jobs:int ->
+  Ccdp_workloads.Workload.t list ->
+  table
+
+val machines :
+  ?n_pes:int ->
+  ?only:string ->
+  Ccdp_workloads.Workload.t list ->
+  Format.formatter ->
+  unit
 
 (** Printing shorthands for the ablation tables (sequential). *)
 val ablation_target :

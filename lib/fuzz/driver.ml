@@ -65,8 +65,7 @@ let variants =
 let variant_names = List.map (fun v -> v.vname) variants
 
 let cfg_of (d : Gen.desc) =
-  if d.Gen.torus then Config.t3d_torus ~n_pes:d.Gen.n_pes
-  else Config.t3d ~n_pes:d.Gen.n_pes
+  Config.of_kind d.Gen.net ~n_pes:d.Gen.n_pes
 
 let drop_stale_mark k (r : Stale.result) =
   match List.sort compare (Stale.stale_ids r) with

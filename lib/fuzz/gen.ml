@@ -1,4 +1,5 @@
 open Ccdp_ir
+module Net = Ccdp_machine.Net
 module B = Builder
 module F = Builder.F
 
@@ -24,7 +25,7 @@ type desc = {
   n : int;
   dist_dim : int;
   n_pes : int;
-  torus : bool;
+  net : Net.kind;
   pclean : bool;
   epochs : epoch_desc list;
   wrap : bool;
@@ -81,7 +82,11 @@ let generate rng =
     n;
     dist_dim = int_range rng 0 1;
     n_pes = pick rng [ 2; 3; 4; 8 ];
-    torus = int_range rng 0 2 = 0;
+    net =
+      (* uniform half the time; each geometry gets an even share of the rest *)
+      pick rng
+        [ Net.Uniform; Net.Uniform; Net.Uniform;
+          Net.Torus3d; Net.Mesh2d; Net.Crossbar ];
     pclean = Random.State.bool rng;
     epochs = List.init (int_range rng 2 4) (fun _ -> gen_epoch rng n);
     wrap = Random.State.bool rng;
@@ -358,7 +363,7 @@ let pp_epoch ppf = function
 let pp ppf d =
   Format.fprintf ppf
     "@[<v>n=%d dist_dim=%d pes=%d%s%s%s@,%a@]" d.n d.dist_dim d.n_pes
-    (if d.torus then " torus" else "")
+    (if d.net = Net.Uniform then "" else " " ^ Net.kind_name d.net)
     (if d.pclean then " prefetch-clean" else "")
     (if d.wrap then " wrapped(x2)" else "")
     (Format.pp_print_list pp_epoch)

@@ -38,7 +38,7 @@ type desc = {
   n : int;  (** array edge *)
   dist_dim : int;  (** distributed dimension, 0 or 1 *)
   n_pes : int;
-  torus : bool;  (** 3-D torus distance model *)
+  net : Ccdp_machine.Net.kind;  (** interconnect distance model *)
   pclean : bool;  (** also prefetch clean references (future-work ext.) *)
   epochs : epoch_desc list;
   wrap : bool;  (** wrap the epoch sequence in a 2-iteration serial loop *)

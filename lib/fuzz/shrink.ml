@@ -70,7 +70,9 @@ let candidates (d : desc) =
                (epoch_steps e))
            d.epochs);
       (if d.n_pes > 2 then [ { d with n_pes = 2 } ] else []);
-      (if d.torus then [ { d with torus = false } ] else []);
+      (if d.net <> Ccdp_machine.Net.Uniform then
+         [ { d with net = Ccdp_machine.Net.Uniform } ]
+       else []);
       (if d.pclean then [ { d with pclean = false } ] else []);
       (* shrinking the edge clamps sweep columns into the smaller array *)
       (if d.n > 8 then

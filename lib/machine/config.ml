@@ -9,8 +9,9 @@ type t = {
   local : int;
   uncached_local : int;
   remote : int;
-  torus : bool;
+  net : Net.kind;
   hop : int;
+  link_occ : int;
   store_local : int;
   store_remote : int;
   pf_issue : int;
@@ -36,8 +37,9 @@ let t3d ~n_pes =
     local = 22 (* ~150ns at 150 MHz *);
     uncached_local = 8 (* read-ahead buffered local stream *);
     remote = 90 (* ~600ns one-way shared read *);
-    torus = false;
+    net = Net.Uniform;
     hop = 0;
+    link_occ = 0;
     store_local = 3;
     store_remote = 12 (* buffered network injection *);
     pf_issue = 6 (* prefetch instruction + queue bookkeeping *);
@@ -63,8 +65,9 @@ let tiny ~n_pes =
     local = 10;
     uncached_local = 4;
     remote = 40;
-    torus = false;
+    net = Net.Uniform;
     hop = 0;
+    link_occ = 0;
     store_local = 1;
     store_remote = 4;
     pf_issue = 2;
@@ -78,14 +81,57 @@ let tiny ~n_pes =
     loop_overhead = 1;
   }
 
+(* Rebalance a distance-model preset so the machine-average remote cost
+   stays near the uniform preset's: average hop count across the machine
+   is about half the diameter, and that share of the latency moves from
+   the flat [remote] base into the per-hop term. *)
+let with_net base kind ~hop =
+  let net = Net.create kind ~n_pes:base.n_pes in
+  let avg_hops = max 1 ((Net.diameter net + 1) / 2) in
+  {
+    base with
+    remote = max base.local (base.remote - (hop * avg_hops));
+    net = kind;
+    hop;
+  }
+
 let t3d_torus ~n_pes =
-  let base = t3d ~n_pes in
-  (* keep the machine-average remote cost near the uniform preset: average
-     hop count on a torus is about half the diameter *)
-  let torus = Torus.of_pes n_pes in
-  let avg_hops = max 1 ((Torus.diameter torus + 1) / 2) in
-  let hop = 8 (* ~50ns per hop at 150 MHz *) in
-  { base with remote = max base.local (90 - (hop * avg_hops)); torus = true; hop }
+  with_net (t3d ~n_pes) Net.Torus3d ~hop:8 (* ~50ns per hop at 150 MHz *)
+
+let t3d_mesh ~n_pes = with_net (t3d ~n_pes) Net.Mesh2d ~hop:8
+
+let t3d_xbar ~n_pes =
+  (* constant one-hop distance; the interesting behaviour is the shared
+     destination port, so the contention model is on by default *)
+  { (with_net (t3d ~n_pes) Net.Crossbar ~hop:8) with link_occ = 4 }
+
+let of_kind kind ~n_pes =
+  match kind with
+  | Net.Uniform -> t3d ~n_pes
+  | Net.Torus3d -> t3d_torus ~n_pes
+  | Net.Mesh2d -> t3d_mesh ~n_pes
+  | Net.Crossbar -> t3d_xbar ~n_pes
+
+let presets =
+  [
+    ("t3d", t3d);
+    ("t3d-torus", t3d_torus);
+    ("t3d-mesh", t3d_mesh);
+    ("t3d-xbar", t3d_xbar);
+    ("tiny", tiny);
+  ]
+
+let preset_of_string s =
+  let s = String.lowercase_ascii s in
+  match List.assoc_opt s presets with
+  | Some p -> Some p
+  | None -> (
+      (* bare interconnect kinds select the matching T3D variant *)
+      match Net.kind_of_string s with
+      | Some k -> Some (of_kind k)
+      | None -> None)
+
+let preset_names = List.map fst presets
 
 let lines t = t.cache_words / t.line_words
 
@@ -112,18 +158,34 @@ let validate t =
   check (t.remote >= t.local) "remote latency below local latency";
   check (t.uncached_local >= 0) "uncached_local must be >= 0";
   check (t.local >= t.hit) "local latency below hit latency";
+  check (t.hit >= 0) "hit must be >= 0";
+  check (t.hop >= 0) "hop must be >= 0";
+  check (t.link_occ >= 0) "link_occ must be >= 0";
+  check (t.annex_entries >= 0) "annex_entries must be >= 0";
+  check (t.store_local >= 0) "store_local must be >= 0";
+  check (t.store_remote >= 0) "store_remote must be >= 0";
+  check (t.pf_issue >= 0) "pf_issue must be >= 0";
+  check (t.pf_extract >= 0) "pf_extract must be >= 0";
+  check (t.annex_setup >= 0) "annex_setup must be >= 0";
+  check (t.vget_startup >= 0) "vget_startup must be >= 0";
+  check (t.vget_per_word >= 0) "vget_per_word must be >= 0";
+  check (t.barrier_base >= 0) "barrier_base must be >= 0";
+  check (t.barrier_per_level >= 0) "barrier_per_level must be >= 0";
+  check (t.flop >= 0) "flop must be >= 0";
+  check (t.loop_overhead >= 0) "loop_overhead must be >= 0";
   List.rev !problems
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>machine: %d PEs@,\
+     network: %s hop=%d link-occ=%d@,\
      cache: %d words, %d-word lines, %d-way@,\
      prefetch queue: %d words; annex: %d entries@,\
      latency: hit=%d local=%d/%d remote=%d store=%d/%d@,\
      prefetch: issue=%d extract=%d annex=%d vget=%d+%d/word@,\
      barrier: %d; flop=%d loop=%d@]"
-    t.n_pes t.cache_words t.line_words t.assoc t.prefetch_queue_words
-    t.annex_entries t.hit t.local t.uncached_local t.remote t.store_local
-    t.store_remote t.pf_issue
+    t.n_pes (Net.kind_name t.net) t.hop t.link_occ t.cache_words t.line_words
+    t.assoc t.prefetch_queue_words t.annex_entries t.hit t.local
+    t.uncached_local t.remote t.store_local t.store_remote t.pf_issue
     t.pf_extract t.annex_setup t.vget_startup t.vget_per_word (barrier_cost t)
     t.flop t.loop_overhead

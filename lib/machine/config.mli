@@ -7,6 +7,11 @@
     whose set-up overhead is significant, ~20-cycle local memory reads and
     remote reads worth hundreds of cycles.
 
+    The interconnect is a first-class description ([net] + [hop] +
+    [link_occ], realized by {!Net}): remote costs add [hop] cycles per
+    network hop between the accessing PE and the owner, and an optional
+    link-occupancy model charges queueing delay at contended links.
+
     The prefetch scheduling algorithm consumes [cache_words],
     [prefetch_queue_words], [max_outstanding] and [avg_prefetch_latency]
     (paper Section 4.3.1's "important hardware constraints"); the runtime
@@ -29,12 +34,17 @@ type t = {
           DRAM well below the full fill latency, which is why the BASE
           codes tolerate uncached local data (paper Section 5.4: VPENTA and
           SWIM BASE "perform quite well") *)
-  remote : int;  (** base remote-memory read (plus per-hop under [torus]) *)
-  torus : bool;
-      (** model the 3-D torus: remote costs add [hop] cycles per network
-          hop between the accessing PE and the owner (dimension-ordered
-          minimal routing with wraparound) *)
-  hop : int;  (** per-hop network latency when [torus] is set *)
+  remote : int;  (** base remote-memory read (plus [hop] per network hop) *)
+  net : Net.kind;
+      (** interconnect topology: remote costs add [hop] cycles per network
+          hop between the accessing PE and the owner ({!Net.hops};
+          dimension-ordered minimal routing) *)
+  hop : int;  (** per-hop network latency *)
+  link_occ : int;
+      (** link-occupancy model: cycles a remote transfer holds its
+          bottleneck link per cache line moved; concurrent transfers
+          sharing the link queue behind each other ([0] = contention
+          modelling off) *)
   store_local : int;  (** local write (write-through, buffered) *)
   store_remote : int;  (** remote write (buffered, network injection cost) *)
   pf_issue : int;  (** issuing one prefetch instruction *)
@@ -56,9 +66,27 @@ val t3d : n_pes:int -> t
     machine-average remote cost stays near the uniform preset's. *)
 val t3d_torus : n_pes:int -> t
 
+(** T3D preset over a 2-D mesh (no wraparound), same calibration rule. *)
+val t3d_mesh : n_pes:int -> t
+
+(** T3D preset over a crossbar: constant one-hop distance, shared-port
+    link contention on by default ([link_occ > 0]). *)
+val t3d_xbar : n_pes:int -> t
+
 (** Preset with uniform tiny latencies, for algorithm-level tests. *)
 val tiny : n_pes:int -> t
 
+(** The T3D preset variant for an interconnect kind. *)
+val of_kind : Net.kind -> n_pes:int -> t
+
+(** Named machine presets, for [--machine] style selection. *)
+val presets : (string * (n_pes:int -> t)) list
+
+(** Look up a preset by name; bare interconnect kind names ("torus",
+    "mesh2d", "crossbar", ...) select the matching T3D variant. *)
+val preset_of_string : string -> (n_pes:int -> t) option
+
+val preset_names : string list
 val lines : t -> int
 
 (** Barrier cost at the configured width. *)

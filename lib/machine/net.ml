@@ -1,0 +1,140 @@
+type kind = Uniform | Torus3d | Mesh2d | Crossbar
+
+let kind_name = function
+  | Uniform -> "uniform"
+  | Torus3d -> "torus3d"
+  | Mesh2d -> "mesh2d"
+  | Crossbar -> "crossbar"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "uniform" | "flat" -> Some Uniform
+  | "torus3d" | "torus" | "t3d" -> Some Torus3d
+  | "mesh2d" | "mesh" -> Some Mesh2d
+  | "crossbar" | "xbar" -> Some Crossbar
+  | _ -> None
+
+let all_kinds = [ Uniform; Torus3d; Mesh2d; Crossbar ]
+
+(* Near-square factorization nx >= ny with nx * ny >= n: the 2-D analogue
+   of [Torus.of_pes]'s near-cubic packing. *)
+let mesh_dims n =
+  let best = ref (n, 1) in
+  let badness (a, b) = a - b + abs ((a * b) - n) in
+  for b = 1 to n do
+    if b * b <= n then begin
+      let a = (n + b - 1) / b in
+      if badness (a, b) < badness !best then best := (a, b)
+    end
+  done;
+  !best
+
+type geom =
+  | Guniform
+  | Gtorus of Torus.t
+  | Gmesh of int * int  (** nx, ny *)
+  | Gxbar
+
+type t = {
+  kind : kind;
+  n_pes : int;
+  hop : int;
+  geom : geom;
+  costs : int array;
+      (** pre-folded [hop * hops src dst] matrix, row-major [src * n_pes +
+          dst]; [[||]] when every pair costs zero (per-access lookups then
+          skip the table entirely) *)
+  link_busy : int array;  (** per destination port: next free cycle *)
+  link_depth : int array;  (** transfers queued in the current busy burst *)
+}
+
+let hops_geom geom a b =
+  match geom with
+  | Guniform -> 0
+  | Gtorus torus -> Torus.hops torus a b
+  | Gmesh (nx, _) ->
+      let ax = a mod nx and ay = a / nx in
+      let bx = b mod nx and by = b / nx in
+      abs (ax - bx) + abs (ay - by)
+  | Gxbar -> if a = b then 0 else 1
+
+let diameter_geom geom n_pes =
+  match geom with
+  | Guniform -> 0
+  | Gtorus torus -> Torus.diameter torus
+  | Gmesh (nx, ny) -> nx - 1 + (ny - 1)
+  | Gxbar -> if n_pes > 1 then 1 else 0
+
+let create ?(hop = 0) kind ~n_pes =
+  if n_pes <= 0 then invalid_arg "Net.create: n_pes must be positive";
+  if hop < 0 then invalid_arg "Net.create: hop must be >= 0";
+  let geom =
+    match kind with
+    | Uniform -> Guniform
+    | Torus3d -> Gtorus (Torus.of_pes n_pes)
+    | Mesh2d ->
+        let nx, ny = mesh_dims n_pes in
+        Gmesh (nx, ny)
+    | Crossbar -> Gxbar
+  in
+  let costs =
+    if hop = 0 || kind = Uniform then [||]
+    else
+      Array.init (n_pes * n_pes) (fun i ->
+          hop * hops_geom geom (i / n_pes) (i mod n_pes))
+  in
+  {
+    kind;
+    n_pes;
+    hop;
+    geom;
+    costs;
+    link_busy = Array.make n_pes 0;
+    link_depth = Array.make n_pes 0;
+  }
+
+let kind t = t.kind
+let n_pes t = t.n_pes
+let hops t a b = hops_geom t.geom a b
+let diameter t = diameter_geom t.geom t.n_pes
+
+let cost t ~src ~dst =
+  if t.costs == [||] then 0 else t.costs.((src * t.n_pes) + dst)
+
+(* ------------------------------------------------------------------ *)
+(* Link occupancy                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The contention model charges queueing delay at the bottleneck link of a
+   transfer — the destination memory port (every topology here funnels a
+   remote read's final hop into the owner PE's node). A port stays busy for
+   [hold] cycles per transfer; a transfer arriving while the port is busy
+   waits until the pending burst drains. [depth] counts transfers in the
+   current burst (including this one) — its maximum over a run is the peak
+   link occupancy. Deterministic: state is a pure function of the acquire
+   sequence, which both engines replay in identical order. *)
+
+let acquire t ~dst ~now ~hold =
+  let busy = t.link_busy.(dst) in
+  if now >= busy then begin
+    t.link_busy.(dst) <- now + hold;
+    t.link_depth.(dst) <- 1;
+    (0, 1)
+  end
+  else begin
+    let depth = t.link_depth.(dst) + 1 in
+    t.link_depth.(dst) <- depth;
+    t.link_busy.(dst) <- busy + hold;
+    (busy - now, depth)
+  end
+
+let reset_links t =
+  Array.fill t.link_busy 0 t.n_pes 0;
+  Array.fill t.link_depth 0 t.n_pes 0
+
+let pp ppf t =
+  match t.geom with
+  | Guniform -> Format.fprintf ppf "uniform (%d PEs)" t.n_pes
+  | Gtorus torus -> Torus.pp ppf torus
+  | Gmesh (nx, ny) -> Format.fprintf ppf "%dx%d mesh" nx ny
+  | Gxbar -> Format.fprintf ppf "%d-port crossbar" t.n_pes

@@ -1,0 +1,56 @@
+(** First-class interconnect descriptions.
+
+    The machine model's distance and bandwidth behaviour lives behind this
+    interface: [hops] gives the topological distance between two PEs,
+    [cost] the pre-folded per-access latency increment ([hop] cycles per
+    hop, folded into a flat matrix at [create] time so the per-access fast
+    path is a single array read — no allocation, no dispatch), and
+    [acquire] the optional link-occupancy accounting that charges queueing
+    delay when concurrent remote transfers share a bottleneck link. *)
+
+type kind =
+  | Uniform  (** every remote access costs the same; no geometry *)
+  | Torus3d  (** the Cray T3D's 3-D torus (wraparound, minimal routing) *)
+  | Mesh2d  (** 2-D mesh, no wraparound: Manhattan distance *)
+  | Crossbar
+      (** constant distance (one hop to any other PE); contention happens
+          at the shared destination port *)
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+(** All four kinds, in declaration order. *)
+val all_kinds : kind list
+
+type t
+
+(** [create ?hop kind ~n_pes] builds the interconnect at the given machine
+    width. [hop] is the per-hop latency in cycles (default 0); the
+    all-pairs cost matrix is folded here, once. *)
+val create : ?hop:int -> kind -> n_pes:int -> t
+
+val kind : t -> kind
+val n_pes : t -> int
+
+(** Topological distance between two PEs. A metric: [hops a a = 0],
+    symmetric, and satisfies the triangle inequality. *)
+val hops : t -> int -> int -> int
+
+(** Maximum of [hops] over all PE pairs. *)
+val diameter : t -> int
+
+(** Pre-folded latency increment of a remote access from [src] to [dst]:
+    [hop * hops src dst], read from the matrix built at [create] time. *)
+val cost : t -> src:int -> dst:int -> int
+
+(** [acquire t ~dst ~now ~hold] books [hold] cycles of the bottleneck link
+    into PE [dst] starting at cycle [now] and returns
+    [(queueing_delay, burst_depth)]: the delay until the link is free, and
+    how many transfers (including this one) the current busy burst holds.
+    Deterministic — link state is a pure function of the acquire sequence. *)
+val acquire : t -> dst:int -> now:int -> hold:int -> int * int
+
+(** Forget all link bookings (barriers drain the network). *)
+val reset_links : t -> unit
+
+val pp : Format.formatter -> t -> unit

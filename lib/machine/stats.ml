@@ -22,6 +22,8 @@ type t = {
   mutable barriers : int;
   mutable flop_cycles : int;
   mutable stall_cycles : int;
+  mutable link_conflicts : int;
+  mutable link_occ_max : int;
 }
 
 let create () =
@@ -49,6 +51,8 @@ let create () =
     barriers = 0;
     flop_cycles = 0;
     stall_cycles = 0;
+    link_conflicts = 0;
+    link_occ_max = 0;
   }
 
 let reset t =
@@ -74,7 +78,9 @@ let reset t =
   t.invalidations <- 0;
   t.barriers <- 0;
   t.flop_cycles <- 0;
-  t.stall_cycles <- 0
+  t.stall_cycles <- 0;
+  t.link_conflicts <- 0;
+  t.link_occ_max <- 0
 
 let merge a b =
   {
@@ -101,6 +107,8 @@ let merge a b =
     barriers = max a.barriers b.barriers;
     flop_cycles = a.flop_cycles + b.flop_cycles;
     stall_cycles = a.stall_cycles + b.stall_cycles;
+    link_conflicts = a.link_conflicts + b.link_conflicts;
+    link_occ_max = max a.link_occ_max b.link_occ_max;
   }
 
 let total_misses t = t.miss_local + t.miss_remote
@@ -111,9 +119,11 @@ let pp ppf t =
     "@[<v>reads=%d writes=%d hits=%d miss(l/r)=%d/%d uncached(l/r)=%d/%d bypass=%d@,\
      pf: issued=%d vector=%d (%d words) on-time=%d late=%d (+%d cyc) dropped=%d \
      unused=%d evicted=%d@,\
-     annex hit/miss=%d/%d invalidations=%d barriers=%d flops=%d stall=%d@]"
+     annex hit/miss=%d/%d invalidations=%d barriers=%d flops=%d stall=%d@,\
+     link: conflicts=%d max-occ=%d@]"
     t.reads t.writes t.hits t.miss_local t.miss_remote t.uncached_local
     t.uncached_remote t.bypass_reads t.pf_issued t.pf_vector t.pf_vector_words
     t.pf_on_time t.pf_late t.pf_late_cycles t.pf_dropped t.pf_unused t.pf_evicted
     t.annex_hits
     t.annex_misses t.invalidations t.barriers t.flop_cycles t.stall_cycles
+    t.link_conflicts t.link_occ_max

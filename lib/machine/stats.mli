@@ -32,12 +32,18 @@ type t = {
   mutable barriers : int;
   mutable flop_cycles : int;
   mutable stall_cycles : int;
+  mutable link_conflicts : int;
+      (** remote transfers that queued behind a busy bottleneck link
+          (only charged when [Config.link_occ > 0]) *)
+  mutable link_occ_max : int;
+      (** peak transfers sharing one link's busy burst *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 
-(** Elementwise sum (machine-wide totals). *)
+(** Elementwise sum (machine-wide totals); [barriers] and [link_occ_max]
+    merge with [max]. *)
 val merge : t -> t -> t
 
 val total_misses : t -> int

@@ -79,7 +79,7 @@ type t = {
   decls : (string, Array_decl.t) Hashtbl.t;
   handles : (string, Addr_map.handle) Hashtbl.t;
   pl : Ccdp_analysis.Annot.plan;
-  net : Torus.t option;  (** distance model when [cfg.torus] *)
+  net : Net.t;  (** interconnect: distances + link-occupancy bookings *)
   mutable epoch_tick : int;  (** epoch-execution counter (version clock) *)
   versions : (string, version) Hashtbl.t;
       (** HSCD: per-array write-version state *)
@@ -135,7 +135,7 @@ let create cfg ?(oracle = false) (p : Program.t) ~plan md =
     decls;
     handles = Hashtbl.create 16;
     pl = plan;
-    net = (if cfg.Config.torus then Some (Torus.of_pes cfg.Config.n_pes) else None);
+    net = Net.create ~hop:cfg.Config.hop cfg.Config.net ~n_pes:cfg.Config.n_pes;
     epoch_tick = 0;
     versions = Hashtbl.create 16;
     observed_stale = Hashtbl.create 16;
@@ -185,10 +185,10 @@ let clock t ~pe = t.ctxs.(pe).pe.Pe.clock
 (* Targets are plain ints on the per-access path: [-1] is local, anything
    else the owning (remote) PE id — no variant boxing per access. *)
 
-let net_dist t ~pe owner =
-  match t.net with
-  | None -> 0
-  | Some torus -> t.cfg.Config.hop * Torus.hops torus pe owner
+(* Per-access hop cost: [Net.cost] reads the all-pairs matrix folded once
+   at [Net.create] time, so the prepared-access fast path stays a single
+   array lookup — no dispatch, no allocation. *)
+let net_dist t ~pe owner = Net.cost t.net ~src:pe ~dst:owner
 
 let latency_of t ~pe tgt =
   if tgt < 0 then t.cfg.Config.local else t.cfg.Config.remote + net_dist t ~pe tgt
@@ -198,6 +198,25 @@ let latency_of t ~pe tgt =
 let uncached_latency_of t ~pe tgt =
   if tgt < 0 then t.cfg.Config.uncached_local
   else t.cfg.Config.remote + net_dist t ~pe tgt
+
+(* Link-occupancy accounting: a remote transfer of [lines] cache lines
+   books its bottleneck link for [link_occ] cycles per line starting at
+   [now]; the returned queueing delay is added to the transfer's latency.
+   Free (and counter-silent) when the contention model is off or the
+   access is local. *)
+let contend t ctx tgt ~now ~lines =
+  if t.cfg.Config.link_occ = 0 || tgt < 0 then 0
+  else begin
+    let delay, depth =
+      Net.acquire t.net ~dst:tgt ~now
+        ~hold:(t.cfg.Config.link_occ * lines)
+    in
+    let s = ctx.pe.Pe.stats in
+    if delay > 0 then
+      s.Stats.link_conflicts <- s.Stats.link_conflicts + 1;
+    if depth > s.Stats.link_occ_max then s.Stats.link_occ_max <- depth;
+    delay
+  end
 
 let store_cost t tgt =
   if tgt < 0 then t.cfg.Config.store_local else t.cfg.Config.store_remote
@@ -314,7 +333,9 @@ let cached_read ?(fresh_only = false) ?(track = false) t ctx (r : Reference.t)
             (let s = ctx.pe.Pe.stats in
              if tgt < 0 then s.Stats.miss_local <- s.Stats.miss_local + 1
              else s.Stats.miss_remote <- s.Stats.miss_remote + 1);
-            Pe.advance ctx.pe (annex_cost t ctx tgt + latency_of t ~pe:self tgt);
+            let ac = annex_cost t ctx tgt in
+            let delay = contend t ctx tgt ~now:ctx.pe.Pe.clock ~lines:1 in
+            Pe.advance ctx.pe (ac + latency_of t ~pe:self tgt + delay);
             fill t ctx line;
             t.mem.(addr)
           end)
@@ -323,14 +344,16 @@ let uncached_read t ctx addr tgt =
   (let s = ctx.pe.Pe.stats in
    if tgt < 0 then s.Stats.uncached_local <- s.Stats.uncached_local + 1
    else s.Stats.uncached_remote <- s.Stats.uncached_remote + 1);
-  Pe.advance ctx.pe
-    (annex_cost t ctx tgt + uncached_latency_of t ~pe:ctx.pe.Pe.id tgt);
+  let ac = annex_cost t ctx tgt in
+  let delay = contend t ctx tgt ~now:ctx.pe.Pe.clock ~lines:1 in
+  Pe.advance ctx.pe (ac + uncached_latency_of t ~pe:ctx.pe.Pe.id tgt + delay);
   t.mem.(addr)
 
 let bypass_read t ctx addr tgt =
   ctx.pe.Pe.stats.Stats.bypass_reads <- ctx.pe.Pe.stats.Stats.bypass_reads + 1;
-  Pe.advance ctx.pe
-    (annex_cost t ctx tgt + uncached_latency_of t ~pe:ctx.pe.Pe.id tgt);
+  let ac = annex_cost t ctx tgt in
+  let delay = contend t ctx tgt ~now:ctx.pe.Pe.clock ~lines:1 in
+  Pe.advance ctx.pe (ac + uncached_latency_of t ~pe:ctx.pe.Pe.id tgt + delay);
   t.mem.(addr)
 
 (* A moved-back prefetch: the issue happened [back] cycles ago (clamped to
@@ -341,7 +364,8 @@ let moved_back_read t ctx addr tgt ~back =
   let lw = t.cfg.Config.line_words in
   let line = addr / lw in
   let issue_at = max ctx.epoch_start (ctx.pe.Pe.clock - back) in
-  let ready = issue_at + latency_of t ~pe:ctx.pe.Pe.id tgt in
+  let delay = contend t ctx tgt ~now:issue_at ~lines:1 in
+  let ready = issue_at + latency_of t ~pe:ctx.pe.Pe.id tgt + delay in
   let stall = max 0 (ready - ctx.pe.Pe.clock) in
   record_arrival ctx ~stall;
   Pe.advance ctx.pe
@@ -584,7 +608,8 @@ let issue_prefetch_at ~skip_cached t ctx ~addr ~tgt =
        be readable while the prefetch is in flight *)
     Cache.invalidate_line ctx.pe.Pe.cache ~line;
     Hashtbl.remove ctx.fresh line;
-    let ready = ctx.pe.Pe.clock + latency_of t ~pe:ctx.pe.Pe.id tgt in
+    let delay = contend t ctx tgt ~now:ctx.pe.Pe.clock ~lines:1 in
+    let ready = ctx.pe.Pe.clock + latency_of t ~pe:ctx.pe.Pe.id tgt + delay in
     if Prefetch_queue.try_insert ctx.pe.Pe.queue ~line ~words:lw ~ready then
       ctx.pe.Pe.stats.Stats.pf_issued <- ctx.pe.Pe.stats.Stats.pf_issued + 1
     else ctx.pe.Pe.stats.Stats.pf_dropped <- ctx.pe.Pe.stats.Stats.pf_dropped + 1
@@ -639,7 +664,14 @@ let vget_issue_h ~skip_cached t ~pe h idxs =
     let s = ctx.pe.Pe.stats in
     s.Stats.pf_vector <- s.Stats.pf_vector + 1;
     s.Stats.pf_vector_words <- s.Stats.pf_vector_words + (n * lw);
-    Pe.advance ctx.pe (annex_cost t ctx !first_target + t.cfg.Config.vget_startup);
+    let ac = annex_cost t ctx !first_target in
+    (* one link booking for the whole block: a vector get streams all its
+       lines through the owner's port back-to-back *)
+    let delay =
+      if n = 0 then 0
+      else contend t ctx !first_target ~now:ctx.pe.Pe.clock ~lines:n
+    in
+    Pe.advance ctx.pe (ac + t.cfg.Config.vget_startup);
     List.iteri
       (fun k line ->
         Cache.invalidate_line ctx.pe.Pe.cache ~line;
@@ -661,7 +693,7 @@ let vget_issue_h ~skip_cached t ~pe h idxs =
           | Some _ | None -> ()
         done;
         let ready =
-          ctx.pe.Pe.clock + ((k + 1) * lw * t.cfg.Config.vget_per_word)
+          ctx.pe.Pe.clock + delay + ((k + 1) * lw * t.cfg.Config.vget_per_word)
         in
         if not (Hashtbl.mem ctx.vget line) then begin
           ctx.vgen <- ctx.vgen + 1;
@@ -699,6 +731,8 @@ let epoch_boundary t =
       end)
     t.versions;
   t.epoch_tick <- t.epoch_tick + 1;
+  (* the barrier drains the network: link bookings do not cross epochs *)
+  Net.reset_links t.net;
   (match t.md with
   | Seq -> ()
   | Base | Ccdp | Incoherent | Hscd -> Machine.barrier t.mach

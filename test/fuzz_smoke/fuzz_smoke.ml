@@ -1,9 +1,55 @@
 (* CI smoke batch: a short fixed-seed differential campaign, exposed as the
    `fuzz-smoke` dune alias. Fails (exit 1) on any numeric mismatch or
    staleness-oracle violation; the full-size campaign lives behind
-   `ccdp_cli fuzz`. *)
+   `ccdp_cli fuzz`. On top of the campaign proper, the smoke batch pins
+   interconnect coverage: every non-uniform network kind (torus, mesh,
+   crossbar) must be differentially checked at least once, whatever the
+   generator's draw frequencies happen to be. *)
+
+module Gen = Ccdp_fuzz.Gen
+module Net = Ccdp_machine.Net
+
+let seed = 1
+let count = 100
+
+(* the corpus the campaign just ran, re-drawn deterministically *)
+let corpus () =
+  let rng = Random.State.make [| seed; 0x51ab |] in
+  List.init count (fun _ -> Gen.generate rng)
+
+let check_kind_coverage () =
+  let descs = corpus () in
+  let missing =
+    List.filter
+      (fun kind -> not (List.exists (fun d -> d.Gen.net = kind) descs))
+      [ Net.Torus3d; Net.Mesh2d; Net.Crossbar ]
+  in
+  (* any kind the corpus missed gets an explicit differential check on a
+     drawn program re-targeted to it, so the alias always exercises every
+     interconnect *)
+  List.iter
+    (fun kind ->
+      let d = { (List.hd descs) with Gen.net = kind } in
+      (match Gen.validate d with
+      | Ok () -> ()
+      | Error m ->
+          Format.eprintf "fuzz-smoke: %s desc invalid: %s@." (Net.kind_name kind) m;
+          exit 1);
+      match Ccdp_fuzz.Driver.check_desc d with
+      | None -> ()
+      | Some (variant, _, detail) ->
+          Format.eprintf "fuzz-smoke: %s diverged on %s: %s@."
+            (Net.kind_name kind) variant detail;
+          exit 1)
+    missing;
+  let covered kind =
+    if List.mem kind missing then "pinned" else "drawn"
+  in
+  Format.printf "interconnects: torus=%s mesh=%s crossbar=%s@."
+    (covered Net.Torus3d) (covered Net.Mesh2d) (covered Net.Crossbar)
 
 let () =
-  let s = Ccdp_fuzz.Driver.campaign ~seed:1 ~count:100 () in
+  let s = Ccdp_fuzz.Driver.campaign ~seed ~count () in
   Format.printf "%a@." Ccdp_fuzz.Driver.pp_summary s;
+  check_kind_coverage ();
   if s.Ccdp_fuzz.Driver.s_failures <> [] then exit 1

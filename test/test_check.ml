@@ -107,10 +107,7 @@ let property_suite =
         let rng = Random.State.make [| 2024 |] in
         for _ = 1 to 60 do
           let d = Gen.generate rng in
-          let cfg =
-            if d.Gen.torus then Config.t3d_torus ~n_pes:d.Gen.n_pes
-            else Config.t3d ~n_pes:d.Gen.n_pes
-          in
+          let cfg = Config.of_kind d.Gen.net ~n_pes:d.Gen.n_pes in
           let t =
             Pipeline.compile cfg ~prefetch_clean:d.Gen.pclean (Gen.build d)
           in

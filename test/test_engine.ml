@@ -25,19 +25,19 @@ let modes = Memsys.[ Seq; Base; Ccdp; Invalidate; Incoherent; Hscd ]
 
 (* same per-mode setup as Experiment.run_mode: CCDP compiles the full
    pipeline, every other mode runs the inlined program unannotated, Seq
-   forces one PE *)
-let setup ~n_pes mode (program : Ccdp_ir.Program.t) =
-  let cfg =
-    Ccdp_machine.Config.t3d ~n_pes:(if mode = Memsys.Seq then 1 else n_pes)
-  in
+   forces one PE. [machine] picks the interconnect preset (default: the
+   uniform-latency t3d). *)
+let setup ?(machine = Ccdp_machine.Config.t3d) ~n_pes mode
+    (program : Ccdp_ir.Program.t) =
+  let cfg = machine ~n_pes:(if mode = Memsys.Seq then 1 else n_pes) in
   match mode with
   | Memsys.Ccdp ->
       let compiled = Ccdp_core.Pipeline.compile cfg program in
       (cfg, compiled.Ccdp_core.Pipeline.program, compiled.Ccdp_core.Pipeline.plan)
   | _ -> (cfg, Ccdp_ir.Program.inline program, Ccdp_analysis.Annot.empty ())
 
-let assert_equal_runs name program ~n_pes mode =
-  let cfg, prog, plan = setup ~n_pes mode program in
+let assert_equal_runs ?machine name program ~n_pes mode =
+  let cfg, prog, plan = setup ?machine ~n_pes mode program in
   let a = Interp.run cfg prog ~plan ~mode () in
   let b = Interp_ref.run cfg prog ~plan ~mode () in
   let tag s = name ^ "/" ^ Memsys.mode_name mode ^ ": " ^ s in
@@ -66,9 +66,12 @@ let fuzz_cases =
         (Printf.sprintf "fuzz #%d agrees in every mode" i)
         (fun () ->
           let program = Gen.build d in
+          (* the desc's own interconnect: the corpus exercises the Net
+             dispatch on both engines, not just the uniform machine *)
+          let machine = Ccdp_machine.Config.of_kind d.Gen.net in
           List.iter
             (fun mode ->
-              assert_equal_runs
+              assert_equal_runs ~machine
                 (Printf.sprintf "fuzz%d" i)
                 program ~n_pes:d.Gen.n_pes mode)
             modes))
@@ -84,6 +87,23 @@ let workload_cases =
                 mode)
             modes))
     (Ccdp_workloads.Suite.spec_four ~n:16 ~iters:1 ())
+
+(* cycle-identity on every interconnect: both engines route through the
+   same Net instance state (including the crossbar's shared-port
+   contention bookings), so TOMCATV must agree mode-for-mode on all four
+   machine presets *)
+let machine_cases =
+  List.map
+    (fun (mname, machine) ->
+      case ("tomcatv agrees in every mode on " ^ mname) (fun () ->
+          let w = Ccdp_workloads.Tomcatv.workload ~n:16 ~iters:1 in
+          List.iter
+            (fun mode ->
+              assert_equal_runs ~machine
+                (w.Workload.name ^ "@" ^ mname)
+                w.Workload.program ~n_pes:4 mode)
+            modes))
+    Ccdp_core.Experiment.machine_presets
 
 (* minor-heap words of one run of [f], after one warm-up run *)
 let minor_words_of f =
@@ -117,5 +137,6 @@ let () =
     [
       ("fuzz corpus", fuzz_cases);
       ("workloads", workload_cases);
+      ("machines", machine_cases);
       ("allocation", alloc_cases);
     ]

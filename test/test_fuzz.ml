@@ -30,7 +30,7 @@ let cross_desc : Gen.desc =
     Gen.n = 8;
     dist_dim = 1;
     n_pes = 4;
-    torus = false;
+    net = Ccdp_machine.Net.Uniform;
     pclean = false;
     wrap = true;
     epochs =
@@ -179,7 +179,7 @@ let shrink_suite =
             Gen.n = 8;
             dist_dim = 0;
             n_pes = 2;
-            torus = false;
+            net = Ccdp_machine.Net.Uniform;
             pclean = false;
             wrap = false;
             epochs = [ Gen.Sweep { src = 0; col = 50; dst = 1 } ];

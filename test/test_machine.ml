@@ -30,6 +30,37 @@ let config_tests =
     case "invalid configs are reported" (fun () ->
         let c = { (Config.t3d ~n_pes:4) with Config.local = 1 } in
         check_true "local < hit flagged" (Config.validate c <> []));
+    case "every negative latency/cost field is rejected" (fun () ->
+        let base = Config.t3d ~n_pes:4 in
+        List.iter
+          (fun (name, broken) ->
+            check_true (name ^ " rejected") (Config.validate broken <> []))
+          [
+            ("hit", { base with Config.hit = -1 });
+            ("hop", { base with Config.hop = -1 });
+            ("link_occ", { base with Config.link_occ = -1 });
+            ("store_local", { base with Config.store_local = -1 });
+            ("store_remote", { base with Config.store_remote = -1 });
+            ("pf_issue", { base with Config.pf_issue = -1 });
+            ("pf_extract", { base with Config.pf_extract = -1 });
+            ("annex_setup", { base with Config.annex_setup = -1 });
+            ("annex_entries", { base with Config.annex_entries = -1 });
+            ("vget_startup", { base with Config.vget_startup = -1 });
+            ("vget_per_word", { base with Config.vget_per_word = -1 });
+            ("barrier_base", { base with Config.barrier_base = -1 });
+            ("barrier_per_level", { base with Config.barrier_per_level = -1 });
+            ("flop", { base with Config.flop = -1 });
+            ("loop_overhead", { base with Config.loop_overhead = -1 });
+          ]);
+    case "the rejection names the offending field" (fun () ->
+        let broken = { (Config.t3d ~n_pes:4) with Config.pf_issue = -3 } in
+        match Config.validate broken with
+        | [ msg ] ->
+            check_true "message mentions pf_issue"
+              (String.length msg >= 8 && String.sub msg 0 8 = "pf_issue")
+        | other ->
+            Alcotest.failf "expected exactly one problem, got %d"
+              (List.length other));
   ]
 
 let machine_tests =

@@ -1,0 +1,241 @@
+(* Network-geometry properties of the interconnect layer. [Net.hops] must
+   be a metric on every topology — symmetry, identity of indiscernibles
+   and the triangle inequality — and bounded by [Net.diameter]; the cost
+   matrix folded at create time must agree with hop-by-hop recomputation.
+   Mesh2d and Crossbar additionally get pinned hop oracles mirroring the
+   Torus oracle in test_torus.ml, and the link-occupancy accounting is
+   unit-tested directly. *)
+
+open Ccdp_machine
+open Ccdp_test_support.Tutil
+
+let machine_arb =
+  QCheck.make
+    ~print:(fun (kind, n_pes) ->
+      Printf.sprintf "%s at %d PEs" (Net.kind_name kind) n_pes)
+    QCheck.Gen.(
+      pair (oneofl Net.all_kinds)
+        (oneofl [ 1; 2; 3; 4; 5; 7; 8; 12; 16; 27; 32; 64 ]))
+
+let metric_suite =
+  [
+    qcheck ~count:200 "hops is zero exactly on the diagonal" machine_arb
+      (fun (kind, n_pes) ->
+        let net = Net.create kind ~n_pes in
+        let ok = ref true in
+        for a = 0 to n_pes - 1 do
+          for b = 0 to n_pes - 1 do
+            let h = Net.hops net a b in
+            if a = b then ok := !ok && h = 0
+            else ok := !ok && (h > 0 || kind = Net.Uniform)
+          done
+        done;
+        !ok);
+    qcheck ~count:200 "hops is symmetric" machine_arb (fun (kind, n_pes) ->
+        let net = Net.create kind ~n_pes in
+        let ok = ref true in
+        for a = 0 to n_pes - 1 do
+          for b = 0 to n_pes - 1 do
+            ok := !ok && Net.hops net a b = Net.hops net b a
+          done
+        done;
+        !ok);
+    qcheck ~count:100 "hops satisfies the triangle inequality" machine_arb
+      (fun (kind, n_pes) ->
+        let net = Net.create kind ~n_pes in
+        let ok = ref true in
+        for a = 0 to n_pes - 1 do
+          for b = 0 to n_pes - 1 do
+            for c = 0 to n_pes - 1 do
+              ok :=
+                !ok && Net.hops net a c <= Net.hops net a b + Net.hops net b c
+            done
+          done
+        done;
+        !ok);
+    qcheck ~count:200 "no pair exceeds the diameter" machine_arb
+      (fun (kind, n_pes) ->
+        (* padded factorizations (e.g. 5 PEs on a 3x2 grid) may leave the
+           far corner unpopulated, so the bound need not be attained *)
+        let net = Net.create kind ~n_pes in
+        let worst = ref 0 in
+        for a = 0 to n_pes - 1 do
+          for b = 0 to n_pes - 1 do
+            worst := max !worst (Net.hops net a b)
+          done
+        done;
+        ignore kind;
+        !worst <= Net.diameter net);
+    qcheck ~count:200 "the folded cost matrix is hop * hops" machine_arb
+      (fun (kind, n_pes) ->
+        let hop = 7 in
+        let net = Net.create ~hop kind ~n_pes in
+        let ok = ref true in
+        for src = 0 to n_pes - 1 do
+          for dst = 0 to n_pes - 1 do
+            ok := !ok && Net.cost net ~src ~dst = hop * Net.hops net src dst
+          done
+        done;
+        !ok);
+    qcheck ~count:200 "zero per-hop cost means zero cost everywhere"
+      machine_arb
+      (fun (kind, n_pes) ->
+        let net = Net.create kind ~n_pes in
+        let ok = ref true in
+        for src = 0 to n_pes - 1 do
+          for dst = 0 to n_pes - 1 do
+            ok := !ok && Net.cost net ~src ~dst = 0
+          done
+        done;
+        !ok);
+  ]
+
+(* brute-force hop oracle for the mesh: the 2-D analogue of the Torus
+   oracle in test_torus.ml — Manhattan distance on the factored grid,
+   no wraparound *)
+let mesh_oracle =
+  [
+    case "mesh hops match Manhattan distance on every tested width"
+      (fun () ->
+        List.iter
+          (fun n_pes ->
+            let net = Net.create Net.Mesh2d ~n_pes in
+            (* recover the grid from distances: nx = 1 + max pe with
+               hops 0 pe = pe (a pure x-walk along row 0) *)
+            let nx = ref 1 in
+            while
+              !nx < n_pes && Net.hops net 0 !nx = !nx
+            do
+              incr nx
+            done;
+            let nx = !nx in
+            for a = 0 to n_pes - 1 do
+              for b = 0 to n_pes - 1 do
+                let expect =
+                  abs ((a mod nx) - (b mod nx)) + abs ((a / nx) - (b / nx))
+                in
+                check_int
+                  (Printf.sprintf "mesh %d: %d->%d" n_pes a b)
+                  expect (Net.hops net a b)
+              done
+            done)
+          [ 2; 4; 6; 8; 12; 16; 20; 64 ]);
+    case "16 PEs factor into a 4x4 mesh with diameter 6" (fun () ->
+        let net = Net.create Net.Mesh2d ~n_pes:16 in
+        check_int "diameter" 6 (Net.diameter net);
+        (* corner to corner: PE 0 to PE 15 *)
+        check_int "corners" 6 (Net.hops net 0 15));
+    case "mesh has no wraparound: edge PEs are far apart" (fun () ->
+        (* on a 4x4 mesh PEs 0 and 3 sit on opposite x-edges: 3 hops,
+           where the torus wrap would make it 1 *)
+        let net = Net.create Net.Mesh2d ~n_pes:16 in
+        check_int "no wrap" 3 (Net.hops net 0 3));
+  ]
+
+let crossbar_oracle =
+  [
+    case "crossbar is one hop between any two distinct PEs" (fun () ->
+        let net = Net.create Net.Crossbar ~n_pes:16 in
+        for a = 0 to 15 do
+          for b = 0 to 15 do
+            check_int
+              (Printf.sprintf "xbar %d->%d" a b)
+              (if a = b then 0 else 1)
+              (Net.hops net a b)
+          done
+        done;
+        check_int "diameter" 1 (Net.diameter net));
+    case "single-PE crossbar has diameter zero" (fun () ->
+        check_int "diameter" 0 (Net.diameter (Net.create Net.Crossbar ~n_pes:1)));
+  ]
+
+let contention =
+  [
+    case "an idle link adds no delay" (fun () ->
+        let net = Net.create Net.Crossbar ~n_pes:4 in
+        let delay, depth = Net.acquire net ~dst:1 ~now:100 ~hold:8 in
+        check_int "delay" 0 delay;
+        check_int "depth" 1 depth);
+    case "a busy link queues and deepens" (fun () ->
+        let net = Net.create Net.Crossbar ~n_pes:4 in
+        ignore (Net.acquire net ~dst:1 ~now:100 ~hold:8);
+        let d2, q2 = Net.acquire net ~dst:1 ~now:102 ~hold:8 in
+        check_int "second waits for the first" 6 d2;
+        check_int "second is depth 2" 2 q2;
+        let d3, q3 = Net.acquire net ~dst:1 ~now:103 ~hold:8 in
+        check_int "third waits for both" 13 d3;
+        check_int "third is depth 3" 3 q3);
+    case "distinct links do not contend" (fun () ->
+        let net = Net.create Net.Crossbar ~n_pes:4 in
+        ignore (Net.acquire net ~dst:1 ~now:100 ~hold:8);
+        let delay, depth = Net.acquire net ~dst:2 ~now:100 ~hold:8 in
+        check_int "delay" 0 delay;
+        check_int "depth" 1 depth);
+    case "a drained link starts a fresh burst" (fun () ->
+        let net = Net.create Net.Crossbar ~n_pes:4 in
+        ignore (Net.acquire net ~dst:1 ~now:0 ~hold:8);
+        ignore (Net.acquire net ~dst:1 ~now:1 ~hold:8);
+        let delay, depth = Net.acquire net ~dst:1 ~now:50 ~hold:8 in
+        check_int "delay" 0 delay;
+        check_int "depth resets" 1 depth);
+    case "reset_links forgets all bookings" (fun () ->
+        let net = Net.create Net.Crossbar ~n_pes:4 in
+        ignore (Net.acquire net ~dst:1 ~now:0 ~hold:100);
+        Net.reset_links net;
+        let delay, depth = Net.acquire net ~dst:1 ~now:0 ~hold:8 in
+        check_int "delay" 0 delay;
+        check_int "depth" 1 depth);
+  ]
+
+(* the presets derived from the interconnect kinds stay mutually
+   consistent with the uniform T3D machine *)
+let presets =
+  [
+    case "t3d_torus rebalances off the uniform preset's remote latency"
+      (fun () ->
+        let base = Config.t3d ~n_pes:64 in
+        let cfg = Config.t3d_torus ~n_pes:64 in
+        let net = Net.create Net.Torus3d ~n_pes:64 in
+        let avg = max 1 ((Net.diameter net + 1) / 2) in
+        check_int "remote"
+          (max base.Config.local (base.Config.remote - (cfg.Config.hop * avg)))
+          cfg.Config.remote);
+    case "every t3d interconnect preset validates" (fun () ->
+        List.iter
+          (fun (name, preset) ->
+            let cfg = preset ~n_pes:16 in
+            check_true (name ^ " valid") (Config.validate cfg = []))
+          Config.presets);
+    case "preset_of_string resolves names and kind aliases" (fun () ->
+        List.iter
+          (fun (name, kind) ->
+            match Config.preset_of_string name with
+            | None -> Alcotest.failf "%s did not resolve" name
+            | Some p -> check_true name ((p ~n_pes:8).Config.net = kind))
+          [
+            ("t3d", Net.Uniform);
+            ("T3D-Torus", Net.Torus3d);
+            ("mesh", Net.Mesh2d);
+            ("crossbar", Net.Crossbar);
+            ("xbar", Net.Crossbar);
+            ("uniform", Net.Uniform);
+          ];
+        check_true "unknown rejected" (Config.preset_of_string "pdp11" = None));
+    case "only the crossbar preset enables contention by default" (fun () ->
+        List.iter
+          (fun (name, preset) ->
+            let cfg = preset ~n_pes:16 in
+            check_true name
+              (cfg.Config.link_occ > 0 = (cfg.Config.net = Net.Crossbar)))
+          Config.presets);
+  ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ("metric", metric_suite);
+      ("mesh oracle", mesh_oracle);
+      ("crossbar oracle", crossbar_oracle);
+      ("contention", contention);
+      ("presets", presets);
+    ]

@@ -203,9 +203,14 @@ let tunings =
 let check_sound ~mode (d, n_pes, tuning_ix) =
   let program = build d in
   let cfg =
-    (* a third of the draws exercise the torus distance model *)
-    if tuning_ix mod 3 = 2 then Ccdp_machine.Config.t3d_torus ~n_pes
-    else Ccdp_machine.Config.t3d ~n_pes
+    (* rotate through the interconnect presets: half the draws stay on
+       the uniform machine, the rest exercise torus, mesh and crossbar
+       (the last with its link-contention model on) *)
+    match tuning_ix mod 6 with
+    | 2 -> Ccdp_machine.Config.t3d_torus ~n_pes
+    | 4 -> Ccdp_machine.Config.t3d_mesh ~n_pes
+    | 5 -> Ccdp_machine.Config.t3d_xbar ~n_pes
+    | _ -> Ccdp_machine.Config.t3d ~n_pes
   in
   let tuning = List.nth tunings (tuning_ix mod List.length tunings) in
   (* odd draws also exercise the future-work extension (prefetching clean

@@ -57,7 +57,7 @@ let latency_model =
     case "t3d_torus validates and charges distance" (fun () ->
         let cfg = Config.t3d_torus ~n_pes:8 in
         check_true "valid" (Config.validate cfg = []);
-        check_true "torus on" cfg.Config.torus;
+        check_true "torus on" (cfg.Config.net = Net.Torus3d);
         check_true "hop positive" (cfg.Config.hop > 0));
     case "remote reads cost more to farther owners" (fun () ->
         let open Ccdp_ir in
@@ -92,7 +92,7 @@ let latency_model =
         check_true "distance visible" (c_far > c_near));
     case "uniform preset charges equal remote costs" (fun () ->
         let cfg = Config.t3d ~n_pes:8 in
-        check_false "no torus" cfg.Config.torus);
+        check_true "no geometry" (cfg.Config.net = Net.Uniform));
   ]
 
 (* brute-force cross-check of the hop metric against the per-dimension
