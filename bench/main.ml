@@ -21,6 +21,8 @@
      dune exec bench/main.exe -- machines     -- interconnect sweep
      dune exec bench/main.exe -- machines --machine t3d-mesh
                                               -- one preset only
+     dune exec bench/main.exe -- rivals       -- hardware-coherence rivals
+     dune exec bench/main.exe -- rivals --quick -- reduced sizes (CI smoke)
      dune exec bench/main.exe -- all --full   -- paper-shaped sizes (slow)
      dune exec bench/main.exe -- table1 -j 8  -- eight worker domains *)
 
@@ -142,6 +144,30 @@ let machines_bench sizes ~quick ~machine jobs =
       Bench_json.add_table doc tbl;
       Experiment.print_tbl ppf tbl)
 
+(* ---- hardware-coherence rivals -------------------------------------- *)
+
+(* Workload x mode x machine: BASE/CCDP against MSI/MESI snooping and the
+   full-map directory, on the torus and crossbar machines. The payoff is
+   the scaling cliff: at high PE counts every snooping transaction
+   serializes through one bus, so its normalized time blows past both the
+   directory and CCDP — most brutally on the crossbar, whose shared ports
+   already concentrate the traffic. *)
+let rivals_bench sizes ~quick jobs =
+  let n = if quick then 16 else sizes.n in
+  let iters = if quick then 1 else sizes.iters in
+  let n_pes = if quick then 16 else 64 in
+  header
+    (Printf.sprintf
+       "Hardware-coherence rivals (n=%d, iters=%d, %d PEs): workload x \
+        mode x machine, normalized to BASE" n iters n_pes);
+  let ws = Suite.spec_four ~n ~iters () in
+  with_bench_json ~bench:"rivals" ~jobs (fun doc ->
+      let rows = Experiment.rivals_rows ~n_pes ~jobs ws in
+      Bench_json.add_rivals doc rows;
+      let tbl = Experiment.rivals_table rows in
+      Bench_json.add_table doc tbl;
+      Experiment.print_tbl ppf tbl)
+
 (* ---- staleness-oracle overhead ------------------------------------- *)
 
 (* Host-time cost of arming the dynamic staleness oracle. The oracle is
@@ -212,7 +238,8 @@ let perf sizes ~quick jobs =
        n iters n_pes);
   let ws = Suite.spec_four ~n ~iters () in
   let modes =
-    Ccdp_runtime.Memsys.[ Seq; Base; Ccdp; Invalidate; Incoherent; Hscd ]
+    Ccdp_runtime.Memsys.
+      [ Seq; Base; Ccdp; Invalidate; Incoherent; Hscd; Msi; Mesi; Directory ]
   in
   let time_run f =
     ignore (f ()) (* warm up: first run pays lowering/page-in noise *);
@@ -422,12 +449,13 @@ let () =
   let sizes = if full then full_sizes else default_sizes in
   let quick = List.mem "--quick" args in
   let has cmd = List.mem cmd args in
-  let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro" || has "oracle" || has "perf" || has "machines") in
+  let all = has "all" || not (has "table1" || has "table2" || has "ablate" || has "sweep" || has "micro" || has "oracle" || has "perf" || has "machines" || has "rivals") in
   if all || has "table1" || has "table2" then tables sizes jobs;
   if all then extras_table sizes jobs;
   if all || has "ablate" then ablations sizes jobs;
   if all || has "sweep" then sweeps sizes jobs;
   if all || has "machines" then machines_bench sizes ~quick ~machine jobs;
+  if all || has "rivals" then rivals_bench sizes ~quick jobs;
   if all || has "oracle" then oracle_overhead sizes;
   if all || has "perf" then perf sizes ~quick jobs;
   if has "micro" then micro ()

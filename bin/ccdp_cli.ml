@@ -47,6 +47,9 @@ let mode_conv =
     | "inv" | "invalidate" -> Ok Ccdp_runtime.Memsys.Invalidate
     | "inc" | "incoherent" -> Ok Ccdp_runtime.Memsys.Incoherent
     | "hscd" -> Ok Ccdp_runtime.Memsys.Hscd
+    | "msi" -> Ok Ccdp_runtime.Memsys.Msi
+    | "mesi" -> Ok Ccdp_runtime.Memsys.Mesi
+    | "dir" | "directory" -> Ok Ccdp_runtime.Memsys.Directory
     | _ -> Error (`Msg ("unknown mode " ^ s))
   in
   Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Ccdp_runtime.Memsys.mode_name m))
@@ -55,7 +58,8 @@ let mode_arg =
   Arg.(
     value
     & opt mode_conv Ccdp_runtime.Memsys.Ccdp
-    & info [ "mode" ] ~docv:"MODE" ~doc:"seq | base | ccdp | inv | inc | hscd.")
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"seq | base | ccdp | inv | inc | hscd | msi | mesi | dir.")
 
 let machine_conv =
   let parse s =
@@ -286,26 +290,57 @@ let fuzz_cmd =
             "Fault injection: drop the K-th stale mark from every compile, \
              demonstrating that the oracle catches an unsound analysis.")
   in
-  let run seed count dump break_stale jobs =
-    let mutate_stale = Option.map Ccdp_fuzz.Driver.drop_stale_mark break_stale in
-    let progress i =
-      if i mod 50 = 0 then Printf.eprintf "  ... %d/%d\n%!" i count
-    in
-    let s =
-      Ccdp_fuzz.Driver.campaign ~jobs:(resolve_jobs jobs) ?mutate_stale
-        ?dump_dir:dump ~progress ~seed ~count ()
-    in
-    Format.printf "%a@." Ccdp_fuzz.Driver.pp_summary s;
-    if s.Ccdp_fuzz.Driver.s_failures <> [] then exit 1
+  let sabotage_arg =
+    Arg.(
+      value & flag
+      & info [ "sabotage" ]
+          ~doc:
+            "Protocol fault injection: run the hardware-coherence sabotage \
+             campaign (drop snoop invalidations, corrupt directory presence \
+             bits) instead of the differential campaign, demonstrating that \
+             the staleness oracle catches each protocol fault class.")
+  in
+  let run seed count dump break_stale sabotage jobs =
+    if sabotage then begin
+      let summaries =
+        Ccdp_fuzz.Driver.sabotage_campaign ~jobs:(resolve_jobs jobs) ~seed
+          ~count ()
+      in
+      List.iter
+        (fun s ->
+          Format.printf "%a@." Ccdp_fuzz.Driver.pp_sabotage_summary s)
+        summaries;
+      if
+        List.exists
+          (fun s -> s.Ccdp_fuzz.Driver.sb_escapes > 0)
+          summaries
+      then exit 1
+    end
+    else begin
+      let mutate_stale =
+        Option.map Ccdp_fuzz.Driver.drop_stale_mark break_stale
+      in
+      let progress i =
+        if i mod 50 = 0 then Printf.eprintf "  ... %d/%d\n%!" i count
+      in
+      let s =
+        Ccdp_fuzz.Driver.campaign ~jobs:(resolve_jobs jobs) ?mutate_stale
+          ?dump_dir:dump ~progress ~seed ~count ()
+      in
+      Format.printf "%a@." Ccdp_fuzz.Driver.pp_summary s;
+      if s.Ccdp_fuzz.Driver.s_failures <> [] then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential soundness fuzzing: random CRAFT programs through BASE \
-          and every CCDP scheduling variant, checked against sequential \
-          execution and the dynamic staleness oracle")
+         "Differential soundness fuzzing: random CRAFT programs through BASE, \
+          every CCDP scheduling variant and the hardware-coherence rivals \
+          (MSI, MESI, directory), checked against sequential execution and \
+          the dynamic staleness oracle")
     Term.(
-      const run $ seed_arg $ count_arg $ dump_arg $ break_stale_arg $ jobs_arg)
+      const run $ seed_arg $ count_arg $ dump_arg $ break_stale_arg
+      $ sabotage_arg $ jobs_arg)
 
 let check_cmd =
   let targets_arg =

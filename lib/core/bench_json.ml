@@ -50,12 +50,14 @@ type t = {
   mutable rows : Experiment.row list;  (* in order *)
   mutable tables : Experiment.table list;  (* reversed *)
   mutable perf : perf_row list;  (* reversed *)
+  mutable rivals : Experiment.rival_row list;  (* in order *)
 }
 
-let create ~bench = { bench; rows = []; tables = []; perf = [] }
+let create ~bench = { bench; rows = []; tables = []; perf = []; rivals = [] }
 let add_rows t rows = t.rows <- t.rows @ rows
 let add_table t tbl = t.tables <- tbl :: t.tables
 let add_perf t row = t.perf <- row :: t.perf
+let add_rivals t rows = t.rivals <- t.rivals @ rows
 
 let buf_row b (r : Experiment.row) =
   Buffer.add_string b "{\"workload\":";
@@ -103,6 +105,26 @@ let buf_perf_row b r =
   buf_float b r.p_minor_words;
   Buffer.add_char b '}'
 
+let buf_rival_row b (r : Experiment.rival_row) =
+  let s = r.Experiment.rv_stats in
+  Buffer.add_string b "{\"workload\":";
+  buf_string b r.Experiment.rv_workload;
+  Buffer.add_string b ",\"machine\":";
+  buf_string b r.Experiment.rv_machine;
+  Buffer.add_string b ",\"mode\":";
+  buf_string b r.Experiment.rv_mode;
+  Buffer.add_string b
+    (Printf.sprintf ",\"pes\":%d,\"cycles\":%d" r.Experiment.rv_pes
+       r.Experiment.rv_cycles);
+  Buffer.add_string b ",\"norm\":";
+  buf_float b r.Experiment.rv_norm;
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"ok\":%b,\"invalidations\":%d,\"upgrades\":%d,\"dir_msgs\":%d,\"bus_conflicts\":%d,\"link_conflicts\":%d}"
+       r.Experiment.rv_ok s.Ccdp_machine.Stats.invalidations
+       s.Ccdp_machine.Stats.upgrades s.Ccdp_machine.Stats.dir_msgs
+       s.Ccdp_machine.Stats.bus_conflicts s.Ccdp_machine.Stats.link_conflicts)
+
 let buf_payload b t =
   Buffer.add_string b "\"rows\":";
   buf_list b buf_row t.rows;
@@ -112,7 +134,11 @@ let buf_payload b t =
      simulated-machine benches stay byte-identical to earlier runs *)
   if t.perf <> [] then (
     Buffer.add_string b ",\"perf\":";
-    buf_list b buf_perf_row (List.rev t.perf))
+    buf_list b buf_perf_row (List.rev t.perf));
+  (* likewise: only the rivals bench emits this key *)
+  if t.rivals <> [] then (
+    Buffer.add_string b ",\"rivals\":";
+    buf_list b buf_rival_row t.rivals)
 
 let payload_string t =
   let b = Buffer.create 1024 in

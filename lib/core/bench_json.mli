@@ -66,6 +66,18 @@ val add_table : t -> Experiment.table -> unit
 (** Append a perf row (perf bench only; rows keep insertion order). *)
 val add_perf : t -> perf_row -> unit
 
+(** Append hardware-coherence rival rows (rivals bench only; emitted under
+    a ["rivals"] key with one flat object per workload × machine × mode
+    cell — absent from every other bench's payload):
+    {v
+      "rivals": [ { "workload": "MXM", "machine": "t3d-xbar",
+                    "mode": "MSI", "pes": 64, "cycles": 1, "norm": 1.0,
+                    "ok": true, "invalidations": 0, "upgrades": 0,
+                    "dir_msgs": 0, "bus_conflicts": 0,
+                    "link_conflicts": 0 }, ... ]
+    v} *)
+val add_rivals : t -> Experiment.rival_row list -> unit
+
 (** The deterministic part only: [{"rows": [...], "tables": [...]}],
     independent of job count and wall-clock. *)
 val payload_string : t -> string

@@ -41,7 +41,8 @@ let run_mode ?tuning ?(machine = Config.t3d) ~n_pes mode (w : Workload.t) =
       Interp.run cfg
         (Ccdp_ir.Program.inline w.program)
         ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
-  | Memsys.Base | Memsys.Invalidate | Memsys.Incoherent | Memsys.Hscd ->
+  | Memsys.Base | Memsys.Invalidate | Memsys.Incoherent | Memsys.Hscd
+  | Memsys.Msi | Memsys.Mesi | Memsys.Directory ->
       Interp.run cfg
         (Ccdp_ir.Program.inline w.program)
         ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
@@ -465,6 +466,116 @@ let machines_table ?(n_pes = 16) ?only ?jobs workloads =
 
 let machines ?n_pes ?only workloads ppf =
   print_tbl ppf (machines_table ?n_pes ?only workloads)
+
+(* ------------------------------------------------------------------ *)
+(* Hardware-coherence rivals sweep                                     *)
+(* ------------------------------------------------------------------ *)
+
+type rival_row = {
+  rv_workload : string;
+  rv_machine : string;
+  rv_mode : string;
+  rv_pes : int;
+  rv_cycles : int;
+  rv_norm : float;  (** execution time normalized to BASE (same cell) *)
+  rv_ok : bool;
+  rv_stats : Stats.t;
+}
+
+(* BASE is the normalization anchor; CCDP, the two snooping flavours and
+   the directory are the contenders. *)
+let rival_modes =
+  [ Memsys.Base; Memsys.Ccdp; Memsys.Msi; Memsys.Mesi; Memsys.Directory ]
+
+(* One distance-modelled machine per contention regime: the torus spreads
+   traffic over per-destination ports, the crossbar funnels it through
+   shared ports — and the snooping bus serializes on both, which is the
+   sweep's payoff at high PE counts. *)
+let rival_machines =
+  [ ("t3d-torus", Config.t3d_torus); ("t3d-xbar", Config.t3d_xbar) ]
+
+let rivals_rows ?(n_pes = 64) ?jobs workloads =
+  Pool.with_pool ?jobs (fun pool ->
+      let seqs =
+        Pool.map_runs pool
+          ~label:(fun i -> "seq:" ^ (List.nth workloads i).Workload.name)
+          (fun _ (w : Workload.t) -> run_mode ~n_pes:1 Memsys.Seq w)
+          workloads
+      in
+      let units =
+        List.concat_map
+          (fun (w, seq) -> List.map (fun m -> (w, seq, m)) rival_machines)
+          (List.combine workloads seqs)
+      in
+      let groups =
+        Pool.map_runs pool
+          ~label:(fun i ->
+            let (w : Workload.t), _, (mname, _) = List.nth units i in
+            w.Workload.name ^ "@" ^ mname)
+          (fun _ ((w : Workload.t), (seq : Interp.result), (mname, preset)) ->
+            let inlined = Ccdp_ir.Program.inline w.program in
+            let base = run_mode ~machine:preset ~n_pes Memsys.Base w in
+            List.map
+              (fun mode ->
+                let r =
+                  if mode = Memsys.Base then base
+                  else run_mode ~machine:preset ~n_pes mode w
+                in
+                let ok =
+                  (Verify.compare_states ~expected:seq.Interp.sys
+                     ~got:r.Interp.sys inlined)
+                    .Verify.ok
+                in
+                {
+                  rv_workload = w.name;
+                  rv_machine = mname;
+                  rv_mode = Memsys.mode_name mode;
+                  rv_pes = n_pes;
+                  rv_cycles = r.Interp.cycles;
+                  rv_norm =
+                    float_of_int r.Interp.cycles
+                    /. float_of_int base.Interp.cycles;
+                  rv_ok = ok;
+                  rv_stats = r.Interp.stats;
+                })
+              rival_modes)
+          units
+      in
+      List.concat groups)
+
+let rivals_table rows =
+  let n_pes = match rows with r :: _ -> r.rv_pes | [] -> 0 in
+  {
+    title =
+      Printf.sprintf
+        "Hardware-coherence rivals (%d PEs): execution time normalized to \
+         BASE, lower is better ('!' marks a failed numeric verification)"
+        n_pes;
+    headers =
+      [
+        "workload"; "machine"; "mode"; "cycles"; "norm"; "invalidations";
+        "upgrades"; "dir msgs"; "bus conflicts"; "link conflicts";
+      ];
+    trows =
+      List.map
+        (fun r ->
+          [
+            r.rv_workload;
+            r.rv_machine;
+            r.rv_mode;
+            string_of_int r.rv_cycles;
+            Report.fx r.rv_norm ^ (if r.rv_ok then "" else "!");
+            string_of_int r.rv_stats.Stats.invalidations;
+            string_of_int r.rv_stats.Stats.upgrades;
+            string_of_int r.rv_stats.Stats.dir_msgs;
+            string_of_int r.rv_stats.Stats.bus_conflicts;
+            string_of_int r.rv_stats.Stats.link_conflicts;
+          ])
+        rows;
+  }
+
+let rivals ?n_pes workloads ppf =
+  print_tbl ppf (rivals_table (rivals_rows ?n_pes workloads))
 
 let ablation_target ?n_pes workloads ppf =
   print_tbl ppf (ablation_target_table ?n_pes workloads)

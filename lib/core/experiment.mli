@@ -130,6 +130,44 @@ val machines :
   Format.formatter ->
   unit
 
+(** {1 Hardware-coherence rivals}
+
+    Workload × mode × machine sweep pitting the compiler-directed schemes
+    against hardware coherence: BASE (the normalization anchor), CCDP,
+    MSI/MESI bus snooping and the full-map directory, on the torus and
+    crossbar distance-modelled machines. Every run is verified against the
+    sequential execution. *)
+
+type rival_row = {
+  rv_workload : string;
+  rv_machine : string;
+  rv_mode : string;
+  rv_pes : int;
+  rv_cycles : int;
+  rv_norm : float;
+      (** execution time normalized to BASE on the same workload+machine *)
+  rv_ok : bool;
+  rv_stats : Ccdp_machine.Stats.t;
+}
+
+(** The contending modes, table order: BASE, CCDP, MSI, MESI, DIR. *)
+val rival_modes : Ccdp_runtime.Memsys.mode list
+
+(** The machines swept: [t3d-torus] and [t3d-xbar]. *)
+val rival_machines :
+  (string * (n_pes:int -> Ccdp_machine.Config.t)) list
+
+(** Row order: workload-major, then machine, then {!rival_modes} order.
+    Deterministic for any [jobs]. Default [n_pes] = 64 — wide enough for
+    bus arbitration to crush snooping on the crossbar. *)
+val rivals_rows :
+  ?n_pes:int -> ?jobs:int -> Ccdp_workloads.Workload.t list -> rival_row list
+
+val rivals_table : rival_row list -> table
+
+val rivals :
+  ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit
+
 (** Printing shorthands for the ablation tables (sequential). *)
 val ablation_target :
   ?n_pes:int -> Ccdp_workloads.Workload.t list -> Format.formatter -> unit

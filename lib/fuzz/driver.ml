@@ -60,6 +60,11 @@ let variants =
       mode = Memsys.Ccdp;
       tuning = Some { t with Schedule.allow_vpg = false; allow_sp = false };
     };
+    (* hardware-coherence rivals: plan-free like BASE, the protocol itself
+       carries the whole coherence obligation *)
+    { vname = "MSI"; mode = Memsys.Msi; tuning = None };
+    { vname = "MESI"; mode = Memsys.Mesi; tuning = None };
+    { vname = "DIR"; mode = Memsys.Directory; tuning = None };
   ]
 
 let variant_names = List.map (fun v -> v.vname) variants
@@ -319,6 +324,105 @@ let campaign ?jobs ?mutate_stale ?dump_dir ?(progress = fun _ -> ()) ~seed
     s_static_escapes = !escapes;
     s_failures = List.rev !failures;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Protocol sabotage                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The hardware-protocol analogue of [mutate_stale]: instead of breaking
+   the compiler's analysis, break the protocol's coherence action itself
+   (Memsys.sabotage) and demand the staleness oracle witness it. A fault
+   that fires leaves a stale copy in some cache with cost accounting
+   identical to the healthy run — value-blind testing cannot tell the
+   difference, so a numeric mismatch with a silent oracle is an escape. *)
+type sabotage_case = {
+  sb_name : string;
+  sb_mode : Memsys.mode;
+  sb_fault : Memsys.sabotage;
+}
+
+let sabotage_cases =
+  [
+    {
+      sb_name = "MSI/drop-invalidate";
+      sb_mode = Memsys.Msi;
+      sb_fault = Memsys.Drop_invalidate;
+    };
+    {
+      sb_name = "MESI/drop-invalidate";
+      sb_mode = Memsys.Mesi;
+      sb_fault = Memsys.Drop_invalidate;
+    };
+    {
+      sb_name = "DIR/corrupt-presence";
+      sb_mode = Memsys.Directory;
+      sb_fault = Memsys.Corrupt_presence;
+    };
+  ]
+
+type sabotage_summary = {
+  sb_case : sabotage_case;
+  sb_programs : int;
+  sb_fired : int;
+  sb_caught : int;
+  sb_escapes : int;
+}
+
+let run_sabotage case (d : Gen.desc) =
+  let cfg = cfg_of d in
+  let program = Gen.build d in
+  let seq =
+    Interp.run
+      { cfg with Config.n_pes = 1 }
+      program ~plan:(Annot.empty ()) ~mode:Memsys.Seq ()
+  in
+  let r =
+    Interp.run cfg ~oracle:true ~sabotage:case.sb_fault program
+      ~plan:(Annot.empty ()) ~mode:case.sb_mode ()
+  in
+  let fired = Memsys.sabotage_fired r.Interp.sys in
+  let caught = Memsys.oracle_violation_count r.Interp.sys > 0 in
+  let ok =
+    (Verify.compare_states ~expected:seq.Interp.sys ~got:r.Interp.sys program)
+      .Verify.ok
+  in
+  (fired, caught, (not ok) && not caught)
+
+let sabotage_campaign ?jobs ~seed ~count () =
+  let rng = Random.State.make [| seed; 0x5ab0 |] in
+  let descs = List.init count (fun _ -> Gen.generate rng) in
+  Ccdp_exec.Pool.with_pool ?jobs (fun pool ->
+      List.map
+        (fun case ->
+          let outcomes =
+            Ccdp_exec.Pool.map_runs pool
+              ~label:(fun i ->
+                Printf.sprintf "sabotage %s #%d" case.sb_name i)
+              (fun _ d -> run_sabotage case d)
+              descs
+          in
+          List.fold_left
+            (fun acc (fired, caught, escape) ->
+              {
+                acc with
+                sb_fired = (acc.sb_fired + if fired then 1 else 0);
+                sb_caught = (acc.sb_caught + if caught then 1 else 0);
+                sb_escapes = (acc.sb_escapes + if escape then 1 else 0);
+              })
+            {
+              sb_case = case;
+              sb_programs = count;
+              sb_fired = 0;
+              sb_caught = 0;
+              sb_escapes = 0;
+            }
+            outcomes)
+        sabotage_cases)
+
+let pp_sabotage_summary ppf s =
+  Format.fprintf ppf
+    "%-22s %d programs, %d faults fired, %d caught by the oracle, %d escapes"
+    s.sb_case.sb_name s.sb_programs s.sb_fired s.sb_caught s.sb_escapes
 
 let pp_failure ppf f =
   Format.fprintf ppf

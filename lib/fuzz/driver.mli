@@ -56,7 +56,9 @@ type summary = {
 }
 
 (** Names of the execution variants, in run order:
-    ["BASE"; "CCDP/all"; "CCDP/vpg"; "CCDP/sp"; "CCDP/mbp"]. *)
+    ["BASE"; "CCDP/all"; "CCDP/vpg"; "CCDP/sp"; "CCDP/mbp"; "MSI"; "MESI";
+    "DIR"] — the last three are the hardware-coherence rivals, run
+    plan-free with the protocol carrying the whole coherence obligation. *)
 val variant_names : string list
 
 (** Fault injection for self-tests: return a copy of the stale-analysis
@@ -97,3 +99,44 @@ val campaign :
   summary
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {2 Protocol sabotage}
+
+    The hardware-protocol analogue of [mutate_stale]: instead of breaking
+    the compiler's stale analysis, break the protocol's own coherence
+    action ({!Ccdp_runtime.Memsys.sabotage}) and demand the dynamic
+    staleness oracle witness the resulting stale copy. Cost accounting is
+    untouched by the fault, so only the oracle (or a numeric divergence)
+    can tell a sabotaged run from a healthy one. *)
+
+type sabotage_case = {
+  sb_name : string;
+  sb_mode : Ccdp_runtime.Memsys.mode;
+  sb_fault : Ccdp_runtime.Memsys.sabotage;
+}
+
+(** One case per protocol fault class, in run order: MSI and MESI under
+    [Drop_invalidate], the directory under [Corrupt_presence]. *)
+val sabotage_cases : sabotage_case list
+
+type sabotage_summary = {
+  sb_case : sabotage_case;
+  sb_programs : int;
+  sb_fired : int;
+      (** runs in which the fault actually fired (the protocol reached the
+          suppressed action, leaving a stale copy behind) *)
+  sb_caught : int;  (** runs the oracle witnessed (>= 1 stale hit) *)
+  sb_escapes : int;
+      (** runs whose numerics diverged from sequential while the oracle
+          stayed silent — must be zero for the oracle to be trusted *)
+}
+
+(** Run every {!sabotage_cases} entry over [count] programs drawn from
+    [seed] (same sharding and determinism guarantees as {!campaign}).
+    The soundness claim the tests pin: [sb_caught > 0] (each fault class
+    is catchable) and [sb_escapes = 0] (nothing corrupts numerics behind
+    the oracle's back). *)
+val sabotage_campaign :
+  ?jobs:int -> seed:int -> count:int -> unit -> sabotage_summary list
+
+val pp_sabotage_summary : Format.formatter -> sabotage_summary -> unit

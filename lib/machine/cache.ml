@@ -7,7 +7,13 @@ type t = {
   vers : int array;  (** per-word version tags captured at fill/update *)
   last_use : int array;  (** recency stamp per slot *)
   fill_ticks : int array;  (** externally supplied fill stamps per slot *)
+  states : int array;
+      (** per-slot protocol state (Coherence.shared/exclusive/modified);
+          meaningful only while the slot's tag is valid *)
   mutable tick : int;
+  mutable last_ev_line : int;
+      (** line displaced by the most recent fill; -1 = none *)
+  mutable last_ev_state : int;  (** its protocol state at displacement *)
 }
 
 let create ~sets ~assoc ~line_words =
@@ -21,7 +27,10 @@ let create ~sets ~assoc ~line_words =
     vers = Array.make (sets * assoc * line_words) 0;
     last_use = Array.make (sets * assoc) 0;
     fill_ticks = Array.make (sets * assoc) 0;
+    states = Array.make (sets * assoc) 0;
     tick = 0;
+    last_ev_line = -1;
+    last_ev_state = 0;
   }
 
 let of_config (cfg : Config.t) =
@@ -78,31 +87,59 @@ let slot_for_fill t line =
     !best
   end
 
-let fill t ?(tick = 0) ?vers ~line payload =
+(* Photograph the displacement before overwriting the slot: the coherence
+   protocols need the victim line (to drop its presence bit) and its state
+   (a Modified victim owes a write-back charge). *)
+let note_eviction t slot line =
+  if t.tags.(slot) >= 0 && t.tags.(slot) <> line then begin
+    t.last_ev_line <- t.tags.(slot);
+    t.last_ev_state <- t.states.(slot)
+  end
+  else begin
+    t.last_ev_line <- -1;
+    t.last_ev_state <- 0
+  end
+
+let fill t ?(tick = 0) ?vers ?(state = 1) ~line payload =
   if Array.length payload <> t.lwords then invalid_arg "Cache.fill: payload size";
   (match vers with
   | Some v when Array.length v <> t.lwords ->
       invalid_arg "Cache.fill: version payload size"
   | Some _ | None -> ());
   let slot = slot_for_fill t line in
-  let evicted = if t.tags.(slot) >= 0 && t.tags.(slot) <> line then Some t.tags.(slot) else None in
+  note_eviction t slot line;
+  let evicted = if t.last_ev_line >= 0 then Some t.last_ev_line else None in
   t.tags.(slot) <- line;
   Array.blit payload 0 t.data (slot * t.lwords) t.lwords;
   (match vers with
   | Some v -> Array.blit v 0 t.vers (slot * t.lwords) t.lwords
   | None -> Array.fill t.vers (slot * t.lwords) t.lwords 0);
   t.fill_ticks.(slot) <- tick;
+  t.states.(slot) <- state;
   touch t slot;
   evicted
 
-let fill_from t ?(tick = 0) ~vers ~line ~src ~pos () =
+let fill_from t ?(tick = 0) ?(state = 1) ~vers ~line ~src ~pos () =
   let slot = slot_for_fill t line in
+  note_eviction t slot line;
   t.tags.(slot) <- line;
   Array.blit src pos t.data (slot * t.lwords) t.lwords;
   if Array.length vers = 0 then Array.fill t.vers (slot * t.lwords) t.lwords 0
   else Array.blit vers pos t.vers (slot * t.lwords) t.lwords;
   t.fill_ticks.(slot) <- tick;
+  t.states.(slot) <- state;
   touch t slot
+
+let last_evicted_line t = t.last_ev_line
+let last_evicted_state t = t.last_ev_state
+
+let line_state t ~line =
+  let slot = slot_of_line t line in
+  if slot < 0 then 0 else t.states.(slot)
+
+let set_line_state t ~line state =
+  let slot = slot_of_line t line in
+  if slot >= 0 then t.states.(slot) <- state
 
 let fill_tick t ~line =
   let slot = slot_of_line t line in

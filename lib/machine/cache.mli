@@ -40,18 +40,43 @@ val probe_line : t -> line:int -> bool
     a valid line was displaced. [tick] stamps the fill time for
     timestamp-based (HSCD) self-invalidation checks. [vers] stamps the
     per-word version tags of the payload (the staleness oracle compares
-    them against memory's write versions); absent, the tags reset to 0. *)
-val fill : t -> ?tick:int -> ?vers:int array -> line:int -> float array -> int option
+    them against memory's write versions); absent, the tags reset to 0.
+    [state] is the line's protocol state ({!Ccdp_machine.Coherence} names
+    the encoding; default [Coherence.shared]). *)
+val fill :
+  t -> ?tick:int -> ?vers:int array -> ?state:int -> line:int -> float array ->
+  int option
 
 (** Scratch-free fill for the simulator's per-access path: blits the line's
     [line_words] payload straight out of [src] starting at word [pos]
     (memory itself), avoiding the [Array.sub] copy {!fill} requires. [vers]
     are per-word version stamps read at the same [pos]; pass [[||]] to reset
     the stamps to 0. Same replacement policy as {!fill} (resident slot
-    reused, else true LRU way); the eviction tag is not reported. *)
+    reused, else true LRU way); the displaced line is reported through
+    {!last_evicted_line}/{!last_evicted_state} rather than a return value,
+    keeping the common path allocation-free. *)
 val fill_from :
-  t -> ?tick:int -> vers:int array -> line:int -> src:float array -> pos:int ->
-  unit -> unit
+  t -> ?tick:int -> ?state:int -> vers:int array -> line:int ->
+  src:float array -> pos:int -> unit -> unit
+
+(** Line displaced by the most recent {!fill}/{!fill_from} (-1 = none —
+    the slot was empty or the line was already resident). Scratch state:
+    read it immediately after the fill. *)
+val last_evicted_line : t -> int
+
+(** Protocol state the displaced line held (0 when nothing was displaced):
+    a [Coherence.modified] victim owes the protocol a write-back. *)
+val last_evicted_state : t -> int
+
+(** Protocol state of a resident line, [Coherence.invalid] (0) on a miss.
+    No recency update — snooping other PEs' caches must not perturb their
+    LRU order. *)
+val line_state : t -> line:int -> int
+
+(** Set a resident line's protocol state (no-op on a miss, no recency
+    update) — remote-initiated downgrades (M->S on a bus read, E->S on a
+    sharing fetch). *)
+val set_line_state : t -> line:int -> int -> unit
 
 (** Fill-time stamp of a resident line ([None] on a miss) — the version
     check of hardware-supported compiler-directed schemes compares this

@@ -12,6 +12,7 @@ type t = {
   net : Net.kind;
   hop : int;
   link_occ : int;
+  bus_occ : int;
   store_local : int;
   store_remote : int;
   pf_issue : int;
@@ -40,6 +41,7 @@ let t3d ~n_pes =
     net = Net.Uniform;
     hop = 0;
     link_occ = 0;
+    bus_occ = 4;
     store_local = 3;
     store_remote = 12 (* buffered network injection *);
     pf_issue = 6 (* prefetch instruction + queue bookkeeping *);
@@ -68,6 +70,7 @@ let tiny ~n_pes =
     net = Net.Uniform;
     hop = 0;
     link_occ = 0;
+    bus_occ = 2;
     store_local = 1;
     store_remote = 4;
     pf_issue = 2;
@@ -161,6 +164,7 @@ let validate t =
   check (t.hit >= 0) "hit must be >= 0";
   check (t.hop >= 0) "hop must be >= 0";
   check (t.link_occ >= 0) "link_occ must be >= 0";
+  check (t.bus_occ >= 0) "bus_occ must be >= 0";
   check (t.annex_entries >= 0) "annex_entries must be >= 0";
   check (t.store_local >= 0) "store_local must be >= 0";
   check (t.store_remote >= 0) "store_remote must be >= 0";
@@ -178,13 +182,14 @@ let validate t =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>machine: %d PEs@,\
-     network: %s hop=%d link-occ=%d@,\
+     network: %s hop=%d link-occ=%d bus-occ=%d@,\
      cache: %d words, %d-word lines, %d-way@,\
      prefetch queue: %d words; annex: %d entries@,\
      latency: hit=%d local=%d/%d remote=%d store=%d/%d@,\
      prefetch: issue=%d extract=%d annex=%d vget=%d+%d/word@,\
      barrier: %d; flop=%d loop=%d@]"
-    t.n_pes (Net.kind_name t.net) t.hop t.link_occ t.cache_words t.line_words
+    t.n_pes (Net.kind_name t.net) t.hop t.link_occ t.bus_occ t.cache_words
+    t.line_words
     t.assoc t.prefetch_queue_words t.annex_entries t.hit t.local
     t.uncached_local t.remote t.store_local t.store_remote t.pf_issue
     t.pf_extract t.annex_setup t.vget_startup t.vget_per_word (barrier_cost t)

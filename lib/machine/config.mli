@@ -45,6 +45,13 @@ type t = {
           bottleneck link per cache line moved; concurrent transfers
           sharing the link queue behind each other ([0] = contention
           modelling off) *)
+  bus_occ : int;
+      (** snoop-bus occupancy: cycles one bus transaction (miss fetch,
+          upgrade, write-allocate) holds the machine-wide serialized snoop
+          bus in the [Msi]/[Mesi] modes; every PE's transactions queue
+          behind each other, which is what stops snooping from scaling
+          ([0] = bus arbitration modelling off). Ignored by every other
+          mode. *)
   store_local : int;  (** local write (write-through, buffered) *)
   store_remote : int;  (** remote write (buffered, network injection cost) *)
   pf_issue : int;  (** issuing one prefetch instruction *)

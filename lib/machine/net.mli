@@ -50,7 +50,19 @@ val cost : t -> src:int -> dst:int -> int
     Deterministic — link state is a pure function of the acquire sequence. *)
 val acquire : t -> dst:int -> now:int -> hold:int -> int * int
 
-(** Forget all link bookings (barriers drain the network). *)
+(** [acquire_bus t ~now ~since ~hold] books [hold] cycles of the
+    machine-wide serialized snoop bus for a transaction happening at local
+    cycle [now] on a PE whose current epoch began at cycle [since] (the
+    post-barrier clock). Returns [(queueing_delay, backlog_depth)]. The
+    bus is modelled as a throughput bottleneck — accumulated service
+    demand since the last barrier versus the requester's elapsed epoch
+    time — rather than a next-free-cycle port, because epochs are
+    replayed PE-major on private clocks (see the implementation comment).
+    Every PE's coherence transactions share the single counter; only the
+    bus-snooping modes use it. Deterministic. *)
+val acquire_bus : t -> now:int -> since:int -> hold:int -> int * int
+
+(** Forget all link (and bus) bookings (barriers drain the network). *)
 val reset_links : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -19,6 +19,9 @@ type t = {
   mutable annex_hits : int;
   mutable annex_misses : int;
   mutable invalidations : int;
+  mutable upgrades : int;
+  mutable dir_msgs : int;
+  mutable bus_conflicts : int;
   mutable barriers : int;
   mutable flop_cycles : int;
   mutable stall_cycles : int;
@@ -48,6 +51,9 @@ let create () =
     annex_hits = 0;
     annex_misses = 0;
     invalidations = 0;
+    upgrades = 0;
+    dir_msgs = 0;
+    bus_conflicts = 0;
     barriers = 0;
     flop_cycles = 0;
     stall_cycles = 0;
@@ -76,6 +82,9 @@ let reset t =
   t.annex_hits <- 0;
   t.annex_misses <- 0;
   t.invalidations <- 0;
+  t.upgrades <- 0;
+  t.dir_msgs <- 0;
+  t.bus_conflicts <- 0;
   t.barriers <- 0;
   t.flop_cycles <- 0;
   t.stall_cycles <- 0;
@@ -104,6 +113,9 @@ let merge a b =
     annex_hits = a.annex_hits + b.annex_hits;
     annex_misses = a.annex_misses + b.annex_misses;
     invalidations = a.invalidations + b.invalidations;
+    upgrades = a.upgrades + b.upgrades;
+    dir_msgs = a.dir_msgs + b.dir_msgs;
+    bus_conflicts = a.bus_conflicts + b.bus_conflicts;
     barriers = max a.barriers b.barriers;
     flop_cycles = a.flop_cycles + b.flop_cycles;
     stall_cycles = a.stall_cycles + b.stall_cycles;
@@ -120,10 +132,12 @@ let pp ppf t =
      pf: issued=%d vector=%d (%d words) on-time=%d late=%d (+%d cyc) dropped=%d \
      unused=%d evicted=%d@,\
      annex hit/miss=%d/%d invalidations=%d barriers=%d flops=%d stall=%d@,\
+     coherence: upgrades=%d dir-msgs=%d bus-conflicts=%d@,\
      link: conflicts=%d max-occ=%d@]"
     t.reads t.writes t.hits t.miss_local t.miss_remote t.uncached_local
     t.uncached_remote t.bypass_reads t.pf_issued t.pf_vector t.pf_vector_words
     t.pf_on_time t.pf_late t.pf_late_cycles t.pf_dropped t.pf_unused t.pf_evicted
     t.annex_hits
     t.annex_misses t.invalidations t.barriers t.flop_cycles t.stall_cycles
+    t.upgrades t.dir_msgs t.bus_conflicts
     t.link_conflicts t.link_occ_max

@@ -29,6 +29,16 @@ type t = {
   mutable annex_hits : int;
   mutable annex_misses : int;
   mutable invalidations : int;
+  mutable upgrades : int;
+      (** snooping/directory write upgrades (S -> M ownership requests);
+          structurally zero outside the hardware-coherence modes, but the
+          key is always rendered so schemas stay uniform across modes *)
+  mutable dir_msgs : int;
+      (** directory-protocol control messages (requests, forwards,
+          invalidations, replacement hints); zero outside [Directory] *)
+  mutable bus_conflicts : int;
+      (** snoop-bus transactions that queued behind a busy bus; zero
+          outside [Msi]/[Mesi] (or when [Config.bus_occ = 0]) *)
   mutable barriers : int;
   mutable flop_cycles : int;
   mutable stall_cycles : int;

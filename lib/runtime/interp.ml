@@ -49,8 +49,9 @@ let memo_put m addr v =
   let i = memo_index m addr in
   if i >= 0 then m.mvals.(i) <- v else memo_add m addr v
 
-let run cfg ?(oracle = false) (program : Program.t) ~plan ~mode ?init () =
-  let sys = Memsys.create cfg ~oracle program ~plan mode in
+let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t)
+    ~plan ~mode ?init () =
+  let sys = Memsys.create cfg ~oracle ~sabotage program ~plan mode in
   (match init with Some f -> f sys | None -> ());
   let ep = Epoch.partition program.Program.main in
   let xp = Xplan.lower program ep plan in

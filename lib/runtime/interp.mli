@@ -31,10 +31,13 @@ val pp_profile : Format.formatter -> Ccdp_ir.Epoch.t -> result -> unit
     first); [init] populates array values before timing starts; [plan]
     should be {!Ccdp_analysis.Annot.empty} for non-CCDP modes. [oracle]
     enables the dynamic staleness oracle (see {!Memsys.create}); inspect
-    its verdicts on the result's [sys] via {!Memsys.oracle_violations}. *)
+    its verdicts on the result's [sys] via {!Memsys.oracle_violations}.
+    [sabotage] arms protocol fault injection in the hardware-coherence
+    modes (see {!Memsys.sabotage}). *)
 val run :
   Ccdp_machine.Config.t ->
   ?oracle:bool ->
+  ?sabotage:Memsys.sabotage ->
   Ccdp_ir.Program.t ->
   plan:Ccdp_analysis.Annot.plan ->
   mode:Memsys.mode ->

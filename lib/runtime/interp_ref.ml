@@ -20,8 +20,9 @@ type result = {
   sys : Memsys.t;
 }
 
-let run cfg ?(oracle = false) (program : Program.t) ~plan ~mode ?init () =
-  let sys = Memsys.create cfg ~oracle program ~plan mode in
+let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t)
+    ~plan ~mode ?init () =
+  let sys = Memsys.create cfg ~oracle ~sabotage program ~plan mode in
   (match init with Some f -> f sys | None -> ());
   let ep = Epoch.partition program.Program.main in
   let n = cfg.Config.n_pes in

@@ -24,6 +24,7 @@ type result = {
 val run :
   Ccdp_machine.Config.t ->
   ?oracle:bool ->
+  ?sabotage:Memsys.sabotage ->
   Ccdp_ir.Program.t ->
   plan:Ccdp_analysis.Annot.plan ->
   mode:Memsys.mode ->

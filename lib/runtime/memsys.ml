@@ -1,7 +1,16 @@
 open Ccdp_ir
 open Ccdp_machine
 
-type mode = Seq | Base | Ccdp | Invalidate | Incoherent | Hscd
+type mode =
+  | Seq
+  | Base
+  | Ccdp
+  | Invalidate
+  | Incoherent
+  | Hscd
+  | Msi
+  | Mesi
+  | Directory
 
 let mode_name = function
   | Seq -> "SEQ"
@@ -10,6 +19,23 @@ let mode_name = function
   | Invalidate -> "INV"
   | Incoherent -> "INC"
   | Hscd -> "HSCD"
+  | Msi -> "MSI"
+  | Mesi -> "MESI"
+  | Directory -> "DIR"
+
+(* Protocol fault injection for the differential campaign: each fault
+   class breaks exactly the coherence action whose absence the staleness
+   oracle must witness. The cost accounting is untouched — the sabotaged
+   run looks identical on every counter, which is why value-blind testing
+   cannot catch these. *)
+type sabotage =
+  | No_fault
+  | Drop_invalidate
+      (** snooping: the first remote copy a write transaction should
+          invalidate is silently skipped *)
+  | Corrupt_presence
+      (** directory: the first sharer of a write's invalidation set is
+          dropped from the presence bitset instead of invalidated *)
 
 (* HSCD write-version state of one array: [settled] is the last completed
    epoch tick that contained any write; [writers] is a bitmask of the PEs
@@ -69,9 +95,20 @@ type pe_ctx = {
   mutable epoch_start : int;
 }
 
+(* Which hardware-coherence machinery is armed. Snooping carries only its
+   MESI flag; the directory carries its presence/owner table. Everything
+   protocol-specific dispatches on this once-per-run value, so the
+   established modes never touch the new state. *)
+type hw = Hw_none | Hw_snoop of bool  (** [true] = MESI *) | Hw_dir of Coherence.Dir.t
+
 type t = {
   cfg : Config.t;
   md : mode;
+  hw : hw;
+  sab : sabotage;
+  mutable sab_fired : bool;
+      (** set the first time the configured sabotage actually skipped an
+          invalidation — distinguishes armed faults from fired ones *)
   amap : Addr_map.t;
   mem : float array;
   mach : Machine.t;
@@ -91,7 +128,8 @@ type t = {
   wv : int array;  (** the oracle's [wver], or [[||]] when the oracle is off *)
 }
 
-let create cfg ?(oracle = false) (p : Program.t) ~plan md =
+let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
+    md =
   let mach = Machine.create cfg in
   let amap =
     Addr_map.make p ~n_pes:cfg.Config.n_pes ~line_words:cfg.Config.line_words
@@ -114,9 +152,24 @@ let create cfg ?(oracle = false) (p : Program.t) ~plan md =
         }
     else None
   in
+  let hw =
+    match md with
+    | Msi -> Hw_snoop false
+    | Mesi -> Hw_snoop true
+    | Directory ->
+        let n_lines =
+          (Addr_map.total_words amap + cfg.Config.line_words - 1)
+          / cfg.Config.line_words
+        in
+        Hw_dir (Coherence.Dir.create ~n_pes:cfg.Config.n_pes ~n_lines)
+    | Seq | Base | Ccdp | Invalidate | Incoherent | Hscd -> Hw_none
+  in
   {
     cfg;
     md;
+    hw;
+    sab = sabotage;
+    sab_fired = false;
     amap;
     mem = Array.make (Addr_map.total_words amap) 0.0;
     mach;
@@ -221,6 +274,25 @@ let contend t ctx tgt ~now ~lines =
 let store_cost t tgt =
   if tgt < 0 then t.cfg.Config.store_local else t.cfg.Config.store_remote
 
+(* Snoop-bus arbitration: every MSI/MESI coherence transaction (miss
+   fetch, upgrade, write-allocate) serializes through one machine-wide
+   bus, modelled as a throughput backlog against the epoch barrier (see
+   Net.acquire_bus). The queueing delay is what stops snooping from
+   scaling with PE count. *)
+let bus_acquire t ctx ~lines =
+  if t.cfg.Config.bus_occ = 0 then 0
+  else begin
+    let delay, _depth =
+      Net.acquire_bus t.net ~now:ctx.pe.Pe.clock ~since:ctx.epoch_start
+        ~hold:(t.cfg.Config.bus_occ * lines)
+    in
+    if delay > 0 then begin
+      let s = ctx.pe.Pe.stats in
+      s.Stats.bus_conflicts <- s.Stats.bus_conflicts + 1
+    end;
+    delay
+  end
+
 (* Annex set-up cost of addressing a target PE (free when resident). *)
 let annex_cost t ctx tgt =
   if tgt < 0 then 0
@@ -233,9 +305,37 @@ let annex_cost t ctx tgt =
     t.cfg.Config.annex_setup
   end
 
-let fill t ctx line =
-  Cache.fill_from ctx.pe.Pe.cache ~tick:t.epoch_tick ~vers:t.wv ~line ~src:t.mem
+(* Directory bookkeeping of a displaced line: the home forgets this PE's
+   copy (a replacement-hint message), and displacing the line one owns
+   Modified additionally pays the write-back injection. *)
+let dir_note_eviction t ctx d =
+  let ev = Cache.last_evicted_line ctx.pe.Pe.cache in
+  if ev >= 0 then begin
+    let self = ctx.pe.Pe.id in
+    Coherence.Dir.remove d ~line:ev ~pe:self;
+    let s = ctx.pe.Pe.stats in
+    s.Stats.dir_msgs <- s.Stats.dir_msgs + 1;
+    if Coherence.Dir.owner d ~line:ev = self then begin
+      Coherence.Dir.set_owner d ~line:ev (-1);
+      Pe.advance ctx.pe t.cfg.Config.store_remote
+    end
+  end
+
+let fill ?(state = 1 (* Coherence.shared *)) t ctx line =
+  Cache.fill_from ctx.pe.Pe.cache ~tick:t.epoch_tick ~state ~vers:t.wv ~line
+    ~src:t.mem
     ~pos:(line * t.cfg.Config.line_words) ();
+  (match t.hw with
+  | Hw_none -> ()
+  | Hw_snoop _ ->
+      (* displacing a Modified line pays the write-back injection (memory
+         itself is already current — write-through keeps the functional
+         state exact; this is the protocol's timing debt) *)
+      if Cache.last_evicted_state ctx.pe.Pe.cache = Coherence.modified then
+        Pe.advance ctx.pe t.cfg.Config.store_remote
+  | Hw_dir d ->
+      dir_note_eviction t ctx d;
+      Coherence.Dir.add d ~line ~pe:ctx.pe.Pe.id);
   Hashtbl.replace ctx.fresh line ()
 
 let record_arrival ctx ~stall =
@@ -427,6 +527,210 @@ let hscd_read ver t ctx (r : Reference.t) idx addr tgt =
   | Some _ | None -> ());
   cached_read ~track:true t ctx r idx addr tgt
 
+(* ------------------------------------------------------------------ *)
+(* Hardware-coherence rivals: MSI/MESI bus snooping and the full-map
+   directory. Both keep the functional model write-through (memory is
+   always current, so fills always deliver fresh words); the protocol
+   state machines govern which copies stay readable and what every
+   transition costs. Every remote-initiated action probes other PEs'
+   caches without touching their LRU order, and all probe/invalidate
+   loops run in ascending PE order — deterministic, so both engines
+   replay identical sequences.                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Snoop phase of a bus transaction: probe every other cache. A read
+   transaction ([invalidate = false]) downgrades E/M holders to S — a
+   Modified holder first flushes, and the requester pays that flush. A
+   write/upgrade transaction invalidates every remote copy. Returns
+   (copies found, write-back penalty). Under [Drop_invalidate] sabotage
+   the first copy an invalidation should kill survives — with identical
+   accounting, which is exactly why only the staleness oracle (or the
+   numerics) can witness the fault. *)
+let snoop_others t ~self ~line ~invalidate =
+  let copies = ref 0 and wb = ref 0 in
+  let drop = ref (invalidate && t.sab = Drop_invalidate) in
+  let n = Array.length t.ctxs in
+  for p = 0 to n - 1 do
+    if p <> self then begin
+      let c = t.ctxs.(p).pe.Pe.cache in
+      let st = Cache.line_state c ~line in
+      if st <> Coherence.invalid then begin
+        incr copies;
+        if st = Coherence.modified then wb := t.cfg.Config.store_remote;
+        if invalidate then begin
+          if !drop then begin
+            drop := false;
+            t.sab_fired <- true
+          end
+          else Cache.invalidate_line c ~line
+        end
+        else if st > Coherence.shared then
+          Cache.set_line_state c ~line Coherence.shared
+      end
+    end
+  done;
+  (!copies, !wb)
+
+let snoop_read mesi t ctx (r : Reference.t) idx addr tgt =
+  let off = Cache.locate ctx.pe.Pe.cache ~addr in
+  if off >= 0 then begin
+    (* any valid state (S/E/M) may be read locally, no bus transaction *)
+    oracle_check t ctx r idx addr;
+    ctx.pe.Pe.stats.Stats.hits <- ctx.pe.Pe.stats.Stats.hits + 1;
+    Pe.advance ctx.pe t.cfg.Config.hit;
+    Cache.data_at ctx.pe.Pe.cache off
+  end
+  else begin
+    let self = ctx.pe.Pe.id in
+    let line = addr / t.cfg.Config.line_words in
+    (let s = ctx.pe.Pe.stats in
+     if tgt < 0 then s.Stats.miss_local <- s.Stats.miss_local + 1
+     else s.Stats.miss_remote <- s.Stats.miss_remote + 1);
+    let ac = annex_cost t ctx tgt in
+    let bus = bus_acquire t ctx ~lines:1 in
+    let copies, wb = snoop_others t ~self ~line ~invalidate:false in
+    let delay = contend t ctx tgt ~now:ctx.pe.Pe.clock ~lines:1 in
+    Pe.advance ctx.pe (ac + bus + latency_of t ~pe:self tgt + delay + wb);
+    (* MESI's one edge over MSI: a miss nobody else holds fills Exclusive,
+       so the first write back to it upgrades silently *)
+    let state =
+      if mesi && copies = 0 then Coherence.exclusive else Coherence.shared
+    in
+    fill ~state t ctx line;
+    t.mem.(addr)
+  end
+
+let snoop_write mesi t ctx wh ~addr =
+  let line = addr / t.cfg.Config.line_words in
+  let self = ctx.pe.Pe.id in
+  let c = ctx.pe.Pe.cache in
+  let st = Cache.line_state c ~line in
+  if st = Coherence.modified then Pe.advance ctx.pe t.cfg.Config.store_local
+  else if mesi && st = Coherence.exclusive then begin
+    (* silent E -> M: exclusivity is already guaranteed, no bus traffic *)
+    Cache.set_line_state c ~line Coherence.modified;
+    Pe.advance ctx.pe t.cfg.Config.store_local
+  end
+  else begin
+    let tgt = Addr_map.target_of wh ~pe:self ~addr in
+    let s = ctx.pe.Pe.stats in
+    let bus = bus_acquire t ctx ~lines:1 in
+    let others, wb = snoop_others t ~self ~line ~invalidate:true in
+    s.Stats.invalidations <- s.Stats.invalidations + others;
+    if st <> Coherence.invalid then begin
+      (* S -> M upgrade: an ownership broadcast, no data transfer *)
+      s.Stats.upgrades <- s.Stats.upgrades + 1;
+      Cache.set_line_state c ~line Coherence.modified;
+      Pe.advance ctx.pe (store_cost t tgt + bus + wb)
+    end
+    else begin
+      (* write miss: bus read-exclusive — fetch, invalidate, allocate M *)
+      let ac = annex_cost t ctx tgt in
+      let delay = contend t ctx tgt ~now:ctx.pe.Pe.clock ~lines:1 in
+      Pe.advance ctx.pe (ac + bus + latency_of t ~pe:self tgt + delay + wb);
+      fill ~state:Coherence.modified t ctx line
+    end
+  end
+
+let dir_read d t ctx (r : Reference.t) idx addr tgt =
+  let off = Cache.locate ctx.pe.Pe.cache ~addr in
+  if off >= 0 then begin
+    oracle_check t ctx r idx addr;
+    ctx.pe.Pe.stats.Stats.hits <- ctx.pe.Pe.stats.Stats.hits + 1;
+    Pe.advance ctx.pe t.cfg.Config.hit;
+    Cache.data_at ctx.pe.Pe.cache off
+  end
+  else begin
+    let self = ctx.pe.Pe.id in
+    let line = addr / t.cfg.Config.line_words in
+    let s = ctx.pe.Pe.stats in
+    if tgt < 0 then s.Stats.miss_local <- s.Stats.miss_local + 1
+    else s.Stats.miss_remote <- s.Stats.miss_remote + 1;
+    let ac = annex_cost t ctx tgt in
+    (* the line's directory home is co-located with its owner PE in the
+       address map: [tgt < 0] means the reader itself is home *)
+    let home = if tgt < 0 then self else tgt in
+    let ow = Coherence.Dir.owner d ~line in
+    let extra =
+      if ow >= 0 && ow <> self then begin
+        (* dirty remote copy: 3-hop forwarding — requester -> home (in the
+           base latency), home -> owner, owner -> requester — plus the
+           owner's flush; the owner downgrades M -> S and the line is
+           clean again *)
+        s.Stats.dir_msgs <- s.Stats.dir_msgs + 3;
+        Cache.set_line_state t.ctxs.(ow).pe.Pe.cache ~line Coherence.shared;
+        Coherence.Dir.set_owner d ~line (-1);
+        Net.cost t.net ~src:home ~dst:ow
+        + Net.cost t.net ~src:ow ~dst:self
+        + t.cfg.Config.store_remote
+      end
+      else begin
+        (* clean at home: request + data reply *)
+        s.Stats.dir_msgs <- s.Stats.dir_msgs + 2;
+        0
+      end
+    in
+    let delay = contend t ctx tgt ~now:ctx.pe.Pe.clock ~lines:1 in
+    Pe.advance ctx.pe (ac + latency_of t ~pe:self tgt + delay + extra);
+    fill t ctx line;
+    t.mem.(addr)
+  end
+
+let dir_write d t ctx wh ~addr =
+  let line = addr / t.cfg.Config.line_words in
+  let self = ctx.pe.Pe.id in
+  let c = ctx.pe.Pe.cache in
+  let st = Cache.line_state c ~line in
+  if st = Coherence.modified then
+    (* write hit on the owned copy: the directory already records self *)
+    Pe.advance ctx.pe t.cfg.Config.store_local
+  else begin
+    let tgt = Addr_map.target_of wh ~pe:self ~addr in
+    let home = if tgt < 0 then self else tgt in
+    let s = ctx.pe.Pe.stats in
+    s.Stats.dir_msgs <- s.Stats.dir_msgs + 2 (* request + grant *);
+    let wb =
+      let ow = Coherence.Dir.owner d ~line in
+      if ow >= 0 && ow <> self then t.cfg.Config.store_remote else 0
+    in
+    (* invalidate every other recorded copy; acks return in parallel, so
+       the wait is the worst home -> sharer round trip. Under
+       [Corrupt_presence] sabotage the first sharer is dropped from the
+       bitset instead — its stale copy survives, unrecorded. *)
+    let max_hop = ref 0 and invs = ref 0 in
+    let skip = ref (t.sab = Corrupt_presence) in
+    Coherence.Dir.iter_sharers d ~line (fun p ->
+        if p <> self then begin
+          Coherence.Dir.remove d ~line ~pe:p;
+          if !skip then begin
+            skip := false;
+            t.sab_fired <- true
+          end
+          else begin
+            Cache.invalidate_line t.ctxs.(p).pe.Pe.cache ~line;
+            incr invs;
+            s.Stats.dir_msgs <- s.Stats.dir_msgs + 1;
+            let h = Net.cost t.net ~src:home ~dst:p in
+            if h > !max_hop then max_hop := h
+          end
+        end);
+    s.Stats.invalidations <- s.Stats.invalidations + !invs;
+    if st = Coherence.shared then s.Stats.upgrades <- s.Stats.upgrades + 1;
+    let ack = 2 * !max_hop in
+    if st = Coherence.invalid then begin
+      (* write-allocate: fetch the line with exclusivity *)
+      let ac = annex_cost t ctx tgt in
+      let delay = contend t ctx tgt ~now:ctx.pe.Pe.clock ~lines:1 in
+      Pe.advance ctx.pe (ac + latency_of t ~pe:self tgt + delay + wb + ack);
+      fill ~state:Coherence.modified t ctx line
+    end
+    else begin
+      Cache.set_line_state c ~line Coherence.modified;
+      Pe.advance ctx.pe (store_cost t tgt + wb + ack)
+    end;
+    Coherence.Dir.set_owner d ~line self
+  end
+
 (* The read protocol a reference executes, decided once per static
    reference (mode + classification + scheduled op + stale verdict never
    change during a run). *)
@@ -440,6 +744,8 @@ type route =
   | RBypass
   | RBack of int  (** moved-back prefetch, issued this many cycles early *)
   | RLeadStaged  (** stale lead with SP/vector staging: staged-or-bypass *)
+  | RSnoop of bool  (** MSI/MESI bus-snooped read ([true] = MESI) *)
+  | RDir of Coherence.Dir.t  (** directory-protocol read *)
 
 let route_of t (r : Reference.t) =
   if not (tracked_shared t r.array_name) then RPrivate
@@ -449,6 +755,11 @@ let route_of t (r : Reference.t) =
     | Seq | Invalidate -> RPlain
     | Hscd -> RHscd
     | Base -> RUncached
+    | Msi | Mesi | Directory -> (
+        match t.hw with
+        | Hw_snoop m -> RSnoop m
+        | Hw_dir d -> RDir d
+        | Hw_none -> assert false)
     | Ccdp -> (
         let open Ccdp_analysis in
         match Annot.cls_of t.pl r.id with
@@ -482,6 +793,8 @@ let dispatch_read t ctx (r : Reference.t) ~idx ~addr ~tgt ~ver route =
       if v <> t.mem.(addr) then Hashtbl.replace t.observed_stale r.id ();
       v
   | RHscd -> hscd_read ver t ctx r idx addr tgt
+  | RSnoop mesi -> snoop_read mesi t ctx r idx addr tgt
+  | RDir d -> dir_read d t ctx r idx addr tgt
   | RUncached -> uncached_read t ctx addr tgt
   | RCovered -> cached_read ~fresh_only:true ~track:true t ctx r idx addr tgt
   | RBypass -> bypass_read t ctx addr tgt
@@ -540,11 +853,17 @@ let read_c t ~pe acc ~idx ~addr =
     ~tgt:(Addr_map.target_of acc.ah ~pe ~addr)
     ~ver:acc.aver acc.aroute
 
+(* The write protocol a tracked store executes, resolved once per static
+   reference like the read route. [Wplain] is the established write-through
+   costing; the hardware rivals additionally run their state machine. *)
+type wproto = Wplain | Wsnoop of bool | Wdir of Coherence.Dir.t
+
 type waccess = {
   wh : Addr_map.handle;
   wtracked : bool;
   wcaches : bool;
   wver : version option;
+  wproto : wproto;
 }
 
 let prepare_write t (r : Reference.t) =
@@ -556,6 +875,13 @@ let prepare_write t (r : Reference.t) =
     wver =
       (if t.md = Hscd && tracked then Some (version_record t r.array_name)
        else None);
+    wproto =
+      (if not tracked then Wplain
+       else
+         match t.hw with
+         | Hw_none -> Wplain
+         | Hw_snoop m -> Wsnoop m
+         | Hw_dir d -> Wdir d);
   }
 
 let write_addr _t wa ~pe ~idx = Addr_map.resolve_h wa.wh ~pe idx
@@ -577,9 +903,13 @@ let write_c t ~pe wa ~addr v =
   | Some vr -> vr.writers <- vr.writers lor writer_bit pe
   | None -> ());
   if wa.wcaches then Cache.update_if_present ctx.pe.Pe.cache ?ver ~addr v;
-  Pe.advance ctx.pe
-    (if wa.wtracked then store_cost t (Addr_map.target_of wa.wh ~pe ~addr)
-     else t.cfg.Config.store_local)
+  match wa.wproto with
+  | Wplain ->
+      Pe.advance ctx.pe
+        (if wa.wtracked then store_cost t (Addr_map.target_of wa.wh ~pe ~addr)
+         else t.cfg.Config.store_local)
+  | Wsnoop mesi -> snoop_write mesi t ctx wa.wh ~addr
+  | Wdir d -> dir_write d t ctx wa.wh ~addr
 
 let write t ~pe (r : Reference.t) ~idx v =
   let wa = prepare_write t r in
@@ -735,7 +1065,10 @@ let epoch_boundary t =
   Net.reset_links t.net;
   (match t.md with
   | Seq -> ()
-  | Base | Ccdp | Incoherent | Hscd -> Machine.barrier t.mach
+  (* the hardware rivals keep cache and protocol state across epochs —
+     coherence is maintained continuously, not at barriers *)
+  | Base | Ccdp | Incoherent | Hscd | Msi | Mesi | Directory ->
+      Machine.barrier t.mach
   | Invalidate ->
       Machine.barrier t.mach;
       Array.iter
@@ -765,6 +1098,23 @@ let pp_violation ppf v =
     v.v_ref v.v_pe v.v_array
     (String.concat "," (Array.to_list (Array.map string_of_int v.v_index)))
     v.v_addr v.v_read_epoch v.v_cached_version v.v_mem_version v.v_write_epoch
+
+(* Protocol introspection (property tests): the per-PE line state and the
+   directory's view of a line. *)
+let line_state t ~pe ~line = Cache.line_state t.ctxs.(pe).pe.Pe.cache ~line
+
+let dir_sharers t ~line =
+  match t.hw with
+  | Hw_dir d -> Coherence.Dir.sharers d ~line
+  | Hw_none | Hw_snoop _ -> []
+
+let dir_owner t ~line =
+  match t.hw with
+  | Hw_dir d -> Coherence.Dir.owner d ~line
+  | Hw_none | Hw_snoop _ -> -1
+
+let sabotage t = t.sab
+let sabotage_fired t = t.sab_fired
 
 let observed_stale_ids t =
   Hashtbl.fold (fun id () acc -> id :: acc) t.observed_stale []

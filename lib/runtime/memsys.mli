@@ -1,7 +1,7 @@
 (** The timed memory system: execution modes, read/write protocols,
     prefetch issue and consumption.
 
-    This is where the paper's semantics live. Five modes:
+    This is where the paper's semantics live. The modes:
 
     - [Seq]: the sequential baseline — one PE, everything local, ordinary
       cache.
@@ -21,29 +21,65 @@
       carry last-written versions, and a hit whose line predates the
       array's version self-invalidates — coherence without prefetching or
       whole-cache flushes.
+    - [Msi] / [Mesi]: hardware bus snooping — per-line M(E)SI states, every
+      coherence transaction (miss fetch, upgrade, write-allocate)
+      serialized through one machine-wide bus whose arbitration is booked
+      like a network port; writes invalidate all remote copies. [Mesi] adds
+      the clean-exclusive state (silent E->M upgrades).
+    - [Directory]: full-map directory protocol (Censier-Feautrier) — a
+      presence bitset and dirty-owner register per line, homed at the PE
+      owning the line in the address map; reads of a dirty line pay 3-hop
+      forwarding through the configured interconnect, writes pay the worst
+      home->sharer invalidation round trip. No broadcast bus: traffic
+      scales with sharers, not PEs.
 
     Writes are write-through (memory always current; the writer's own cached
-    copy is patched, other PEs' copies go stale — the coherence problem).
+    copy is patched, other PEs' copies go stale — the coherence problem; the
+    hardware rivals eagerly invalidate those copies at each tracked write).
     Prefetch consumption: a pending line stalls the reader until its arrival
     cycle ("late" prefetch), an absent one (dropped at issue) falls back to
     a bypass fetch, as Section 3 of the paper requires. *)
 
-type mode = Seq | Base | Ccdp | Invalidate | Incoherent | Hscd
+type mode =
+  | Seq
+  | Base
+  | Ccdp
+  | Invalidate
+  | Incoherent
+  | Hscd
+  | Msi
+  | Mesi
+  | Directory
 
 val mode_name : mode -> string
 
+(** Protocol fault injection for the differential campaign: each class
+    breaks exactly the coherence action whose absence the staleness oracle
+    must witness, with the cost accounting untouched. [No_fault] in every
+    mode but the targeted one is a no-op. *)
+type sabotage =
+  | No_fault
+  | Drop_invalidate
+      (** snooping: the first remote copy a write transaction should
+          invalidate silently survives *)
+  | Corrupt_presence
+      (** directory: the first sharer of a write's invalidation set is
+          dropped from the presence bitset instead of invalidated *)
+
 type t
 
-(** [create cfg ?oracle program ~plan mode]. With [~oracle:true] the memory
-    system maintains the dynamic staleness oracle: every memory word carries
-    a version stamp (monotonic write counter) plus the epoch that produced
-    it, cache lines capture per-word stamps at fill/update time, and every
-    cache hit of a tracked shared read asserts the captured stamp is no
-    older than the last write settled before the current epoch. Violations
-    are concrete unsoundness witnesses for the stale-reference analysis. *)
+(** [create cfg ?oracle ?sabotage program ~plan mode]. With [~oracle:true]
+    the memory system maintains the dynamic staleness oracle: every memory
+    word carries a version stamp (monotonic write counter) plus the epoch
+    that produced it, cache lines capture per-word stamps at fill/update
+    time, and every cache hit of a tracked shared read asserts the captured
+    stamp is no older than the last write settled before the current epoch.
+    Violations are concrete unsoundness witnesses for the stale-reference
+    analysis. [?sabotage] (default [No_fault]) arms protocol fault
+    injection in the hardware modes. *)
 val create :
-  Ccdp_machine.Config.t -> ?oracle:bool -> Ccdp_ir.Program.t ->
-  plan:Ccdp_analysis.Annot.plan -> mode -> t
+  Ccdp_machine.Config.t -> ?oracle:bool -> ?sabotage:sabotage ->
+  Ccdp_ir.Program.t -> plan:Ccdp_analysis.Annot.plan -> mode -> t
 
 val cfg : t -> Ccdp_machine.Config.t
 val mode : t -> mode
@@ -135,6 +171,28 @@ val total_stats : t -> Ccdp_machine.Stats.t
 (** Residual cached values that disagree with memory (diagnostic for the
     incoherent mode): count of stale cached words across PEs. *)
 val stale_cached_words : t -> int
+
+(** {1 Protocol introspection (property tests)} *)
+
+(** Protocol state of a line in a PE's cache ({!Ccdp_machine.Coherence}
+    names the encoding; [Coherence.invalid] = not resident). *)
+val line_state : t -> pe:int -> line:int -> int
+
+(** The directory's recorded sharers of a line, ascending PE order. Empty
+    in non-directory modes. *)
+val dir_sharers : t -> line:int -> int list
+
+(** The directory's dirty owner of a line (-1 = clean everywhere, and in
+    non-directory modes). *)
+val dir_owner : t -> line:int -> int
+
+val sabotage : t -> sabotage
+
+(** Whether the configured sabotage actually fired during the run — i.e.
+    the protocol reached the action the fault class suppresses (an
+    invalidation was skipped / a presence bit was corrupted). Always false
+    under [No_fault]. *)
+val sabotage_fired : t -> bool
 
 (** Reference ids that actually observed a stale value during an
     [Incoherent] run — ground truth against which the stale-reference

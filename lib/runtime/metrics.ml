@@ -8,6 +8,7 @@ type t = {
   avg_late_stall : float;
   remote_ops_per_ref : float;
   traffic_words : int;
+  coherence_msgs : int;
   load_balance : float;
 }
 
@@ -45,6 +46,10 @@ let of_stats (s : Stats.t) ~line_words ~per_pe_cycles =
     avg_late_stall = ratio s.Stats.pf_late_cycles s.Stats.pf_late;
     remote_ops_per_ref = ratio remote_ops (s.Stats.reads + s.Stats.writes);
     traffic_words;
+    (* protocol control traffic: zero by construction outside the
+       hardware-coherence modes, whose protocols are the only writers of
+       these counters *)
+    coherence_msgs = s.Stats.invalidations + s.Stats.upgrades + s.Stats.dir_msgs;
     load_balance = (if max_pe = 0 then 1.0 else ratio min_pe max_pe);
   }
 
@@ -62,8 +67,10 @@ let pp ppf m =
      avg late stall       %6.1f cycles@,\
      remote ops / ref     %5.3f@,\
      traffic              %d words@,\
+     coherence msgs       %d@,\
      load balance         %5.2f@]"
     (100. *. m.hit_ratio) (100. *. m.prefetch_coverage)
     (100. *. m.prefetch_timeliness)
     (100. *. m.prefetch_accuracy)
-    m.avg_late_stall m.remote_ops_per_ref m.traffic_words m.load_balance
+    m.avg_late_stall m.remote_ops_per_ref m.traffic_words m.coherence_msgs
+    m.load_balance

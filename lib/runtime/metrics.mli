@@ -22,6 +22,10 @@ type t = {
           memory reference — how much of the reference stream crossed the
           network, whatever mechanism carried it *)
   traffic_words : int;  (** words moved over the network/memory system *)
+  coherence_msgs : int;
+      (** protocol control messages (snoop invalidations, upgrades,
+          directory messages) — zero in every non-hardware coherence mode,
+          whose protocols never write those counters *)
   load_balance : float;
       (** min / max busy cycles across PEs (1.0 = perfectly balanced) *)
 }

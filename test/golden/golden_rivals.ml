@@ -1,0 +1,18 @@
+(* Golden pin of the hardware-coherence rivals sweep: the spec four at a
+   small fixed size (n=16, iters=1, 16 PEs) across every rival mode and
+   both distance-modelled machines. The dune rule diffs this against
+   golden_rivals.expected — any change to the MSI/MESI/directory
+   protocols, the snoop-bus backlog model, or the rivals formatter fails
+   the diff and must be acknowledged with dune promote. Rows are computed
+   at -j4, re-proving the sweep's determinism against the sequentially
+   promoted expectation. *)
+
+open Ccdp_core
+open Ccdp_workloads
+
+let () =
+  let ws = Suite.spec_four ~n:16 ~iters:1 () in
+  let rows = Experiment.rivals_rows ~n_pes:16 ~jobs:4 ws in
+  let ppf = Format.std_formatter in
+  Experiment.print_tbl ppf (Experiment.rivals_table rows);
+  Format.pp_print_flush ppf ()

@@ -21,7 +21,8 @@ module Interp_ref = Ccdp_runtime.Interp_ref
 module Gen = Ccdp_fuzz.Gen
 module Workload = Ccdp_workloads.Workload
 
-let modes = Memsys.[ Seq; Base; Ccdp; Invalidate; Incoherent; Hscd ]
+let modes =
+  Memsys.[ Seq; Base; Ccdp; Invalidate; Incoherent; Hscd; Msi; Mesi; Directory ]
 
 (* same per-mode setup as Experiment.run_mode: CCDP compiles the full
    pipeline, every other mode runs the inlined program unannotated, Seq
@@ -86,7 +87,8 @@ let workload_cases =
               assert_equal_runs w.Workload.name w.Workload.program ~n_pes:4
                 mode)
             modes))
-    (Ccdp_workloads.Suite.spec_four ~n:16 ~iters:1 ())
+    (Ccdp_workloads.Suite.spec_four ~n:16 ~iters:1 ()
+    @ [ Ccdp_workloads.Extras.gauss ~n:16 ])
 
 (* cycle-identity on every interconnect: both engines route through the
    same Net instance state (including the crossbar's shared-port

@@ -121,6 +121,30 @@ let sabotage_suite =
               (let text = Driver.reproducer_text f.Driver.f_shrunk in
                let p = Ccdp_ir.Craft_parse.program text in
                p.Ccdp_ir.Program.arrays <> []));
+    case "protocol sabotage: every fault class caught, zero escapes"
+      (fun () ->
+        let summaries = Driver.sabotage_campaign ~seed:42 ~count:40 () in
+        check_int "one summary per case"
+          (List.length Driver.sabotage_cases)
+          (List.length summaries);
+        List.iter
+          (fun (s : Driver.sabotage_summary) ->
+            let name = s.Driver.sb_case.Driver.sb_name in
+            check_true (name ^ ": faults actually fired") (s.Driver.sb_fired > 0);
+            check_true
+              (name ^ ": the oracle witnessed the fault class")
+              (s.Driver.sb_caught > 0);
+            check_int (name ^ ": escapes") 0 s.Driver.sb_escapes)
+          summaries);
+    case "protocol sabotage campaigns are deterministic per seed" (fun () ->
+        let a = Driver.sabotage_campaign ~seed:3 ~count:15 () in
+        let b = Driver.sabotage_campaign ~seed:3 ~count:15 () in
+        List.iter2
+          (fun (x : Driver.sabotage_summary) (y : Driver.sabotage_summary) ->
+            check_int "fired" x.Driver.sb_fired y.Driver.sb_fired;
+            check_int "caught" x.Driver.sb_caught y.Driver.sb_caught;
+            check_int "escapes" x.Driver.sb_escapes y.Driver.sb_escapes)
+          a b);
   ]
 
 let oracle_suite =

@@ -28,7 +28,42 @@ let tests =
             check_true "accuracy" (in_unit m.Metrics.prefetch_accuracy);
             check_true "remote" (m.Metrics.remote_ops_per_ref >= 0.0);
             check_true "balance" (in_unit m.Metrics.load_balance))
-          [ Memsys.Base; Memsys.Ccdp; Memsys.Invalidate; Memsys.Hscd ]);
+          [
+            Memsys.Base;
+            Memsys.Ccdp;
+            Memsys.Invalidate;
+            Memsys.Hscd;
+            Memsys.Msi;
+            Memsys.Mesi;
+            Memsys.Directory;
+          ]);
+    case "legacy modes report zero coherence messages" (fun () ->
+        List.iter
+          (fun mode ->
+            let m =
+              Metrics.of_result (run mode (Extras.jacobi ~n:16 ~iters:2))
+            in
+            check_int
+              ("coherence msgs in " ^ Memsys.mode_name mode)
+              0 m.Metrics.coherence_msgs)
+          [ Memsys.Seq; Memsys.Base; Memsys.Ccdp ];
+        (* the software invalidate schemes count invalidations, but never
+           touch the hardware-protocol counters *)
+        List.iter
+          (fun mode ->
+            let r = run mode (Extras.jacobi ~n:16 ~iters:2) in
+            let s = r.Interp.stats in
+            let tag c = c ^ " in " ^ Memsys.mode_name mode in
+            check_int (tag "upgrades") 0 s.Ccdp_machine.Stats.upgrades;
+            check_int (tag "dir msgs") 0 s.Ccdp_machine.Stats.dir_msgs;
+            check_int (tag "bus conflicts") 0
+              s.Ccdp_machine.Stats.bus_conflicts)
+          [ Memsys.Invalidate; Memsys.Hscd ]);
+    case "the directory protocol generates coherence messages" (fun () ->
+        let m =
+          Metrics.of_result (run Memsys.Directory (Extras.jacobi ~n:16 ~iters:2))
+        in
+        check_true "dir msgs counted" (m.Metrics.coherence_msgs > 0));
     case "BASE has zero prefetch activity and zero hit ratio on shared data"
       (fun () ->
         let m = Metrics.of_result (run Memsys.Base (Extras.transpose ~n:16)) in
@@ -134,6 +169,25 @@ let fixture_tests =
           Metrics.of_stats (fixture ()) ~line_words:4 ~per_pe_cycles:[| 0; 0 |]
         in
         check_float "all idle counts as balanced" 1.0 idle.Metrics.load_balance);
+    case "coherence msgs sum invalidations, upgrades and directory traffic"
+      (fun () ->
+        let s = fixture () in
+        let open Ccdp_machine.Stats in
+        s.invalidations <- 7;
+        s.upgrades <- 3;
+        s.dir_msgs <- 11;
+        (* bus conflicts are queueing events, not messages *)
+        s.bus_conflicts <- 100;
+        let m =
+          Metrics.of_stats s ~line_words:4 ~per_pe_cycles:[| 100; 100 |]
+        in
+        check_int "sum" 21 m.Metrics.coherence_msgs;
+        let zero =
+          Metrics.of_stats (fixture ()) ~line_words:4
+            ~per_pe_cycles:[| 100; 100 |]
+        in
+        check_int "zero when the counters stay untouched" 0
+          zero.Metrics.coherence_msgs);
     case "empty stats produce all-zero ratios" (fun () ->
         let m =
           Metrics.of_stats
