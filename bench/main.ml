@@ -257,6 +257,7 @@ let perf sizes ~quick jobs =
         p_mode = Ccdp_runtime.Memsys.mode_name mode;
         p_engine = engine;
         p_pes = (if mode = Ccdp_runtime.Memsys.Seq then 1 else n_pes);
+        p_jobs = 1;
         p_wall_s = wall;
         p_cycles = cycles;
         p_cycles_per_s = per cycles;
@@ -327,13 +328,92 @@ let perf sizes ~quick jobs =
               end)
             modes)
         ws;
-      match !mxm_ratio with
+      (match !mxm_ratio with
       | Some r ->
           Format.fprintf ppf
             "@.MXM/ccdp compiled-plan engine: %.2fx simulated-cycles/sec of \
              the reference engine.@."
             r
-      | None -> ())
+      | None -> ());
+      (* ---- intra-run shard scaling -------------------------------- *)
+      (* Wide machines, one run each, sharded over -j domains inside the
+         epoch loop (Interp ?pool). Simulated cycles are asserted
+         identical across job counts — that is the deterministic claim
+         this section certifies; the wall-clock column is reported as
+         measured and only speeds up when the host grants real cores. *)
+      let scale_pes = if quick then [ 256 ] else [ 1024; 2048; 4096 ] in
+      let scale_jobs = if quick then [ 1; 8 ] else [ 1; 4; 8 ] in
+      let scale_n = if quick then 48 else 192 in
+      let w = Mxm.workload ~n:scale_n in
+      Format.fprintf ppf
+        "@.Intra-run shard scaling (MXM n=%d, ccdp mode; cycles asserted \
+         identical across -j)@."
+        scale_n;
+      Format.fprintf ppf "%-8s %6s %5s %10s %12s %9s@." "workload" "pes"
+        "jobs" "wall" "cycles" "speedup";
+      List.iter
+        (fun pes ->
+          let cfg = Ccdp_machine.Config.t3d ~n_pes:pes in
+          let compiled = Pipeline.compile cfg w.Workload.program in
+          let baseline = ref None in
+          List.iter
+            (fun j ->
+              let run () =
+                let go ?pool () =
+                  Ccdp_runtime.Interp.run cfg ?pool compiled.Pipeline.program
+                    ~plan:compiled.Pipeline.plan
+                    ~mode:Ccdp_runtime.Memsys.Ccdp ()
+                in
+                if j > 1 then
+                  Ccdp_exec.Pool.with_pool ~jobs:j (fun pool -> go ~pool ())
+                else go ()
+              in
+              (* no warm-up: one timed run per (pes, jobs) cell keeps the
+                 wide grid affordable; cycle identity does not need it *)
+              let m0 = Gc.minor_words () in
+              let t0 = Unix.gettimeofday () in
+              let r = run () in
+              let wall = Unix.gettimeofday () -. t0 in
+              let mw = Gc.minor_words () -. m0 in
+              let cycles = r.Ccdp_runtime.Interp.cycles in
+              let stats = r.Ccdp_runtime.Interp.stats in
+              let accesses =
+                stats.Ccdp_machine.Stats.reads + stats.Ccdp_machine.Stats.writes
+              in
+              (match !baseline with
+              | None -> baseline := Some (cycles, wall)
+              | Some (c0, _) ->
+                  if cycles <> c0 then
+                    failwith
+                      (Printf.sprintf
+                         "perf scaling: -j%d changed simulated time at %d \
+                          PEs (%d vs %d cycles)"
+                         j pes cycles c0));
+              let speedup =
+                match !baseline with
+                | Some (_, w0) when wall > 0.0 -> w0 /. wall
+                | _ -> 1.0
+              in
+              let per t = if wall > 0.0 then float_of_int t /. wall else 0.0 in
+              Bench_json.add_perf doc
+                {
+                  Bench_json.p_workload = w.Workload.name;
+                  p_mode =
+                    Ccdp_runtime.Memsys.mode_name Ccdp_runtime.Memsys.Ccdp;
+                  p_engine = "plan";
+                  p_pes = pes;
+                  p_jobs = j;
+                  p_wall_s = wall;
+                  p_cycles = cycles;
+                  p_cycles_per_s = per cycles;
+                  p_accesses = accesses;
+                  p_accesses_per_s = per accesses;
+                  p_minor_words = mw;
+                };
+              Format.fprintf ppf "%-8s %6d %5d %9.3fs %12d %8.2fx@."
+                w.Workload.name pes j wall cycles speedup)
+            scale_jobs)
+        scale_pes)
 
 (* ---- bechamel microbenchmarks -------------------------------------- *)
 

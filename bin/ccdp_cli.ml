@@ -120,9 +120,15 @@ let analyze_cmd =
     Term.(const run $ workload_arg $ n_arg $ iters_arg $ pe_arg)
 
 let run_cmd =
-  let run name n iters pe mode (_, machine) verify =
+  let run name n iters pe mode (_, machine) verify jobs =
     let w = Workload.find (workloads_of ~n ~iters) name in
-    let r = Ccdp_core.Experiment.run_mode ~machine ~n_pes:pe mode w in
+    (* here the pool shards the single run's epochs (Interp's intra-run
+       parallelism) rather than a list of runs; the simulated result is
+       identical for every job count *)
+    let r =
+      Ccdp_core.Experiment.run_mode ~machine ~jobs:(resolve_jobs jobs)
+        ~n_pes:pe mode w
+    in
     Format.printf "%a@." Ccdp_runtime.Interp.pp_result r;
     Format.printf "%a@." Ccdp_runtime.Metrics.pp (Ccdp_runtime.Metrics.of_result r);
     if verify then
@@ -132,7 +138,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute one workload on the machine model")
     Term.(
       const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg
-      $ machine_arg $ verify_arg)
+      $ machine_arg $ verify_arg $ jobs_arg)
 
 let eval_rows n iters pes verify spec_four jobs =
   let ws = if spec_four then Suite.spec_four ~n ~iters () else workloads_of ~n ~iters in
@@ -422,7 +428,8 @@ let check_cmd =
       $ json_arg $ werror_arg)
 
 let perf_cmd =
-  let run name n iters pe mode (_, machine) =
+  let run name n iters pe mode (_, machine) jobs =
+    let jobs = resolve_jobs jobs in
     let w = Workload.find (workloads_of ~n ~iters) name in
     let cfg =
       machine ~n_pes:(if mode = Ccdp_runtime.Memsys.Seq then 1 else pe)
@@ -441,8 +448,14 @@ let perf_cmd =
       let r = f () in
       (r, Unix.gettimeofday () -. t0, Gc.minor_words () -. m0)
     in
+    (* only the plan engine shards; the reference engine stays serial, so
+       the cycle-agreement check below also certifies sharded-vs-serial *)
     let r, wall, mw =
-      time (fun () -> Ccdp_runtime.Interp.run cfg prog ~plan ~mode ())
+      if jobs > 1 then
+        Ccdp_exec.Pool.with_pool ~jobs (fun pool ->
+            time (fun () ->
+                Ccdp_runtime.Interp.run cfg ~pool prog ~plan ~mode ()))
+      else time (fun () -> Ccdp_runtime.Interp.run cfg prog ~plan ~mode ())
     in
     let rr, rwall, rmw =
       time (fun () -> Ccdp_runtime.Interp_ref.run cfg prog ~plan ~mode ())
@@ -473,7 +486,7 @@ let perf_cmd =
           and allocation compared)")
     Term.(
       const run $ workload_arg $ n_arg $ iters_arg $ pe_arg $ mode_arg
-      $ machine_arg)
+      $ machine_arg $ jobs_arg)
 
 let sweep_cmd =
   let run n iters pe name =

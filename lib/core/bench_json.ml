@@ -37,6 +37,7 @@ type perf_row = {
   p_mode : string;
   p_engine : string;
   p_pes : int;
+  p_jobs : int;
   p_wall_s : float;
   p_cycles : int;
   p_cycles_per_s : float;
@@ -93,6 +94,7 @@ let buf_perf_row b r =
   Buffer.add_string b ",\"engine\":";
   buf_string b r.p_engine;
   Buffer.add_string b (Printf.sprintf ",\"pes\":%d" r.p_pes);
+  Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" r.p_jobs);
   Buffer.add_string b ",\"wall_s\":";
   buf_float b r.p_wall_s;
   Buffer.add_string b (Printf.sprintf ",\"cycles\":%d" r.p_cycles);
@@ -125,27 +127,34 @@ let buf_rival_row b (r : Experiment.rival_row) =
        s.Ccdp_machine.Stats.upgrades s.Ccdp_machine.Stats.dir_msgs
        s.Ccdp_machine.Stats.bus_conflicts s.Ccdp_machine.Stats.link_conflicts)
 
-let buf_payload b t =
-  Buffer.add_string b "\"rows\":";
-  buf_list b buf_row t.rows;
-  Buffer.add_string b ",\"tables\":";
-  buf_list b buf_table (List.rev t.tables);
-  (* only the perf bench emits this key, so the payloads of the
-     simulated-machine benches stay byte-identical to earlier runs *)
-  if t.perf <> [] then (
-    Buffer.add_string b ",\"perf\":";
-    buf_list b buf_perf_row (List.rev t.perf));
-  (* likewise: only the rivals bench emits this key *)
-  if t.rivals <> [] then (
-    Buffer.add_string b ",\"rivals\":";
-    buf_list b buf_rival_row t.rivals)
-
-let payload_string t =
+(* Each section key appears only when it has content: a bench that never
+   produced evaluation rows or tables (perf, rivals) carries no dead
+   "rows":[] / "tables":[] keys, and every other bench's payload is
+   unchanged byte-for-byte. *)
+let payload_body t =
   let b = Buffer.create 1024 in
-  Buffer.add_char b '{';
-  buf_payload b t;
-  Buffer.add_char b '}';
+  let first = ref true in
+  let key name =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_char b '"';
+    Buffer.add_string b name;
+    Buffer.add_string b "\":"
+  in
+  if t.rows <> [] then (
+    key "rows";
+    buf_list b buf_row t.rows);
+  if t.tables <> [] then (
+    key "tables";
+    buf_list b buf_table (List.rev t.tables));
+  if t.perf <> [] then (
+    key "perf";
+    buf_list b buf_perf_row (List.rev t.perf));
+  if t.rivals <> [] then (
+    key "rivals";
+    buf_list b buf_rival_row t.rivals);
   Buffer.contents b
+
+let payload_string t = "{" ^ payload_body t ^ "}"
 
 let to_string t ~jobs ~wall_clock_s =
   let b = Buffer.create 1024 in
@@ -154,8 +163,10 @@ let to_string t ~jobs ~wall_clock_s =
   Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
   Buffer.add_string b ",\"wall_clock_s\":";
   buf_float b wall_clock_s;
-  Buffer.add_char b ',';
-  buf_payload b t;
+  let body = payload_body t in
+  if body <> "" then (
+    Buffer.add_char b ',';
+    Buffer.add_string b body);
   Buffer.add_char b '}';
   Buffer.contents b
 

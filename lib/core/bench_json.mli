@@ -22,11 +22,15 @@
                     "rows": [["..."]] }, ... ] }
     v}
 
-    The perf bench additionally emits a ["perf"] key (absent from every
-    other bench, so their payloads are unchanged byte-for-byte):
+    Payload keys ([rows], [tables], [perf], [rivals]) are emitted only
+    when non-empty: the perf bench's document carries no dead
+    ["rows":[]] / ["tables":[]] keys, and benches that emit rows and
+    tables are unchanged byte-for-byte.
+
+    The perf bench emits a ["perf"] key (absent from every other bench):
     {v
       "perf": [ { "workload": "MXM", "mode": "ccdp", "engine": "plan",
-                  "pes": 16, "wall_s": 0.1, "cycles": 1,
+                  "pes": 16, "jobs": 1, "wall_s": 0.1, "cycles": 1,
                   "cycles_per_s": 1.0, "accesses": 1,
                   "accesses_per_s": 1.0, "minor_words": 1.0 }, ... ]
     v}
@@ -39,13 +43,15 @@ type t
 
 (** One engine timing: a (workload, mode, engine) cell of [bench -- perf].
     [p_engine] is ["plan"] ({!Ccdp_runtime.Interp}) or ["ref"]
-    ({!Ccdp_runtime.Interp_ref}); [p_minor_words] is the
+    ({!Ccdp_runtime.Interp_ref}); [p_jobs] is the intra-run shard count
+    the cell ran with (1 = serial); [p_minor_words] is the
     [Gc.minor_words] delta of the run. *)
 type perf_row = {
   p_workload : string;
   p_mode : string;
   p_engine : string;
   p_pes : int;
+  p_jobs : int;
   p_wall_s : float;
   p_cycles : int;
   p_cycles_per_s : float;
@@ -78,8 +84,8 @@ val add_perf : t -> perf_row -> unit
     v} *)
 val add_rivals : t -> Experiment.rival_row list -> unit
 
-(** The deterministic part only: [{"rows": [...], "tables": [...]}],
-    independent of job count and wall-clock. *)
+(** The deterministic part only: [{"rows": [...], "tables": [...]}] with
+    empty sections omitted, independent of job count and wall-clock. *)
 val payload_string : t -> string
 
 (** Full document including the envelope. *)

@@ -29,23 +29,33 @@ let default_spec =
     tuning = Ccdp_analysis.Schedule.default_tuning;
   }
 
-let run_mode ?tuning ?(machine = Config.t3d) ~n_pes mode (w : Workload.t) =
-  let cfg = machine ~n_pes in
-  match mode with
-  | Memsys.Ccdp ->
-      let compiled = Pipeline.compile cfg ?tuning w.program in
-      Interp.run cfg compiled.Pipeline.program ~plan:compiled.Pipeline.plan
-        ~mode ()
-  | Memsys.Seq ->
-      let cfg = machine ~n_pes:1 in
-      Interp.run cfg
-        (Ccdp_ir.Program.inline w.program)
-        ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
-  | Memsys.Base | Memsys.Invalidate | Memsys.Incoherent | Memsys.Hscd
-  | Memsys.Msi | Memsys.Mesi | Memsys.Directory ->
-      Interp.run cfg
-        (Ccdp_ir.Program.inline w.program)
-        ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
+(* [jobs]: intra-run shard count for the epoch simulation (see
+   Interp.run's [pool]); [None] — the default, and what [evaluate]'s grid
+   cells use from inside their own pool tasks — runs the serial walk
+   without creating any pool. *)
+let run_mode ?tuning ?(machine = Config.t3d) ?jobs ~n_pes mode (w : Workload.t)
+    =
+  let go ?pool () =
+    let cfg = machine ~n_pes in
+    match mode with
+    | Memsys.Ccdp ->
+        let compiled = Pipeline.compile cfg ?tuning w.program in
+        Interp.run cfg ?pool compiled.Pipeline.program
+          ~plan:compiled.Pipeline.plan ~mode ()
+    | Memsys.Seq ->
+        let cfg = machine ~n_pes:1 in
+        Interp.run cfg ?pool
+          (Ccdp_ir.Program.inline w.program)
+          ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
+    | Memsys.Base | Memsys.Invalidate | Memsys.Incoherent | Memsys.Hscd
+    | Memsys.Msi | Memsys.Mesi | Memsys.Directory ->
+        Interp.run cfg ?pool
+          (Ccdp_ir.Program.inline w.program)
+          ~plan:(Ccdp_analysis.Annot.empty ()) ~mode ()
+  in
+  match jobs with
+  | Some j when j > 1 -> Pool.with_pool ~jobs:j (fun pool -> go ~pool ())
+  | _ -> go ()
 
 (* The grid is embarrassingly parallel: every Interp.run allocates its
    whole machine state, so (workload, width) cells run on any domain in

@@ -39,10 +39,14 @@ val default_spec : spec
 
 (** Run one workload at one machine width under one mode; compiles with the
     spec's tuning for CCDP-plan modes. [machine] selects the machine
-    preset (default {!Ccdp_machine.Config.t3d}). *)
+    preset (default {!Ccdp_machine.Config.t3d}). [jobs > 1] simulates the
+    run's DOALL epochs in that many domain shards (intra-run parallelism,
+    see {!Ccdp_runtime.Interp.run}); the default runs serially without
+    creating a pool — the simulated result is identical either way. *)
 val run_mode :
   ?tuning:Ccdp_analysis.Schedule.tuning ->
   ?machine:(n_pes:int -> Ccdp_machine.Config.t) ->
+  ?jobs:int ->
   n_pes:int ->
   Ccdp_runtime.Memsys.mode ->
   Ccdp_workloads.Workload.t ->

@@ -34,12 +34,22 @@ type t = {
 
 let jobs t = t.jobs
 
+(* Set while this domain is executing a batch task. A nested submission
+   from inside a task would block on workers that are all busy with the
+   enclosing batch; [map_shards] checks this flag and runs inline
+   instead. *)
+let in_task = Domain.DLS.new_key (fun () -> ref false)
+let nested () = !(Domain.DLS.get in_task)
+
 let drain (b : batch) =
   let n = Array.length b.tasks in
+  let flag = Domain.DLS.get in_task in
   let rec claim () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < n then (
+      flag := true;
       b.tasks.(i) ();
+      flag := false;
       if Atomic.fetch_and_add b.remaining (-1) = 1 then (
         Mutex.lock b.bm;
         Condition.signal b.finished;
@@ -96,6 +106,31 @@ let with_pool ?jobs f =
 
 let default_label _ = ""
 
+(* Publish [tasks] as the pool's current batch, help drain it from the
+   calling domain, and wait for the last worker to finish. *)
+let run_batch pool tasks =
+  let b =
+    {
+      tasks;
+      next = Atomic.make 0;
+      remaining = Atomic.make (Array.length tasks);
+      bm = Mutex.create ();
+      finished = Condition.create ();
+    }
+  in
+  Mutex.lock pool.m;
+  pool.current <- Some b;
+  pool.generation <- pool.generation + 1;
+  Condition.broadcast pool.cv;
+  Mutex.unlock pool.m;
+  (* the calling domain is a worker too *)
+  drain b;
+  Mutex.lock b.bm;
+  while Atomic.get b.remaining > 0 do
+    Condition.wait b.finished b.bm
+  done;
+  Mutex.unlock b.bm
+
 let map_runs ?(label = default_label) pool f xs =
   let inputs = Array.of_list xs in
   let n = Array.length inputs in
@@ -108,32 +143,10 @@ let map_runs ?(label = default_label) pool f xs =
       xs
   else begin
     let results = Array.make n None in
-    let tasks =
-      Array.init n (fun i () ->
-          results.(i) <-
-            Some (try Ok (f i inputs.(i)) with exn -> Error exn))
-    in
-    let b =
-      {
-        tasks;
-        next = Atomic.make 0;
-        remaining = Atomic.make n;
-        bm = Mutex.create ();
-        finished = Condition.create ();
-      }
-    in
-    Mutex.lock pool.m;
-    pool.current <- Some b;
-    pool.generation <- pool.generation + 1;
-    Condition.broadcast pool.cv;
-    Mutex.unlock pool.m;
-    (* the calling domain is a worker too *)
-    drain b;
-    Mutex.lock b.bm;
-    while Atomic.get b.remaining > 0 do
-      Condition.wait b.finished b.bm
-    done;
-    Mutex.unlock b.bm;
+    run_batch pool
+      (Array.init n (fun i () ->
+           results.(i) <-
+             Some (try Ok (f i inputs.(i)) with exn -> Error exn)));
     Array.to_list
       (Array.mapi
          (fun i r ->
@@ -143,6 +156,28 @@ let map_runs ?(label = default_label) pool f xs =
                raise (Run_failed { index = i; label = label i; exn })
            | None -> assert false)
          results)
+  end
+
+let map_shards pool ~shards f =
+  let n = max 0 shards in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let task s () = results.(s) <- Some (try Ok (f s) with exn -> Error exn) in
+    if n = 1 || pool.jobs <= 1 || nested () then
+      (* one shard, a serial pool, or already inside a batch task: run
+         inline on this domain, in shard order *)
+      for s = 0 to n - 1 do
+        task s ()
+      done
+    else run_batch pool (Array.init n task);
+    Array.mapi
+      (fun s r ->
+        match r with
+        | Some (Ok v) -> v
+        | Some (Error exn) -> raise (Run_failed { index = s; label = ""; exn })
+        | None -> assert false)
+      results
   end
 
 let run ?jobs ?label f xs = with_pool ?jobs (fun p -> map_runs ?label p f xs)

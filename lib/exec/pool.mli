@@ -52,6 +52,16 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
     the same pool. *)
 val map_runs : ?label:(int -> string) -> t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 
+(** [map_shards pool ~shards f] is [Array.init shards f] computed on the
+    pool's domains, collected by shard index. Unlike {!map_runs} it is
+    safe to call from inside a task already running on [pool] (an
+    [Interp.run] sharding its epochs from within a campaign batch):
+    nested submission is detected per-domain and serialized inline on the
+    calling domain instead of deadlocking on workers that are all busy
+    with the outer batch. If any [f s] raises, the lowest-index failure
+    is re-raised as {!Run_failed} after all shards settle. *)
+val map_shards : t -> shards:int -> (int -> 'a) -> 'a array
+
 (** One-shot convenience: [run ?jobs f xs] wraps [with_pool] around
     {!map_runs}. *)
 val run : ?jobs:int -> ?label:(int -> string) -> (int -> 'a -> 'b) -> 'a list -> 'b list

@@ -82,16 +82,17 @@ let drop_stale_mark k (r : Stale.result) =
       Hashtbl.replace verdicts victim Stale.Clean;
       { r with Stale.verdicts; n_stale = r.Stale.n_stale - 1 }
 
-let run_variant ?mutate_stale cfg (d : Gen.desc) program v =
+let run_variant ?mutate_stale ?pool cfg (d : Gen.desc) program v =
   match v.tuning with
   | None ->
-      Interp.run cfg ~oracle:true program ~plan:(Annot.empty ()) ~mode:v.mode ()
+      Interp.run cfg ~oracle:true ?pool program ~plan:(Annot.empty ())
+        ~mode:v.mode ()
   | Some tuning ->
       let compiled =
         Pipeline.compile cfg ~tuning ~prefetch_clean:d.Gen.pclean ?mutate_stale
           program
       in
-      Interp.run cfg ~oracle:true compiled.Pipeline.program
+      Interp.run cfg ~oracle:true ?pool compiled.Pipeline.program
         ~plan:compiled.Pipeline.plan ~mode:v.mode ()
 
 (* The static leg of the differential: certify the default-tuning compile
@@ -181,7 +182,7 @@ let static_certify ?mutate_stale cfg (d : Gen.desc) program =
    failure). The oracle is consulted before the numeric comparison: a stale
    hit whose value happens to coincide with the fresh one is still a
    bug. *)
-let check_full ?mutate_stale (d : Gen.desc) =
+let check_full ?mutate_stale ?pool (d : Gen.desc) =
   let cfg = cfg_of d in
   let program = Gen.build d in
   let seq =
@@ -193,7 +194,7 @@ let check_full ?mutate_stale (d : Gen.desc) =
   let rec loop = function
     | [] -> None
     | v :: rest -> (
-        let r = run_variant ?mutate_stale cfg d program v in
+        let r = run_variant ?mutate_stale ?pool cfg d program v in
         incr runs;
         checks := !checks + Memsys.oracle_checked r.Interp.sys;
         let nviol = Memsys.oracle_violation_count r.Interp.sys in
@@ -242,8 +243,8 @@ let reproducer_text (d : Gen.desc) =
    (and the stderr progress trace) is identical to the sequential run.
    Shrinking happens on the calling domain: failures are rare, and the
    shrinker's own runs are cheap one-program checks. *)
-let campaign ?jobs ?mutate_stale ?dump_dir ?(progress = fun _ -> ()) ~seed
-    ~count () =
+let campaign ?jobs ?shards ?mutate_stale ?dump_dir ?(progress = fun _ -> ())
+    ~seed ~count () =
   let rng = Random.State.make [| seed; 0x51ab |] in
   let descs = List.init count (fun _ -> Gen.generate rng) in
   let runs = ref 0 and checks = ref 0 and failures = ref [] in
@@ -290,31 +291,43 @@ let campaign ?jobs ?mutate_stale ?dump_dir ?(progress = fun _ -> ()) ~seed
           :: !failures);
     progress (i + 1)
   in
-  Ccdp_exec.Pool.with_pool ?jobs (fun pool ->
-      (* batches keep the progress callback responsive without a
-         cross-domain channel: check in parallel, fold sequentially *)
-      let batch = max 1 (8 * Ccdp_exec.Pool.jobs pool) in
-      let rec go start ds =
-        match ds with
-        | [] -> ()
-        | _ ->
-            let rec split k = function
-              | d :: rest when k > 0 ->
-                  let taken, rest = split (k - 1) rest in
-                  (d :: taken, rest)
-              | rest -> ([], rest)
-            in
-            let taken, rest = split batch ds in
-            let checked =
-              Ccdp_exec.Pool.map_runs pool
-                ~label:(fun i -> Printf.sprintf "fuzz program #%d" (start + i))
-                (fun _ d -> (d, check_full ?mutate_stale d))
-                taken
-            in
-            List.iteri (fun i r -> consume (start + i) r) checked;
-            go (start + List.length taken) rest
-      in
-      go 0 descs);
+  let run_all ?inner jobs =
+    Ccdp_exec.Pool.with_pool ?jobs (fun pool ->
+        (* batches keep the progress callback responsive without a
+           cross-domain channel: check in parallel, fold sequentially *)
+        let batch = max 1 (8 * Ccdp_exec.Pool.jobs pool) in
+        let rec go start ds =
+          match ds with
+          | [] -> ()
+          | _ ->
+              let rec split k = function
+                | d :: rest when k > 0 ->
+                    let taken, rest = split (k - 1) rest in
+                    (d :: taken, rest)
+                | rest -> ([], rest)
+              in
+              let taken, rest = split batch ds in
+              let checked =
+                Ccdp_exec.Pool.map_runs pool
+                  ~label:(fun i ->
+                    Printf.sprintf "fuzz program #%d" (start + i))
+                  (fun _ d -> (d, check_full ?mutate_stale ?pool:inner d))
+                  taken
+              in
+              List.iteri (fun i r -> consume (start + i) r) checked;
+              go (start + List.length taken) rest
+        in
+        go 0 descs)
+  in
+  (match shards with
+  | Some s when s > 1 ->
+      (* intra-run sharding moves the domains inside each simulated run
+         (Interp ?pool); the shard pool has a single submission slot, so
+         program-level checking goes serial — the summary is identical
+         either way *)
+      Ccdp_exec.Pool.with_pool ~jobs:s (fun sp ->
+          run_all ~inner:sp (Some 1))
+  | _ -> run_all jobs);
   {
     s_programs = count;
     s_runs = !runs;

@@ -87,9 +87,17 @@ val reproducer_text : Gen.desc -> string
     Program checks are sharded over [jobs] domains
     ({!Ccdp_exec.Pool.resolve_jobs} resolves the default); generation,
     shrinking and the summary fold stay on the calling domain, so for a
-    given seed the summary is identical for every job count. *)
+    given seed the summary is identical for every job count.
+
+    [shards > 1] moves the parallelism {e inside} each simulated run
+    instead: every variant executes with intra-run epoch sharding over
+    that many domains ({!Ccdp_runtime.Interp.run}'s [?pool]), and
+    program-level checking goes serial ([jobs] is ignored). The summary
+    is identical to the unsharded campaign — this is how the fuzz corpus
+    exercises the parallel simulation path. *)
 val campaign :
   ?jobs:int ->
+  ?shards:int ->
   ?mutate_stale:(Ccdp_analysis.Stale.result -> Ccdp_analysis.Stale.result) ->
   ?dump_dir:string ->
   ?progress:(int -> unit) ->

@@ -49,13 +49,45 @@ let memo_put m addr v =
   let i = memo_index m addr in
   if i >= 0 then m.mvals.(i) <- v else memo_add m addr v
 
-let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t)
-    ~plan ~mode ?init () =
+(* Per-shard mutable evaluation state: everything the recursive evaluator
+   scribbles on besides the per-PE frames and the memory system itself.
+   One instance per domain shard, so concurrent shards never share a
+   scratch buffer; the serial run uses exactly one (no extra allocation
+   against the Gc gate). *)
+type scratch = {
+  s_ridx : int array array;  (** per read occurrence: subscript buffer *)
+  s_widx : int array array;
+  s_memos : memo array;
+  s_sp_lines : int array array;  (** per loop uid: last line issued per sp *)
+}
+
+(* The closure family built over one scratch: the recursive evaluator
+   entry points [exec_parallel] and the serial paths dispatch through. *)
+type engine = {
+  e_range : int -> Xplan.loop -> first:int -> last:int -> step:int -> unit;
+  e_loop : int -> Xplan.loop -> unit;
+  e_stmt : int -> memo -> Xplan.stmt -> unit;
+  e_cond : int -> memo -> Xplan.cond -> bool;
+  e_memos : memo array;
+}
+
+let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) ?pool
+    (program : Program.t) ~plan ~mode ?init () =
   let sys = Memsys.create cfg ~oracle ~sabotage program ~plan mode in
   (match init with Some f -> f sys | None -> ());
   let ep = Epoch.partition program.Program.main in
   let xp = Xplan.lower program ep plan in
   let n = cfg.Config.n_pes in
+  (* Intra-run sharding: DOALL epochs execute their PEs in [nshards]
+     domain shards when the memory system buffers all cross-PE effects to
+     the barrier (Memsys.shardable). One shard means today's serial walk,
+     closure-for-closure. *)
+  let nshards =
+    match pool with
+    | Some p when Memsys.shardable sys ->
+        max 1 (min (Ccdp_exec.Pool.jobs p) n)
+    | _ -> 1
+  in
   (* per-PE frames: induction variables / parameters (ints) and
      task-private scalars (floats), with bound flags replacing the
      string-keyed environments' membership *)
@@ -71,17 +103,19 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
         ibound.(pe).(slot) <- true
       done)
     xp.Xplan.params;
-  (* per static access: prepared memory-system access + scratch index
-     buffer (one per occurrence, so concurrent evaluation never clashes) *)
+  (* per static access: prepared memory-system access, shared by every
+     shard (read-only after preparation) *)
   let raccs = Array.map (Memsys.prepare_read sys) xp.Xplan.reads in
   let waccs = Array.map (Memsys.prepare_write sys) xp.Xplan.writes in
   let scratch_of (r : Reference.t) = Array.make (Array.length r.subs) 0 in
-  let ridx = Array.map scratch_of xp.Xplan.reads in
-  let widx = Array.map scratch_of xp.Xplan.writes in
-  let memos = Array.map memo_make xp.Xplan.memo_caps in
-  (* per loop uid: last line issued per sp op (strip-mined issue state) *)
-  let sp_lines =
-    Array.map (fun k -> Array.make (max 1 k) min_int) xp.Xplan.sp_counts
+  let make_scratch () =
+    {
+      s_ridx = Array.map scratch_of xp.Xplan.reads;
+      s_widx = Array.map scratch_of xp.Xplan.writes;
+      s_memos = Array.map memo_make xp.Xplan.memo_caps;
+      s_sp_lines =
+        Array.map (fun k -> Array.make (max 1 k) min_int) xp.Xplan.sp_counts;
+    }
   in
   let epochs_executed = ref 0 in
   let profile : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
@@ -110,8 +144,13 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
     | Xplan.Fin a -> eval_aff pe a
     | Xplan.Unk -> invalid_arg "Bound.eval_exec: unknown bound is not executable"
   in
-  (* evaluate an occurrence's subscripts into its scratch buffer *)
-  let eval_subs bufs pe (xr : Xplan.xref) =
+  let make_engine sc =
+    let ridx = sc.s_ridx
+    and widx = sc.s_widx
+    and memos = sc.s_memos
+    and sp_lines = sc.s_sp_lines in
+    (* evaluate an occurrence's subscripts into its scratch buffer *)
+    let eval_subs bufs pe (xr : Xplan.xref) =
     let buf = bufs.(xr.Xplan.xacc) in
     let subs = xr.Xplan.xsubs in
     for d = 0 to Array.length subs - 1 do
@@ -296,11 +335,24 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
         if eval_cond pe memo c then Array.iter (exec_stmt pe memo) tb
         else Array.iter (exec_stmt pe memo) eb
     | Xplan.XFor l -> exec_loop pe l
+    in
+    {
+      e_range = exec_range;
+      e_loop = exec_loop;
+      e_stmt = exec_stmt;
+      e_cond = eval_cond;
+      e_memos = memos;
+    }
   in
+  (* shard 0's engine is the main engine: Seq runs, serial epochs, branch
+     conditions, dynamic scheduling and every serial fallback go through
+     it, so a one-shard run is exactly the pre-shard interpreter *)
+  let engines = Array.init nshards (fun _ -> make_engine (make_scratch ())) in
+  let main = engines.(0) in
   let exec_parallel id (l : Xplan.loop) =
     incr epochs_executed;
     let t0 = Machine.time (Memsys.machine sys) in
-    if mode = Memsys.Seq then exec_loop 0 l
+    if mode = Memsys.Seq then main.e_loop 0 l
     else begin
       let first = eval_bound 0 l.Xplan.l_lo in
       let last = eval_bound 0 l.Xplan.l_hi in
@@ -309,15 +361,52 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
       | Stmt.Doall
           ((Stmt.Static_block | Stmt.Static_aligned _ | Stmt.Static_cyclic) as
            sched) ->
-          for pe = 0 to n - 1 do
-            match
-              Ccdp_craft.Loop_sched.triplet_of_pe sched ~n_pes:n ~pe ~lo:first
-                ~hi:last ~step:l.Xplan.l_step
-            with
-            | None -> ()
-            | Some (f, la, s) -> exec_range pe l ~first:f ~last:la ~step:s
-          done
+          let triplet pe =
+            Ccdp_craft.Loop_sched.triplet_of_pe sched ~n_pes:n ~pe ~lo:first
+              ~hi:last ~step:l.Xplan.l_step
+          in
+          if nshards > 1 then begin
+            (* Collect the PEs with iterations, then hand each shard one
+               contiguous slice of them: balanced (equal active counts)
+               yet cache-friendly — neighbouring PEs' records live on the
+               same CPU cache lines, so splitting them across domains
+               would make every clock/stats bump a coherence miss. Any
+               assignment yields the same simulated state (per-PE state
+               is disjoint, shared effects barrier-merge PE-major); the
+               choice is purely a host-performance one. *)
+            let actives = Array.make n 0 in
+            let m = ref 0 in
+            for pe = 0 to n - 1 do
+              if triplet pe <> None then begin
+                actives.(!m) <- pe;
+                incr m
+              end
+            done;
+            let m = !m in
+            let q = m / nshards and r = m mod nshards in
+            ignore
+              (Ccdp_exec.Pool.map_shards (Option.get pool) ~shards:nshards
+                 (fun s ->
+                   let eng = engines.(s) in
+                   let lo = (s * q) + min s r in
+                   let hi = lo + q + (if s < r then 1 else 0) - 1 in
+                   for k = lo to hi do
+                     let pe = actives.(k) in
+                     match triplet pe with
+                     | None -> ()
+                     | Some (f, la, st) ->
+                         eng.e_range pe l ~first:f ~last:la ~step:st
+                   done))
+          end
+          else
+            for pe = 0 to n - 1 do
+              match triplet pe with
+              | None -> ()
+              | Some (f, la, s) -> main.e_range pe l ~first:f ~last:la ~step:s
+            done
       | Stmt.Doall (Stmt.Dynamic chunk) ->
+          (* greedy self-scheduling reads every PE clock before each
+             chunk — inherently serial, always on the main engine *)
           let chunks =
             Ccdp_craft.Loop_sched.dynamic_chunks ~chunk ~lo:first ~hi:last
               ~step:l.Xplan.l_step
@@ -329,7 +418,7 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
               for pe = 1 to n - 1 do
                 if Memsys.clock sys ~pe < Memsys.clock sys ~pe:!best then best := pe
               done;
-              exec_range !best l ~first:f ~last:la ~step:s)
+              main.e_range !best l ~first:f ~last:la ~step:s)
             chunks);
       ()
     end;
@@ -339,9 +428,9 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
   let exec_serial_epoch id (stmts : Xplan.stmt array) memo_id =
     incr epochs_executed;
     let t0 = Machine.time (Memsys.machine sys) in
-    let memo = memos.(memo_id) in
+    let memo = main.e_memos.(memo_id) in
     memo.mn <- 0;
-    Array.iter (exec_stmt 0 memo) stmts;
+    Array.iter (main.e_stmt 0 memo) stmts;
     Memsys.epoch_boundary sys;
     record_epoch id (Machine.time (Memsys.machine sys) - t0)
   in
@@ -365,9 +454,9 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
               v := !v + s_step
             done
         | Xplan.NBranch (c, memo_id, a, b) ->
-            let memo = memos.(memo_id) in
+            let memo = main.e_memos.(memo_id) in
             memo.mn <- 0;
-            if eval_cond 0 memo c then exec_nodes a else exec_nodes b)
+            if main.e_cond 0 memo c then exec_nodes a else exec_nodes b)
       nodes
   in
   exec_nodes xp.Xplan.nodes;

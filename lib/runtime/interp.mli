@@ -33,11 +33,23 @@ val pp_profile : Format.formatter -> Ccdp_ir.Epoch.t -> result -> unit
     enables the dynamic staleness oracle (see {!Memsys.create}); inspect
     its verdicts on the result's [sys] via {!Memsys.oracle_violations}.
     [sabotage] arms protocol fault injection in the hardware-coherence
-    modes (see {!Memsys.sabotage}). *)
+    modes (see {!Memsys.sabotage}).
+
+    [pool] enables intra-run parallel epoch simulation: statically
+    scheduled DOALL epochs execute their PEs in up to [Pool.jobs pool]
+    domain shards when the memory system permits it
+    ({!Memsys.shardable}); every other construct — and every
+    hardware-coherence mode, dynamically scheduled loop, or
+    link-contention machine — falls back to the serial walk. The result
+    is bit-identical to the serial run at every job count: simulated
+    cycles, per-PE clocks, statistics, oracle log and memory image.
+    Safe to pass a pool the caller is itself running inside (nested
+    submission serializes, see {!Ccdp_exec.Pool.map_shards}). *)
 val run :
   Ccdp_machine.Config.t ->
   ?oracle:bool ->
   ?sabotage:Memsys.sabotage ->
+  ?pool:Ccdp_exec.Pool.t ->
   Ccdp_ir.Program.t ->
   plan:Ccdp_analysis.Annot.plan ->
   mode:Memsys.mode ->

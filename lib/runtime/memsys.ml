@@ -93,6 +93,16 @@ type pe_ctx = {
   mutable vget_words : int;
   fresh : (int, unit) Hashtbl.t;  (** lines filled since the last barrier *)
   mutable epoch_start : int;
+  (* Buffered-mode private ledgers, reduced in PE-major order at the epoch
+     barrier so sharded execution reproduces the serial reduction exactly. *)
+  mutable wbuf : int array;  (** addresses written this epoch, program order *)
+  mutable wn : int;
+  mutable pchecked : int;  (** staged oracle assertions *)
+  mutable pnviol : int;  (** staged violation count (exact) *)
+  mutable pviol : violation list;  (** staged witnesses, newest first *)
+  pobs : (int, unit) Hashtbl.t;  (** staged INCOHERENT observed-stale ids *)
+  fbuf : float array;  (** scratch line for patched buffered fills *)
+  vbuf : int array;  (** scratch version line for patched buffered fills *)
 }
 
 (* Which hardware-coherence machinery is armed. Snooping carries only its
@@ -126,6 +136,16 @@ type t = {
           stale-reference analysis) *)
   ora : oracle option;
   wv : int array;  (** the oracle's [wver], or [[||]] when the oracle is off *)
+  buffered : bool;
+      (** epoch-buffered cross-PE effects (Seq/Base/Ccdp/Invalidate/
+          Incoherent): fills read the epoch-start [shadow] except for the
+          filling PE's own writes, and oracle versions settle at the
+          barrier — PEs of one epoch become order-independent *)
+  shadow : float array;  (** memory as of the last barrier ([[||]] unbuffered) *)
+  wstamp : int array;
+      (** per-word [epoch * n_pes + pe] stamp of the current epoch's write,
+          never reset (stale stamps cannot collide: the base grows
+          monotonically); [[||]] when unbuffered *)
 }
 
 let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
@@ -164,6 +184,12 @@ let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
         Hw_dir (Coherence.Dir.create ~n_pes:cfg.Config.n_pes ~n_lines)
     | Seq | Base | Ccdp | Invalidate | Incoherent | Hscd -> Hw_none
   in
+  let buffered =
+    match md with
+    | Seq | Base | Ccdp | Invalidate | Incoherent -> true
+    | Hscd | Msi | Mesi | Directory -> false
+  in
+  let words = Addr_map.total_words amap in
   {
     cfg;
     md;
@@ -171,7 +197,7 @@ let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
     sab = sabotage;
     sab_fired = false;
     amap;
-    mem = Array.make (Addr_map.total_words amap) 0.0;
+    mem = Array.make words 0.0;
     mach;
     ctxs =
       Array.init cfg.Config.n_pes (fun i ->
@@ -184,6 +210,17 @@ let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
             vget_words = 0;
             fresh = Hashtbl.create 256;
             epoch_start = 0;
+            wbuf = (if buffered then Array.make 64 0 else [||]);
+            wn = 0;
+            pchecked = 0;
+            pnviol = 0;
+            pviol = [];
+            pobs = Hashtbl.create 16;
+            fbuf =
+              (if buffered then Array.make cfg.Config.line_words 0.0 else [||]);
+            vbuf =
+              (if buffered && oracle then Array.make cfg.Config.line_words 0
+               else [||]);
           });
     decls;
     handles = Hashtbl.create 16;
@@ -194,6 +231,9 @@ let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
     observed_stale = Hashtbl.create 16;
     ora;
     wv = (match ora with Some o -> o.wver | None -> [||]);
+    buffered;
+    shadow = (if buffered then Array.make words 0.0 else [||]);
+    wstamp = (if buffered then Array.make words min_int else [||]);
   }
 
 let cfg t = t.cfg
@@ -215,6 +255,7 @@ let set t name idx v =
   List.iter
     (fun a ->
       t.mem.(a) <- v;
+      if t.buffered then t.shadow.(a) <- v;
       match t.ora with
       | Some o ->
           (* untimed initialization: versioned, but settled before epoch 0 *)
@@ -321,10 +362,63 @@ let dir_note_eviction t ctx d =
     end
   end
 
+(* Current-epoch write stamp of [pe]: unique per (epoch, PE), monotonic
+   across epochs, so [wstamp] never needs clearing. *)
+let stamp_of t pe = (t.epoch_tick * Array.length t.ctxs) + pe
+
+(* Buffered fill: a line transfer observes memory as of the last barrier
+   ([shadow]) except for words this PE itself wrote in the current epoch,
+   which it reads back from [mem]. Foreign same-epoch writes land in a
+   line only through false sharing (the epoch model is race-free at word
+   granularity) and under serial PE-major replay their visibility would
+   depend on PE order — shadow makes it epoch-deterministic, and it is
+   the only value a concurrently executing shard may soundly read.
+   Racing on a foreign [wstamp] word is benign: whatever value is
+   observed, it is never this PE's own stamp. *)
+let buffered_fill ~state t ctx line =
+  let lw = t.cfg.Config.line_words in
+  let pos = line * lw in
+  let base = stamp_of t ctx.pe.Pe.id in
+  let own = ref false in
+  for k = pos to pos + lw - 1 do
+    if t.wstamp.(k) = base then own := true
+  done;
+  if not !own then
+    Cache.fill_from ctx.pe.Pe.cache ~tick:t.epoch_tick ~state ~vers:t.wv ~line
+      ~src:t.shadow ~pos ()
+  else begin
+    (* patch the PE's own writes over the shadow in a scratch line; the
+       captured versions come from the same position, so they are staged
+       in a scratch too *)
+    Array.blit t.shadow pos ctx.fbuf 0 lw;
+    for k = 0 to lw - 1 do
+      if t.wstamp.(pos + k) = base then ctx.fbuf.(k) <- t.mem.(pos + k)
+    done;
+    let vers =
+      if Array.length t.wv = 0 then [||]
+      else begin
+        Array.blit t.wv pos ctx.vbuf 0 lw;
+        ctx.vbuf
+      end
+    in
+    Cache.fill_from ctx.pe.Pe.cache ~tick:t.epoch_tick ~state ~vers ~line
+      ~src:ctx.fbuf ~pos:0 ()
+  end
+
+(* The value an access observes for [addr] right after its line filled:
+   under buffering, own same-epoch writes from memory, everything else
+   from the shadow the fill actually delivered. *)
+let filled_value t ctx addr =
+  if not t.buffered then t.mem.(addr)
+  else if t.wstamp.(addr) = stamp_of t ctx.pe.Pe.id then t.mem.(addr)
+  else t.shadow.(addr)
+
 let fill ?(state = 1 (* Coherence.shared *)) t ctx line =
-  Cache.fill_from ctx.pe.Pe.cache ~tick:t.epoch_tick ~state ~vers:t.wv ~line
-    ~src:t.mem
-    ~pos:(line * t.cfg.Config.line_words) ();
+  if t.buffered then buffered_fill ~state t ctx line
+  else
+    Cache.fill_from ctx.pe.Pe.cache ~tick:t.epoch_tick ~state ~vers:t.wv ~line
+      ~src:t.mem
+      ~pos:(line * t.cfg.Config.line_words) ();
   (match t.hw with
   | Hw_none -> ()
   | Hw_snoop _ ->
@@ -356,30 +450,56 @@ let oracle_check t ctx (r : Reference.t) idx addr =
   match t.ora with
   | None -> ()
   | Some o ->
-      o.checked <- o.checked + 1;
       let cv =
         match Cache.word_version ctx.pe.Pe.cache ~addr with
         | Some v -> v
         | None -> 0
       in
-      if o.wver.(addr) > cv && o.wepoch.(addr) < t.epoch_tick then begin
-        o.n_violations <- o.n_violations + 1;
-        (* bounded witness list: prepend (newest first), reversed at report
-           time — the n-th violation costs O(1), not O(kept list) *)
-        if o.n_violations <= max_kept_violations then
-          o.violations <-
-            {
-              v_ref = r.Reference.id;
-              v_pe = ctx.pe.Pe.id;
-              v_array = r.Reference.array_name;
-              v_index = Array.copy idx;
-              v_addr = addr;
-              v_cached_version = cv;
-              v_mem_version = o.wver.(addr);
-              v_write_epoch = o.wepoch.(addr);
-              v_read_epoch = t.epoch_tick;
-            }
-            :: o.violations
+      let stale = o.wver.(addr) > cv && o.wepoch.(addr) < t.epoch_tick in
+      if t.buffered then begin
+        (* stage in the PE's private ledger; merged PE-major at the
+           barrier — serial replay executes PEs in exactly that order, so
+           the merged log reproduces the serial one *)
+        ctx.pchecked <- ctx.pchecked + 1;
+        if stale then begin
+          ctx.pnviol <- ctx.pnviol + 1;
+          if ctx.pnviol <= max_kept_violations then
+            ctx.pviol <-
+              {
+                v_ref = r.Reference.id;
+                v_pe = ctx.pe.Pe.id;
+                v_array = r.Reference.array_name;
+                v_index = Array.copy idx;
+                v_addr = addr;
+                v_cached_version = cv;
+                v_mem_version = o.wver.(addr);
+                v_write_epoch = o.wepoch.(addr);
+                v_read_epoch = t.epoch_tick;
+              }
+              :: ctx.pviol
+        end
+      end
+      else begin
+        o.checked <- o.checked + 1;
+        if stale then begin
+          o.n_violations <- o.n_violations + 1;
+          (* bounded witness list: prepend (newest first), reversed at
+             report time — the n-th violation costs O(1), not O(kept) *)
+          if o.n_violations <= max_kept_violations then
+            o.violations <-
+              {
+                v_ref = r.Reference.id;
+                v_pe = ctx.pe.Pe.id;
+                v_array = r.Reference.array_name;
+                v_index = Array.copy idx;
+                v_addr = addr;
+                v_cached_version = cv;
+                v_mem_version = o.wver.(addr);
+                v_write_epoch = o.wepoch.(addr);
+                v_read_epoch = t.epoch_tick;
+              }
+              :: o.violations
+        end
       end
 
 (* Consume a staged vector-get line: drop the table entries; the FIFO entry
@@ -408,7 +528,7 @@ let cached_read ?(fresh_only = false) ?(track = false) t ctx (r : Reference.t)
       record_arrival ctx ~stall;
       Pe.advance ctx.pe (stall + t.cfg.Config.hit);
       fill t ctx line;
-      t.mem.(addr)
+      filled_value t ctx addr
   | None -> (
       match Prefetch_queue.find ctx.pe.Pe.queue ~line with
       | Some ready ->
@@ -417,7 +537,7 @@ let cached_read ?(fresh_only = false) ?(track = false) t ctx (r : Reference.t)
           record_arrival ctx ~stall;
           Pe.advance ctx.pe (stall + t.cfg.Config.pf_extract);
           fill t ctx line;
-          t.mem.(addr)
+          filled_value t ctx addr
       | None ->
           let off =
             if fresh_only && not (Hashtbl.mem ctx.fresh line) then -1
@@ -437,7 +557,7 @@ let cached_read ?(fresh_only = false) ?(track = false) t ctx (r : Reference.t)
             let delay = contend t ctx tgt ~now:ctx.pe.Pe.clock ~lines:1 in
             Pe.advance ctx.pe (ac + latency_of t ~pe:self tgt + delay);
             fill t ctx line;
-            t.mem.(addr)
+            filled_value t ctx addr
           end)
 
 let uncached_read t ctx addr tgt =
@@ -473,7 +593,7 @@ let moved_back_read t ctx addr tgt ~back =
    + stall);
   Cache.invalidate_line ctx.pe.Pe.cache ~line;
   fill t ctx line;
-  t.mem.(addr)
+  filled_value t ctx addr
 
 (* ------------------------------------------------------------------ *)
 (* Public protocol                                                     *)
@@ -788,9 +908,15 @@ let dispatch_read t ctx (r : Reference.t) ~idx ~addr ~tgt ~ver route =
   | RPlain -> cached_read ~track:true t ctx r idx addr tgt
   | RIncoherent ->
       (* ground-truth staleness detection: an incoherent read that returns a
-         value other than memory's has observed an actually-stale copy *)
+         value other than the one settled for this epoch has observed an
+         actually-stale copy. [filled_value] is memory itself when
+         unbuffered; under buffering it is the epoch-deterministic settled
+         value (own writes from memory, the rest from the barrier shadow),
+         staged per-PE and merged at the barrier. *)
       let v = cached_read ~track:true t ctx r idx addr tgt in
-      if v <> t.mem.(addr) then Hashtbl.replace t.observed_stale r.id ();
+      if v <> filled_value t ctx addr then
+        if t.buffered then Hashtbl.replace ctx.pobs r.id ()
+        else Hashtbl.replace t.observed_stale r.id ();
       v
   | RHscd -> hscd_read ver t ctx r idx addr tgt
   | RSnoop mesi -> snoop_read mesi t ctx r idx addr tgt
@@ -886,18 +1012,38 @@ let prepare_write t (r : Reference.t) =
 
 let write_addr _t wa ~pe ~idx = Addr_map.resolve_h wa.wh ~pe idx
 
+let wlog_push ctx addr =
+  let cap = Array.length ctx.wbuf in
+  if ctx.wn = cap then begin
+    let nb = Array.make (2 * cap) 0 in
+    Array.blit ctx.wbuf 0 nb 0 cap;
+    ctx.wbuf <- nb
+  end;
+  ctx.wbuf.(ctx.wn) <- addr;
+  ctx.wn <- ctx.wn + 1
+
 let write_c t ~pe wa ~addr v =
   let ctx = t.ctxs.(pe) in
   ctx.pe.Pe.stats.Stats.writes <- ctx.pe.Pe.stats.Stats.writes + 1;
   t.mem.(addr) <- v;
   let ver =
-    match t.ora with
-    | None -> None
-    | Some o ->
-        o.next_ver <- o.next_ver + 1;
-        o.wver.(addr) <- o.next_ver;
-        o.wepoch.(addr) <- t.epoch_tick;
-        Some o.next_ver
+    if t.buffered then begin
+      (* stamp + log; oracle version assignment and the shadow update are
+         deferred to the barrier drain (PE-major), so the version clock is
+         independent of shard interleaving. The writer's cached copy gets
+         its version patched at the drain, once the version exists. *)
+      t.wstamp.(addr) <- stamp_of t pe;
+      wlog_push ctx addr;
+      None
+    end
+    else
+      match t.ora with
+      | None -> None
+      | Some o ->
+          o.next_ver <- o.next_ver + 1;
+          o.wver.(addr) <- o.next_ver;
+          o.wepoch.(addr) <- t.epoch_tick;
+          Some o.next_ver
   in
   (match wa.wver with
   | Some vr -> vr.writers <- vr.writers lor writer_bit pe
@@ -1041,7 +1187,73 @@ let vget_issue ?(skip_cached = false) t ~pe name idxs =
 let vget_issue_c ?(skip_cached = false) t ~pe acc idxs =
   vget_issue_h ~skip_cached t ~pe acc.ah idxs
 
+(* Barrier drain of the buffered-mode private ledgers, in PE-major order —
+   the same order serial replay executes PEs in, so the settled versions,
+   the violation log and the observed-stale set are identical for every
+   shard count. Runs before the tick advances: the settling writes belong
+   to the epoch that just ended. *)
+let drain_buffered t =
+  (match t.ora with
+  | Some o ->
+      Array.iter
+        (fun ctx ->
+          let cache = ctx.pe.Pe.cache in
+          for i = 0 to ctx.wn - 1 do
+            let a = ctx.wbuf.(i) in
+            o.next_ver <- o.next_ver + 1;
+            o.wver.(a) <- o.next_ver;
+            o.wepoch.(a) <- t.epoch_tick;
+            (* the write-through patched the writer's cached value; the
+               version it carries settles here *)
+            Cache.update_if_present cache ~ver:o.next_ver ~addr:a t.mem.(a);
+            t.shadow.(a) <- t.mem.(a)
+          done;
+          ctx.wn <- 0)
+        t.ctxs
+  | None ->
+      Array.iter
+        (fun ctx ->
+          for i = 0 to ctx.wn - 1 do
+            let a = ctx.wbuf.(i) in
+            t.shadow.(a) <- t.mem.(a)
+          done;
+          ctx.wn <- 0)
+        t.ctxs);
+  (match t.ora with
+  | Some o ->
+      let kept = ref (List.length o.violations) in
+      Array.iter
+        (fun ctx ->
+          o.checked <- o.checked + ctx.pchecked;
+          ctx.pchecked <- 0;
+          List.iter
+            (fun v ->
+              if !kept < max_kept_violations then begin
+                o.violations <- v :: o.violations;
+                incr kept
+              end)
+            (List.rev ctx.pviol);
+          o.n_violations <- o.n_violations + ctx.pnviol;
+          ctx.pnviol <- 0;
+          ctx.pviol <- [])
+        t.ctxs
+  | None -> ());
+  Array.iter
+    (fun ctx ->
+      if Hashtbl.length ctx.pobs > 0 then begin
+        Hashtbl.iter (fun id () -> Hashtbl.replace t.observed_stale id ()) ctx.pobs;
+        Hashtbl.reset ctx.pobs
+      end)
+    t.ctxs
+
+(* Whether DOALL epochs may execute with PEs sharded across domains: the
+   mode must buffer every cross-PE effect until the barrier, and the
+   link-contention model must be off (Net.acquire serializes bookings
+   through shared per-link state mid-epoch). *)
+let shardable t = t.buffered && t.cfg.Config.link_occ = 0
+
 let epoch_boundary t =
+  if t.buffered then drain_buffered t;
   Array.iter
     (fun ctx ->
       let leftovers = Hashtbl.length ctx.vget in
@@ -1083,13 +1295,41 @@ let time t = Machine.time t.mach
 let total_stats t = Machine.total_stats t.mach
 
 let oracle_enabled t = t.ora <> None
-let oracle_checked t = match t.ora with Some o -> o.checked | None -> 0
+
+(* The getters fold any not-yet-drained per-PE staging on top of the
+   settled oracle state, so mid-epoch introspection (unit tests driving
+   read/write without barriers) sees every assertion. *)
+let oracle_checked t =
+  match t.ora with
+  | Some o -> Array.fold_left (fun acc ctx -> acc + ctx.pchecked) o.checked t.ctxs
+  | None -> 0
 
 let oracle_violation_count t =
-  match t.ora with Some o -> o.n_violations | None -> 0
+  match t.ora with
+  | Some o ->
+      Array.fold_left (fun acc ctx -> acc + ctx.pnviol) o.n_violations t.ctxs
+  | None -> 0
 
 let oracle_violations t =
-  match t.ora with Some o -> List.rev o.violations | None -> []
+  match t.ora with
+  | Some o ->
+      let base = List.rev o.violations in
+      let kept = ref (List.length base) in
+      let staged =
+        Array.fold_left
+          (fun acc ctx ->
+            List.fold_left
+              (fun acc v ->
+                if !kept < max_kept_violations then begin
+                  incr kept;
+                  v :: acc
+                end
+                else acc)
+              acc (List.rev ctx.pviol))
+          [] t.ctxs
+      in
+      base @ List.rev staged
+  | None -> []
 
 let pp_violation ppf v =
   Format.fprintf ppf
@@ -1117,8 +1357,11 @@ let sabotage t = t.sab
 let sabotage_fired t = t.sab_fired
 
 let observed_stale_ids t =
-  Hashtbl.fold (fun id () acc -> id :: acc) t.observed_stale []
-  |> List.sort compare
+  let tbl = Hashtbl.copy t.observed_stale in
+  Array.iter
+    (fun ctx -> Hashtbl.iter (fun id () -> Hashtbl.replace tbl id ()) ctx.pobs)
+    t.ctxs;
+  Hashtbl.fold (fun id () acc -> id :: acc) tbl [] |> List.sort compare
 
 let stale_cached_words t =
   let lw = t.cfg.Config.line_words in

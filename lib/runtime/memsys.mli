@@ -162,8 +162,22 @@ val charge : t -> pe:int -> int -> unit
 val clock : t -> pe:int -> int
 
 (** Epoch boundary: synchronize (barrier), drain prefetch state, apply
-    mode-specific invalidation. [seq] mode skips the barrier cost. *)
+    mode-specific invalidation. [seq] mode skips the barrier cost. In the
+    buffered modes this is also where the epoch's write versions settle,
+    the shadow image catches up with memory, and the per-PE oracle ledgers
+    merge (PE-major). *)
 val epoch_boundary : t -> unit
+
+(** Whether DOALL epochs of this memory system may be simulated with the
+    PEs sharded across domains. True exactly when the mode buffers every
+    cross-PE effect until the epoch barrier (Seq/Base/CCDP/Invalidate/
+    Incoherent: fills observe the epoch-start shadow except for own
+    writes, oracle versions settle at the barrier) {e and} the
+    link-contention model is off. HSCD couples PEs through its write-
+    version registers and MSI/MESI/Directory probe other caches
+    mid-epoch, so they must replay serially; [Net.acquire] bookings
+    (link_occ > 0) serialize PEs through shared per-link state likewise. *)
+val shardable : t -> bool
 
 val time : t -> int
 val total_stats : t -> Ccdp_machine.Stats.t

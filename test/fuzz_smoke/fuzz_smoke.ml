@@ -48,8 +48,20 @@ let check_kind_coverage () =
   Format.printf "interconnects: torus=%s mesh=%s crossbar=%s@."
     (covered Net.Torus3d) (covered Net.Mesh2d) (covered Net.Crossbar)
 
+(* CCDP_SHARDS=N runs every variant with intra-run epoch sharding over N
+   domains (Driver.campaign ?shards) — CI uses this to push the whole
+   corpus through the parallel simulation path; the summary must be
+   identical to the unsharded run *)
+let shards =
+  match Sys.getenv_opt "CCDP_SHARDS" with
+  | Some s -> int_of_string_opt (String.trim s)
+  | None -> None
+
 let () =
-  let s = Ccdp_fuzz.Driver.campaign ~seed ~count () in
+  let s = Ccdp_fuzz.Driver.campaign ?shards ~seed ~count () in
+  (match shards with
+  | Some n when n > 1 -> Format.printf "intra-run shards: %d@." n
+  | _ -> ());
   Format.printf "%a@." Ccdp_fuzz.Driver.pp_summary s;
   check_kind_coverage ();
   if s.Ccdp_fuzz.Driver.s_failures <> [] then exit 1

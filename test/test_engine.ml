@@ -37,23 +37,37 @@ let setup ?(machine = Ccdp_machine.Config.t3d) ~n_pes mode
       (cfg, compiled.Ccdp_core.Pipeline.program, compiled.Ccdp_core.Pipeline.plan)
   | _ -> (cfg, Ccdp_ir.Program.inline program, Ccdp_analysis.Annot.empty ())
 
+(* one shared 4-worker pool for the sharded re-runs below; created once
+   around the whole suite (see the bottom of the file) because domain
+   spawn/join per case would dominate the test's runtime *)
+let shard_pool : Ccdp_exec.Pool.t option ref = ref None
+
 let assert_equal_runs ?machine name program ~n_pes mode =
   let cfg, prog, plan = setup ?machine ~n_pes mode program in
   let a = Interp.run cfg prog ~plan ~mode () in
   let b = Interp_ref.run cfg prog ~plan ~mode () in
-  let tag s = name ^ "/" ^ Memsys.mode_name mode ^ ": " ^ s in
-  check_int (tag "cycles") b.Interp_ref.cycles a.Interp.cycles;
-  check_true (tag "stats") (b.Interp_ref.stats = a.Interp.stats);
-  check_true (tag "per-PE clocks")
-    (b.Interp_ref.per_pe_cycles = a.Interp.per_pe_cycles);
-  check_int (tag "epochs") b.Interp_ref.epochs a.Interp.epochs;
-  check_true (tag "epoch profile")
-    (b.Interp_ref.epoch_profile = a.Interp.epoch_profile);
-  let mem =
-    Ccdp_runtime.Verify.compare_states ~expected:b.Interp_ref.sys
-      ~got:a.Interp.sys prog
+  let against tagp (r : Interp.result) =
+    let tag s = name ^ "/" ^ Memsys.mode_name mode ^ tagp ^ ": " ^ s in
+    check_int (tag "cycles") b.Interp_ref.cycles r.Interp.cycles;
+    check_true (tag "stats") (b.Interp_ref.stats = r.Interp.stats);
+    check_true (tag "per-PE clocks")
+      (b.Interp_ref.per_pe_cycles = r.Interp.per_pe_cycles);
+    check_int (tag "epochs") b.Interp_ref.epochs r.Interp.epochs;
+    check_true (tag "epoch profile")
+      (b.Interp_ref.epoch_profile = r.Interp.epoch_profile);
+    let mem =
+      Ccdp_runtime.Verify.compare_states ~expected:b.Interp_ref.sys
+        ~got:r.Interp.sys prog
+    in
+    check_true (tag "memory image") mem.Ccdp_runtime.Verify.ok
   in
-  check_true (tag "memory image") mem.Ccdp_runtime.Verify.ok
+  against "" a;
+  (* the sharded run (jobs=4) must reproduce the serial reference too —
+     including the modes/machines where Memsys.shardable says no and the
+     run falls back to the serial walk *)
+  match !shard_pool with
+  | None -> ()
+  | Some pool -> against "[sharded]" (Interp.run cfg ~pool prog ~plan ~mode ())
 
 (* fixed seed: the corpus (and so the test) is deterministic *)
 let fuzz_corpus =
@@ -135,10 +149,12 @@ let alloc_cases =
   ]
 
 let () =
-  Alcotest.run "engine"
-    [
-      ("fuzz corpus", fuzz_cases);
-      ("workloads", workload_cases);
-      ("machines", machine_cases);
-      ("allocation", alloc_cases);
-    ]
+  Ccdp_exec.Pool.with_pool ~jobs:4 (fun pool ->
+      shard_pool := Some pool;
+      Alcotest.run "engine"
+        [
+          ("fuzz corpus", fuzz_cases);
+          ("workloads", workload_cases);
+          ("machines", machine_cases);
+          ("allocation", alloc_cases);
+        ])

@@ -53,6 +53,45 @@ let pool_tests =
         with
         | _ -> Alcotest.fail "expected Run_failed"
         | exception Pool.Run_failed { index; _ } -> check_int "index" 5 index);
+    case "map_shards is Array.init for any shard count" (fun () ->
+        List.iter
+          (fun jobs ->
+            Pool.with_pool ~jobs (fun p ->
+                List.iter
+                  (fun shards ->
+                    let got = Pool.map_shards p ~shards (fun s -> s * s) in
+                    check_true
+                      (Printf.sprintf "jobs=%d shards=%d" jobs shards)
+                      (got = Array.init shards (fun s -> s * s)))
+                  [ 1; 2; 3; 8 ]))
+          [ 1; 4 ]);
+    case "map_shards is safe from inside a pool task" (fun () ->
+        (* nested submission must serialize inline rather than deadlock on
+           the pool's own workers *)
+        Pool.with_pool ~jobs:3 (fun p ->
+            let got =
+              Pool.map_runs p
+                (fun i _ ->
+                  Array.to_list
+                    (Pool.map_shards p ~shards:4 (fun s -> (i * 10) + s)))
+                [ (); (); () ]
+            in
+            check_true "nested"
+              (got
+              = [
+                  [ 0; 1; 2; 3 ]; [ 10; 11; 12; 13 ]; [ 20; 21; 22; 23 ];
+                ])));
+    case "map_shards failures carry the lowest shard index" (fun () ->
+        Pool.with_pool ~jobs:4 (fun p ->
+            match
+              Pool.map_shards p ~shards:8 (fun s ->
+                  if s >= 5 then failwith (string_of_int s) else s)
+            with
+            | _ -> Alcotest.fail "expected Run_failed"
+            | exception Pool.Run_failed { index; label; exn } ->
+                check_int "index" 5 index;
+                check_true "label" (label = "");
+                check_true "exn" (exn = Failure "5")));
     case "resolve_jobs precedence: argument, CCDP_JOBS, domain count" (fun () ->
         Unix.putenv "CCDP_JOBS" "3";
         check_int "explicit wins" 5 (Pool.resolve_jobs ~jobs:5 ());
@@ -118,6 +157,13 @@ let determinism_tests =
         check_int "oracle checks" s1.Ccdp_fuzz.Driver.s_oracle_checks
           s4.Ccdp_fuzz.Driver.s_oracle_checks;
         check_true "summaries" (s1 = s4));
+    case "fuzz campaign: intra-run sharding leaves the summary identical"
+      (fun () ->
+        let serial = Ccdp_fuzz.Driver.campaign ~jobs:1 ~seed:5 ~count:12 () in
+        let sharded =
+          Ccdp_fuzz.Driver.campaign ~shards:4 ~seed:5 ~count:12 ()
+        in
+        check_true "summaries" (serial = sharded));
     case "fault-injected fuzz failures are identical across job counts"
       (fun () ->
         let run jobs =
@@ -166,7 +212,42 @@ let json_tests =
         check_true "full has jobs" (contains full "\"jobs\":7");
         check_true "full has wall" (contains full "\"wall_clock_s\":1.500000");
         check_true "escaped quote" (contains full "t \\\"quoted\\\"");
-        check_true "payload embedded" (contains full "\"rows\":[]"));
+        check_true "payload embedded" (contains full "\"tables\":[{\"title\""));
+    case "empty payload sections are omitted, not emitted as []" (fun () ->
+        let contains hay needle =
+          let lh = String.length hay and ln = String.length needle in
+          let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+          go 0
+        in
+        (* a perf-only document: no dead "rows":[] / "tables":[] keys *)
+        let doc = Bench_json.create ~bench:"perf" in
+        Bench_json.add_perf doc
+          {
+            Bench_json.p_workload = "mxm";
+            p_mode = "CCDP";
+            p_engine = "plan";
+            p_pes = 16;
+            p_jobs = 4;
+            p_wall_s = 0.25;
+            p_cycles = 100;
+            p_cycles_per_s = 400.0;
+            p_accesses = 10;
+            p_accesses_per_s = 40.0;
+            p_minor_words = 8.0;
+          };
+        let payload = Bench_json.payload_string doc in
+        let full = Bench_json.to_string doc ~jobs:4 ~wall_clock_s:0.5 in
+        check_true "no rows key" (not (contains full "\"rows\""));
+        check_true "no tables key" (not (contains full "\"tables\""));
+        check_true "perf key present" (contains payload "\"perf\":[{");
+        check_true "perf jobs" (contains payload "\"pes\":16,\"jobs\":4");
+        (* an untouched document degenerates to an empty object, and the
+           envelope stays well-formed (no trailing comma) *)
+        let empty = Bench_json.create ~bench:"none" in
+        check_true "empty payload" (Bench_json.payload_string empty = "{}");
+        check_true "empty envelope"
+          (Bench_json.to_string empty ~jobs:1 ~wall_clock_s:0.0
+          = "{\"bench\":\"none\",\"jobs\":1,\"wall_clock_s\":0.000000}"));
     case "write emits BENCH_<bench>.json" (fun () ->
         let dir = Filename.temp_file "ccdp" "" in
         Sys.remove dir;
