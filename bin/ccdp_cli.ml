@@ -306,7 +306,26 @@ let fuzz_cmd =
              bits) instead of the differential campaign, demonstrating that \
              the staleness oracle catches each protocol fault class.")
   in
-  let run seed count dump break_stale sabotage jobs =
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run every shardable variant with intra-run epoch sharding over \
+             $(docv) domains, as the CI smoke job does. Mirrors the \
+             $(b,CCDP_SHARDS) environment variable (the flag wins when both \
+             are set); campaign output must be identical either way.")
+  in
+  let run seed count dump break_stale sabotage shards jobs =
+    let shards =
+      match shards with
+      | Some _ -> shards
+      | None ->
+          Option.bind
+            (Sys.getenv_opt "CCDP_SHARDS")
+            (fun s -> int_of_string_opt (String.trim s))
+    in
     if sabotage then begin
       let summaries =
         Ccdp_fuzz.Driver.sabotage_campaign ~jobs:(resolve_jobs jobs) ~seed
@@ -330,8 +349,8 @@ let fuzz_cmd =
         if i mod 50 = 0 then Printf.eprintf "  ... %d/%d\n%!" i count
       in
       let s =
-        Ccdp_fuzz.Driver.campaign ~jobs:(resolve_jobs jobs) ?mutate_stale
-          ?dump_dir:dump ~progress ~seed ~count ()
+        Ccdp_fuzz.Driver.campaign ~jobs:(resolve_jobs jobs) ?shards
+          ?mutate_stale ?dump_dir:dump ~progress ~seed ~count ()
       in
       Format.printf "%a@." Ccdp_fuzz.Driver.pp_summary s;
       if s.Ccdp_fuzz.Driver.s_failures <> [] then exit 1
@@ -346,7 +365,7 @@ let fuzz_cmd =
           the dynamic staleness oracle")
     Term.(
       const run $ seed_arg $ count_arg $ dump_arg $ break_stale_arg
-      $ sabotage_arg $ jobs_arg)
+      $ sabotage_arg $ shards_arg $ jobs_arg)
 
 let check_cmd =
   let targets_arg =

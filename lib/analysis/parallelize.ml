@@ -18,7 +18,8 @@ let rec has_doall stmts =
       | Stmt.For { kind = Stmt.Doall _; _ } -> true
       | Stmt.For l -> has_doall l.Stmt.body
       | Stmt.If (_, a, b) -> has_doall a || has_doall b
-      | Stmt.Assign _ | Stmt.Sassign _ -> false
+      | Stmt.Critical c -> has_doall c.Stmt.cbody
+      | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Reduce _ -> false
       | Stmt.Call _ -> false)
     stmts
 
@@ -29,7 +30,8 @@ let rec has_call stmts =
       | Stmt.Call _ -> true
       | Stmt.For l -> has_call l.Stmt.body
       | Stmt.If (_, a, b) -> has_call a || has_call b
-      | Stmt.Assign _ | Stmt.Sassign _ -> false)
+      | Stmt.Critical c -> has_call c.Stmt.cbody
+      | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Reduce _ -> false)
     stmts
 
 (* ------------------------------------------------------------------ *)
@@ -80,6 +82,15 @@ let scalar_flow body =
             (* the nested loop may execute zero times: its writes are not
                definite, its reads still count *)
             ignore (walk ~definite:false defined l.Stmt.body);
+            defined
+        | Stmt.Critical c ->
+            (* the body runs exactly once per arrival, in order *)
+            walk ~definite defined c.Stmt.cbody
+        | Stmt.Reduce r ->
+            (* a recognized reduction neither reads nor definitely defines
+               its variable from the body's point of view: partials are
+               private and merged at the barrier *)
+            expr_reads defined r.Stmt.rexpr;
             defined
         | Stmt.Call _ -> defined)
       defined stmts
@@ -186,7 +197,9 @@ let transform ?(sched = default_sched) (p : Program.t) =
     List.map
       (fun s ->
         match s with
-        | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ -> s
+        | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ | Stmt.Reduce _ -> s
+        | Stmt.Critical c ->
+            Stmt.Critical { c with cbody = walk outer in_par c.Stmt.cbody }
         | Stmt.If (c, a, b) -> Stmt.If (c, walk outer in_par a, walk outer in_par b)
         | Stmt.For ({ kind = Stmt.Doall _; _ } as l) ->
             Stmt.For { l with body = walk (outer @ [ l ]) true l.Stmt.body }

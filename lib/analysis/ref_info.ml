@@ -13,6 +13,7 @@ type t = {
   if_in_loop : bool;
   loop_has_if : bool;
   stmts_before : Stmt.t list;
+  lock : string option;
 }
 
 let rec body_has_if stmts =
@@ -21,7 +22,8 @@ let rec body_has_if stmts =
       match s with
       | Stmt.If _ -> true
       | Stmt.For l -> body_has_if l.Stmt.body
-      | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ -> false)
+      | Stmt.Critical c -> body_has_if c.Stmt.cbody
+      | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ | Stmt.Reduce _ -> false)
     stmts
 
 let rec body_has_loop stmts =
@@ -30,7 +32,8 @@ let rec body_has_loop stmts =
       match s with
       | Stmt.For _ -> true
       | Stmt.If (_, a, b) -> body_has_loop a || body_has_loop b
-      | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ -> false)
+      | Stmt.Critical c -> body_has_loop c.Stmt.cbody
+      | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ | Stmt.Reduce _ -> false)
     stmts
 
 type ctx = {
@@ -41,6 +44,7 @@ type ctx = {
   c_ifs : int;
   c_ifs_in_loop : int;  (** ifs crossed since the innermost loop entry *)
   c_before : Stmt.t list;
+  c_lock : string option;  (** innermost enclosing critical section's lock *)
 }
 
 let collect (ep : Epoch.t) =
@@ -73,6 +77,7 @@ let collect (ep : Epoch.t) =
         if_in_loop = ctx.c_ifs_in_loop > 0;
         loop_has_if;
         stmts_before = ctx.c_before;
+        lock = ctx.c_lock;
       }
       :: !acc
   in
@@ -112,6 +117,16 @@ let collect (ep : Epoch.t) =
                in
                walk_stmts ctx' tb;
                walk_stmts ctx' eb
+           | Stmt.Critical c ->
+               (* acquire invalidates the moved-back-prefetch window: a
+                  prefetch issued before the acquire could fetch a value the
+                  lock holder is still writing *)
+               walk_stmts
+                 { ctx with c_lock = Some c.Stmt.lock; c_before = [] }
+                 c.Stmt.cbody
+           | Stmt.Reduce r ->
+               List.iter (fun r -> emit ctx ~write:false r)
+                 (Fexpr.reads r.Stmt.rexpr)
            | Stmt.Call _ ->
                invalid_arg "Ref_info.collect: program contains calls; inline first");
            s :: before)
@@ -131,6 +146,7 @@ let collect (ep : Epoch.t) =
                 c_ifs = 0;
                 c_ifs_in_loop = 0;
                 c_before = [];
+                c_lock = None;
               }
               l.Stmt.body
         | Epoch.E (id, Epoch.Ser stmts) ->
@@ -143,6 +159,7 @@ let collect (ep : Epoch.t) =
                 c_ifs = 0;
                 c_ifs_in_loop = 0;
                 c_before = [];
+                c_lock = None;
               }
               stmts
         | Epoch.Loop (l, body) -> walk_nodes (outer @ [ l ]) body

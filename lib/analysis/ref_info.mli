@@ -29,7 +29,11 @@ type t = {
   loop_has_if : bool;  (** the innermost enclosing loop body contains ifs *)
   stmts_before : Ccdp_ir.Stmt.t list;
       (** statements preceding this one in its innermost block, nearest
-          first (the moving-back window, paper Section 4.3.2) *)
+          first (the moving-back window, paper Section 4.3.2); entering a
+          critical section resets the window (a moved-back prefetch must
+          not cross the acquire) *)
+  lock : string option;
+      (** the innermost enclosing critical section's lock, if any *)
 }
 
 (** All references of a partitioned program, in syntactic order. *)

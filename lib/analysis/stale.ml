@@ -1,6 +1,8 @@
 open Ccdp_ir
 
-type verdict = Clean | Stale of { writer_ref : int; writer_epoch : int }
+type verdict =
+  | Clean
+  | Stale of { writer_ref : int; writer_epoch : int; at_acquire : bool }
 
 type result = {
   verdicts : (int, verdict) Hashtbl.t;
@@ -64,6 +66,40 @@ let analyze region infos =
         Hashtbl.replace aligned_memo key v;
         v
   in
+  let cross_pe_memo = Hashtbl.create 64 in
+  let cross_pe ~(reader : Ref_info.t) ~(writer : Ref_info.t) =
+    let key =
+      (reader.Ref_info.ref_.Reference.id, writer.Ref_info.ref_.Reference.id)
+    in
+    match Hashtbl.find_opt cross_pe_memo key with
+    | Some v -> v
+    | None ->
+        let np = Region.n_pes region in
+        let v = ref false in
+        for p = 0 to np - 1 do
+          if not !v then
+            let r_pe = Region.section_pe region reader ~pe:p in
+            if not (Section.is_empty r_pe) then
+              for q = 0 to np - 1 do
+                if
+                  (not !v) && q <> p
+                  && Section.overlaps r_pe (Region.section_pe region writer ~pe:q)
+                then v := true
+              done
+        done;
+        Hashtbl.replace cross_pe_memo key !v;
+        !v
+  in
+  (* Owner-computes alignment assumes each PE is the element's only
+     writer — true in the race-free epoch model, broken by locked writes:
+     under a lock, every holder may write the same element, and the
+     lock-order-last writer (not the reading PE) owns the final value. A
+     locked write therefore discharges by alignment only when no other PE
+     can write an element the reader touches. *)
+  let aligned_discharges ~(reader : Ref_info.t) ~(writer : Ref_info.t) =
+    aligned ~reader ~writer
+    && (writer.Ref_info.lock = None || not (cross_pe ~reader ~writer))
+  in
   (* Does a later aligned covering write mask [w] before [r] reads? Only in
      straight-line epoch sequences — loop back-edges re-expose the older
      write, so the kill is disabled as soon as a structure loop is
@@ -75,9 +111,21 @@ let analyze region infos =
            straight_line k
            && k.Ref_info.epoch > w.Ref_info.epoch
            && k.Ref_info.epoch < r.Ref_info.epoch
-           && aligned ~reader:r ~writer:k
+           && aligned_discharges ~reader:r ~writer:k
            && Section.contains (Region.section_all_must region k) exposed)
          writes
+  in
+  (* Mini-epoch rule (acquire frontier): a read inside critical(l) may
+     observe, at acquire time, data written under the same lock by another
+     PE earlier in the *same* epoch — a copy cached before the acquire is
+     potentially stale. The owner-computes alignment test does not
+     discharge this: even a PE that wrote the element itself interleaves
+     with the other holders, so the discharge is cross-PE exclusion — no
+     element the reader touches on PE p is written by any other PE. *)
+  let same_lock (r : Ref_info.t) (w : Ref_info.t) =
+    match (r.Ref_info.lock, w.Ref_info.lock) with
+    | Some a, Some b -> String.equal a b
+    | _ -> false
   in
   let verdicts = Hashtbl.create (List.length reads) in
   let n_stale = ref 0 in
@@ -88,28 +136,52 @@ let analyze region infos =
         if not (tracked name) then Clean
         else
           let r_section = Region.section_all region r in
-          let witness =
-            List.find_opt
-              (fun (w : Ref_info.t) ->
-                String.equal w.ref_.Reference.array_name name
-                && may_precede ~writer:w ~reader:r
-                &&
-                let exposed =
-                  Section.inter r_section (Region.section_all region w)
-                in
-                (not (Section.is_empty exposed))
-                && (not (aligned ~reader:r ~writer:w))
-                && not (masked ~r ~w exposed))
-              writes
+          let acquire_witness =
+            if r.Ref_info.lock = None then None
+            else
+              List.find_opt
+                (fun (w : Ref_info.t) ->
+                  String.equal w.ref_.Reference.array_name name
+                  && w.Ref_info.epoch = r.Ref_info.epoch
+                  && same_lock r w
+                  && Section.overlaps r_section (Region.section_all region w)
+                  && cross_pe ~reader:r ~writer:w)
+                writes
           in
-          match witness with
-          | None -> Clean
-          | Some w ->
+          let witness =
+            match acquire_witness with
+            | Some _ -> None
+            | None ->
+                List.find_opt
+                  (fun (w : Ref_info.t) ->
+                    String.equal w.ref_.Reference.array_name name
+                    && may_precede ~writer:w ~reader:r
+                    &&
+                    let exposed =
+                      Section.inter r_section (Region.section_all region w)
+                    in
+                    (not (Section.is_empty exposed))
+                    && (not (aligned_discharges ~reader:r ~writer:w))
+                    && not (masked ~r ~w exposed))
+                  writes
+          in
+          match (acquire_witness, witness) with
+          | None, None -> Clean
+          | Some w, _ ->
               incr n_stale;
               Stale
                 {
                   writer_ref = w.ref_.Reference.id;
                   writer_epoch = w.Ref_info.epoch;
+                  at_acquire = true;
+                }
+          | None, Some w ->
+              incr n_stale;
+              Stale
+                {
+                  writer_ref = w.ref_.Reference.id;
+                  writer_epoch = w.Ref_info.epoch;
+                  at_acquire = false;
                 }
       in
       Hashtbl.replace verdicts r.ref_.Reference.id v)

@@ -15,12 +15,26 @@
     read is aligned with, each reading PE's copy is its own fresh one.
 
     The analysis is sound and conservative: unknown bounds, non-affine
-    subscripts and dynamic schedules all widen toward [Stale]. *)
+    subscripts and dynamic schedules all widen toward [Stale].
+
+    {b Mini-epoch rule (acquire frontier).} A critical section is a
+    mini-epoch inside its parallel epoch: lock acquire is a potential-
+    staleness frontier and release a publication point. A read inside
+    [critical(l)] is potentially stale ([at_acquire = true]) when a write
+    under the {e same} lock in the {e same} epoch may touch, from a
+    different PE, an element the read observes — a copy cached before the
+    acquire predates the other holders' updates. Owner-computes alignment
+    does not discharge this case (a PE that wrote the element itself still
+    interleaves with the other lock holders); the discharge is cross-PE
+    exclusion. *)
 
 type verdict =
   | Clean
-  | Stale of { writer_ref : int; writer_epoch : int }
-      (** one witness write (the first found) *)
+  | Stale of { writer_ref : int; writer_epoch : int; at_acquire : bool }
+      (** one witness write (the first found); [at_acquire] marks the
+          mini-epoch case — the witness is a same-epoch write under the
+          same lock, and the obligation can only be met inside the
+          section (in this runtime: by bypassing the cache) *)
 
 type result = {
   verdicts : (int, verdict) Hashtbl.t;  (** every read ref id *)

@@ -33,6 +33,13 @@ let analyze ?(innermost_only = true) ?(group_spatial = true)
         match Stale.verdict stale id with
         | Stale.Clean when not (prefetchable_clean i) ->
             Hashtbl.replace classes id Annot.Normal
+        | Stale.Stale { at_acquire = true; _ } ->
+            (* potentially stale at lock acquire: every prefetch technique
+               places its issue outside the critical section (loop entry or
+               moved back past the acquire), where a fill still observes
+               the pre-acquire memory image — the only discharge is to
+               bypass the cache inside the section *)
+            Hashtbl.replace classes id Annot.Bypass
         | Stale.Clean | Stale.Stale _ ->
             if
               Stale.verdict stale id <> Stale.Clean

@@ -11,8 +11,12 @@ let rec stmts_cycles cfg ?(default_trip = 8) env stmts =
       acc
       +
       match s with
-      | Stmt.Assign _ | Stmt.Sassign _ ->
+      | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Reduce _ ->
           (Stmt.direct_flops s * cfg.Ccdp_machine.Config.flop) + stmt_mem_cost cfg s
+      | Stmt.Critical c ->
+          cfg.Ccdp_machine.Config.lock_acquire
+          + cfg.Ccdp_machine.Config.lock_release
+          + stmts_cycles cfg ~default_trip env c.Stmt.cbody
       | Stmt.If (_, t, e) ->
           Stmt.direct_flops s
           + max (stmts_cycles cfg ~default_trip env t)

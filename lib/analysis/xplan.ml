@@ -51,6 +51,8 @@ and stmt =
   | XSassign of { xflops : int; slot : int; src : fexpr }
   | XIf of cond * stmt array * stmt array
   | XFor of loop
+  | XCritical of { xc_lock : string; xc_body : stmt array }
+  | XReduce of { xflops : int; slot : int; rop : Fexpr.binop; src : fexpr }
 
 and loop = {
   l_src : Stmt.loop;  (** the IR loop (schedule kind, loop_id) *)
@@ -65,8 +67,12 @@ and loop = {
   l_sps : sp array;
 }
 
+(* Reduction merged at a DOALL's barrier: per-PE partials in the float
+   frame's [rd_slot], combined PE-major with [rd_op] and broadcast. *)
+type xred = { rd_slot : int; rd_op : Fexpr.binop }
+
 type node =
-  | NPar of int * loop  (** epoch id, the DOALL *)
+  | NPar of int * loop * xred array  (** epoch id, the DOALL, its reductions *)
   | NSer of int * stmt array * int  (** epoch id, body, memo scope *)
   | NLoop of {
       s_var : int;
@@ -152,6 +158,10 @@ let collect_layout (p : Program.t) =
             walk_f y);
         List.iter walk_s a;
         List.iter walk_s b
+    | Stmt.Critical c -> List.iter walk_s c.Stmt.cbody
+    | Stmt.Reduce r ->
+        add_flt r.Stmt.rvar;
+        walk_f r.Stmt.rexpr
     | Stmt.Call _ ->
         invalid_arg "Xplan.lower: program contains calls; inline first"
   in
@@ -186,8 +196,9 @@ let rec cap_stmts arr = Array.fold_left (fun acc s -> acc + cap_stmt s) 0 arr
 
 and cap_stmt = function
   | XAssign { src; _ } -> 1 + reads_in_fexpr src
-  | XSassign { src; _ } -> reads_in_fexpr src
+  | XSassign { src; _ } | XReduce { src; _ } -> reads_in_fexpr src
   | XIf (c, a, b) -> reads_in_cond c + cap_stmts a + cap_stmts b
+  | XCritical { xc_body; _ } -> cap_stmts xc_body
   | XFor _ -> 0 (* nested loop: its own memo scope *)
 
 (* ------------------------------------------------------------------ *)
@@ -209,7 +220,8 @@ let rec find_lowered lid (stmts : stmt array) =
               match find_lowered lid a with
               | Some _ as r -> r
               | None -> find_lowered lid b)
-          | XAssign _ | XSassign _ -> None))
+          | XCritical { xc_body; _ } -> find_lowered lid xc_body
+          | XAssign _ | XSassign _ | XReduce _ -> None))
     None stmts
 
 let lower (p : Program.t) (ep : Epoch.t) (plan : Annot.plan) =
@@ -293,6 +305,16 @@ let lower (p : Program.t) (ep : Epoch.t) (plan : Annot.plan) =
         XSassign { xflops = Stmt.direct_flops s; slot = fslot v; src = lower_f e }
     | Stmt.If (c, a, b) -> XIf (lower_cond c, lower_stmts a, lower_stmts b)
     | Stmt.For l -> XFor (lower_loop l)
+    | Stmt.Critical c ->
+        XCritical { xc_lock = c.Stmt.lock; xc_body = lower_stmts c.Stmt.cbody }
+    | Stmt.Reduce r ->
+        XReduce
+          {
+            xflops = Stmt.direct_flops s;
+            slot = fslot r.Stmt.rvar;
+            rop = r.Stmt.rop;
+            src = lower_f r.Stmt.rexpr;
+          }
     | Stmt.Call _ ->
         invalid_arg "Xplan.lower: program contains calls; inline first"
   and lower_loop (l : Stmt.loop) =
@@ -345,9 +367,29 @@ let lower (p : Program.t) (ep : Epoch.t) (plan : Annot.plan) =
       l_sps = Array.of_list sps;
     }
   in
+  (* every reduction statement of a parallel epoch, in syntactic order,
+     deduplicated by slot (the checker rejects conflicting ops) *)
+  let reds_of (l : Stmt.loop) =
+    let seen = Hashtbl.create 4 in
+    let reds =
+      Stmt.fold
+        (fun acc s ->
+          match s with
+          | Stmt.Reduce r ->
+              let slot = fslot r.Stmt.rvar in
+              if Hashtbl.mem seen slot then acc
+              else begin
+                Hashtbl.add seen slot ();
+                { rd_slot = slot; rd_op = r.Stmt.rop } :: acc
+              end
+          | _ -> acc)
+        [] [ Stmt.For l ]
+    in
+    Array.of_list (List.rev reds)
+  in
   let rec lower_nodes nodes = Array.of_list (List.map lower_node nodes)
   and lower_node = function
-    | Epoch.E (id, Epoch.Par l) -> NPar (id, lower_loop l)
+    | Epoch.E (id, Epoch.Par l) -> NPar (id, lower_loop l, reds_of l)
     | Epoch.E (id, Epoch.Ser stmts) ->
         let body = lower_stmts stmts in
         NSer (id, body, new_memo (cap_stmts body))

@@ -75,6 +75,13 @@ and stmt =
   | XSassign of { xflops : int; slot : int; src : fexpr }
   | XIf of cond * stmt array * stmt array
   | XFor of loop
+  | XCritical of { xc_lock : string; xc_body : stmt array }
+      (** lock-protected section: acquire, run body, release; acquire
+          flushes the register memo (cached shared values must be re-read
+          past the frontier) *)
+  | XReduce of { xflops : int; slot : int; rop : Fexpr.binop; src : fexpr }
+      (** per-PE partial accumulation into the float frame; merged by the
+          enclosing {!NPar}'s [xred] list at the barrier *)
 
 and loop = {
   l_src : Stmt.loop;  (** the IR loop (schedule kind, loop_id) *)
@@ -89,8 +96,13 @@ and loop = {
   l_sps : sp array;
 }
 
+(** Reduction merged at a DOALL's barrier: per-PE partials in the float
+    frame's [rd_slot], combined PE-major with [rd_op] and broadcast. *)
+type xred = { rd_slot : int; rd_op : Fexpr.binop }
+
 type node =
-  | NPar of int * loop  (** epoch id, the DOALL *)
+  | NPar of int * loop * xred array
+      (** epoch id, the DOALL, its reductions *)
   | NSer of int * stmt array * int  (** epoch id, body, memo scope *)
   | NLoop of {
       s_var : int;

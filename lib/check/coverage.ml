@@ -11,6 +11,26 @@ open Ccdp_analysis
 let check ~(plan : Annot.plan) ~(maystale : Maystale.t) ~prefetch_clean infos =
   let diags = ref [] in
   let add d = diags := d :: !diags in
+  let by_id = Ref_info.index infos in
+  (* Is any of the read's witnesses an acquire-frontier one (same epoch,
+     same lock)? Such an obligation can only be met inside the critical
+     section — a prefetch planned outside it fills from the pre-acquire
+     memory image — so only Bypass discharges it. *)
+  let at_acquire (r : Ref_info.t) id =
+    match r.Ref_info.lock with
+    | None -> false
+    | Some lk ->
+        List.exists
+          (fun wid ->
+            match Hashtbl.find_opt by_id wid with
+            | Some (w : Ref_info.t) ->
+                w.Ref_info.epoch = r.Ref_info.epoch
+                && (match w.Ref_info.lock with
+                   | Some lk' -> String.equal lk lk'
+                   | None -> false)
+            | None -> false)
+          (Maystale.witnesses_of maystale id)
+  in
   List.iter
     (fun (r : Ref_info.t) ->
       if not r.Ref_info.write then begin
@@ -20,6 +40,28 @@ let check ~(plan : Annot.plan) ~(maystale : Maystale.t) ~prefetch_clean infos =
         let name = Reference.to_string r.ref_ in
         let stale = Maystale.is_stale maystale id in
         match (stale, Annot.cls_of plan id) with
+        | true, Annot.Normal when at_acquire r id ->
+            add
+              (Diag.makef Diag.Uncovered_stale ~loc ~ref_id:id ~epoch
+                 "read %s is potentially stale at the acquire of lock %s \
+                  (write%s %s under the same lock may run on another PE \
+                  first) and is not bypassed inside the section"
+                 name
+                 (match r.Ref_info.lock with Some lk -> lk | None -> "?")
+                 (if List.length (Maystale.witnesses_of maystale id) > 1 then
+                    "s"
+                  else "")
+                 (String.concat ", "
+                    (List.map string_of_int
+                       (Maystale.witnesses_of maystale id))))
+        | true, (Annot.Lead | Annot.Covered _) when at_acquire r id ->
+            add
+              (Diag.makef Diag.Broken_cover ~loc ~ref_id:id ~epoch
+                 "read %s is potentially stale at the acquire of lock %s, \
+                  but its prefetch is planned outside the critical section \
+                  and would fill from the pre-acquire image; bypass it"
+                 name
+                 (match r.Ref_info.lock with Some lk -> lk | None -> "?"))
         | true, Annot.Normal ->
             add
               (Diag.makef Diag.Uncovered_stale ~loc ~ref_id:id ~epoch

@@ -11,6 +11,9 @@ type code =
   | Dead_prefetch
   | Sp_missized
   | Vpg_missized
+  | Unprotected_conflict
+  | Inconsistent_lock
+  | Bad_reduction
 
 let code_string = function
   | Uncovered_stale -> "CCDP-W001"
@@ -21,11 +24,17 @@ let code_string = function
   | Dead_prefetch -> "CCDP-W006"
   | Sp_missized -> "CCDP-W007"
   | Vpg_missized -> "CCDP-W008"
+  | Unprotected_conflict -> "CCDP-W009"
+  | Inconsistent_lock -> "CCDP-W010"
+  | Bad_reduction -> "CCDP-W011"
 
-(* W001-W003 break the coherence argument itself; the lints are
-   performance hazards, so a lint gate fails only on errors *)
+(* W001-W003 and the synchronization errors W009-W011 break the coherence
+   argument itself; the lints are performance hazards, so a lint gate
+   fails only on errors *)
 let severity_of = function
-  | Uncovered_stale | Broken_cover | Doall_race -> Error
+  | Uncovered_stale | Broken_cover | Doall_race | Unprotected_conflict
+  | Inconsistent_lock | Bad_reduction ->
+      Error
   | Spurious_cover | Redundant_prefetch | Dead_prefetch | Sp_missized
   | Vpg_missized ->
       Warning

@@ -25,7 +25,17 @@
     - [CCDP-W007] (warning) — mis-sized SP distance: shorter than the group
       span or overflowing the prefetch queue;
     - [CCDP-W008] (warning) — mis-sized VPG volume: the pulled section is
-      empty, unbounded, or exceeds the vector-prefetch budget. *)
+      empty, unbounded, or exceeds the vector-prefetch budget;
+    - [CCDP-W009] (error) — unprotected cross-PE conflict: a same-element
+      conflicting pair inside a DOALL where only one side sits in a
+      critical section (lock domination cannot discharge the race);
+    - [CCDP-W010] (error) — inconsistent lock domains: both sides of a
+      conflicting pair are locked, but under different locks (mutual
+      exclusion does not compose across locks);
+    - [CCDP-W011] (error) — bogus reduction: a recognized reduction whose
+      operator is not commutative-associative, whose variable is also
+      written by an ordinary assignment in the same DOALL, or whose
+      contributions use conflicting operators. *)
 
 type severity = Error | Warning
 
@@ -38,6 +48,9 @@ type code =
   | Dead_prefetch  (** CCDP-W006 *)
   | Sp_missized  (** CCDP-W007 *)
   | Vpg_missized  (** CCDP-W008 *)
+  | Unprotected_conflict  (** CCDP-W009 *)
+  | Inconsistent_lock  (** CCDP-W010 *)
+  | Bad_reduction  (** CCDP-W011 *)
 
 val code_string : code -> string
 val severity_of : code -> severity

@@ -49,6 +49,66 @@ let derive region (epochs : Epoch.t) infos =
   in
   let witnesses = Hashtbl.create 32 in
   let pending : wentry list ref = ref [] in
+  (* Mini-epoch (acquire-frontier) witnesses, derived independently of
+     Stale.analyze: a read inside critical(l) may observe, at acquire,
+     data written under the same lock by another PE earlier in the same
+     epoch. Alignment does not discharge this — the discharge is cross-PE
+     exclusion (no element the reader touches on PE p is written by any
+     other PE through the witness candidate). *)
+  let cross_pe_memo = Hashtbl.create 64 in
+  let cross_pe ~(reader : Ref_info.t) ~(writer : Ref_info.t) =
+    let key =
+      (reader.Ref_info.ref_.Reference.id, writer.Ref_info.ref_.Reference.id)
+    in
+    match Hashtbl.find_opt cross_pe_memo key with
+    | Some v -> v
+    | None ->
+        let np = Region.n_pes region in
+        let v = ref false in
+        for p = 0 to np - 1 do
+          if not !v then
+            let r_pe = Region.section_pe region reader ~pe:p in
+            if not (Section.is_empty r_pe) then
+              for q = 0 to np - 1 do
+                if
+                  (not !v) && q <> p
+                  && Section.overlaps r_pe (Region.section_pe region writer ~pe:q)
+                then v := true
+              done
+        done;
+        Hashtbl.replace cross_pe_memo key !v;
+        !v
+  in
+  (* Owner-computes alignment assumes each PE is the element's only
+     writer; under a lock every holder may write the same element, and the
+     lock-order-last writer owns the final value. A locked write
+     discharges by alignment only when no other PE can write an element
+     the reader touches. *)
+  let aligned_discharges ~(reader : Ref_info.t) ~(writer : Ref_info.t) =
+    aligned ~reader ~writer
+    && (writer.Ref_info.lock = None || not (cross_pe ~reader ~writer))
+  in
+  let acquire_witnesses eid (r : Ref_info.t) =
+    match r.Ref_info.lock with
+    | None -> []
+    | Some lk ->
+        let ws =
+          match Hashtbl.find_opt writes_of eid with Some l -> l | None -> []
+        in
+        let r_section = Region.section_all region r in
+        List.filter_map
+          (fun (w : Ref_info.t) ->
+            match w.Ref_info.lock with
+            | Some lk'
+              when String.equal lk lk'
+                   && String.equal w.ref_.Reference.array_name
+                        r.ref_.Reference.array_name
+                   && Section.overlaps r_section (Region.section_all region w)
+                   && cross_pe ~reader:r ~writer:w ->
+                Some w.ref_.Reference.id
+            | _ -> None)
+          ws
+  in
   (* the same masking kill as the stale analysis: only straight-line epoch
      sequences, where no back-edge can re-expose the masked write *)
   let masked ~(r : Ref_info.t) ~(e : wentry) exposed ~r_straight =
@@ -58,7 +118,7 @@ let derive region (epochs : Epoch.t) infos =
            k.straight
            && k.w.Ref_info.epoch > e.w.Ref_info.epoch
            && k.w.Ref_info.epoch < r.Ref_info.epoch
-           && aligned ~reader:r ~writer:k.w
+           && aligned_discharges ~reader:r ~writer:k.w
            && Section.contains (Region.section_all_must region k.w) exposed)
          !pending
   in
@@ -71,6 +131,12 @@ let derive region (epochs : Epoch.t) infos =
             let id = r.ref_.Reference.id in
             if not (Hashtbl.mem witnesses id) then
               Hashtbl.replace witnesses id [];
+            List.iter
+              (fun wid ->
+                let prev = Hashtbl.find witnesses id in
+                if not (List.mem wid prev) then
+                  Hashtbl.replace witnesses id (prev @ [ wid ]))
+              (acquire_witnesses eid r);
             let r_section = Region.section_all region r in
             List.iter
               (fun e ->
@@ -83,7 +149,7 @@ let derive region (epochs : Epoch.t) infos =
                   in
                   if
                     (not (Section.is_empty exposed))
-                    && (not (aligned ~reader:r ~writer:e.w))
+                    && (not (aligned_discharges ~reader:r ~writer:e.w))
                     && not (masked ~r ~e exposed ~r_straight:straight)
                   then
                     let wid = e.w.Ref_info.ref_.Reference.id in

@@ -141,6 +141,16 @@ let scalar_flow body =
         | Stmt.For l ->
             ignore (walk defined l.Stmt.body);
             defined
+        | Stmt.Critical c ->
+            (* a critical section executes in sequence within one task:
+               its definitions are as definite as straight-line code *)
+            walk defined c.Stmt.cbody
+        | Stmt.Reduce r ->
+            (* [Reduce] neither reads nor defines its variable here: the
+               per-PE partial is seeded by the first contribution and the
+               merged value only exists after the barrier *)
+            expr_reads defined r.Stmt.rexpr;
+            defined
         | Stmt.Call _ -> defined)
       defined stmts
   in
@@ -149,61 +159,182 @@ let scalar_flow body =
     None
   with Flows v -> Some v
 
-let judge_doall ~params ~outer (l : Stmt.loop) =
+(* Commutative-associative operators: the only ones whose per-PE partials
+   may be merged in any bracketing at the barrier. *)
+let assoc_op = function
+  | Fexpr.Add | Fexpr.Mul | Fexpr.Min | Fexpr.Max -> true
+  | Fexpr.Sub | Fexpr.Div -> false
+
+(* Reduction recognition sanity inside one DOALL: the operator must be
+   commutative-associative, the variable must receive no ordinary
+   assignment (the merged value would depend on PE interleaving), and all
+   contributions to one variable must agree on the operator. *)
+let judge_reductions ~eid (l : Stmt.loop) =
+  let module S = Set.Make (String) in
+  let reduces =
+    List.rev
+      (Stmt.fold
+         (fun acc s -> match s with Stmt.Reduce r -> r :: acc | _ -> acc)
+         [] l.Stmt.body)
+  in
+  let sassigned =
+    Stmt.fold
+      (fun acc s -> match s with Stmt.Sassign (v, _) -> S.add v acc | _ -> acc)
+      S.empty l.Stmt.body
+  in
+  let mk loc msg =
+    Diag.make Diag.Bad_reduction ~loc ~loop_id:l.Stmt.loop_id ~epoch:eid msg
+  in
+  let ops : (string, Fexpr.binop) Hashtbl.t = Hashtbl.create 4 in
+  List.concat_map
+    (fun (r : Stmt.reduce) ->
+      let d1 =
+        if assoc_op r.Stmt.rop then []
+        else
+          [
+            mk r.Stmt.rloc
+              (Printf.sprintf
+                 "reduction on %s uses non-associative operator %s: per-PE \
+                  partials cannot be merged in any order"
+                 r.Stmt.rvar
+                 (Fexpr.string_of_binop r.Stmt.rop));
+          ]
+      in
+      let d2 =
+        if S.mem r.Stmt.rvar sassigned then
+          [
+            mk r.Stmt.rloc
+              (Printf.sprintf
+                 "reduction variable %s is also written by an ordinary \
+                  assignment in the same DOALL"
+                 r.Stmt.rvar);
+          ]
+        else []
+      in
+      let d3 =
+        match Hashtbl.find_opt ops r.Stmt.rvar with
+        | Some op when op <> r.Stmt.rop ->
+            [
+              mk r.Stmt.rloc
+                (Printf.sprintf
+                   "reduction variable %s mixes operators %s and %s"
+                   r.Stmt.rvar
+                   (Fexpr.string_of_binop op)
+                   (Fexpr.string_of_binop r.Stmt.rop));
+            ]
+        | Some _ -> []
+        | None ->
+            Hashtbl.replace ops r.Stmt.rvar r.Stmt.rop;
+            []
+      in
+      d1 @ d2 @ d3)
+    reduces
+
+let judge_doall ~params ~outer ~eid (l : Stmt.loop) =
+  let doall_diag fmt =
+    Diag.makef Diag.Doall_race ~loc:l.Stmt.loc ~loop_id:l.Stmt.loop_id
+      ~epoch:eid fmt
+  in
+  let red_diags = judge_reductions ~eid l in
   match scalar_flow l.Stmt.body with
-  | Some v -> Some (Printf.sprintf "scalar %s is read before written" v)
-  | None -> (
+  | Some v ->
+      red_diags
+      @ [
+          doall_diag "loop %s is marked DOALL but scalar %s is read before \
+                      written"
+            l.Stmt.var v;
+        ]
+  | None ->
       let shared_env = Iterspace.of_loops ~params outer in
       let trip =
         Iterspace.trip_count l (Iterspace.of_loops ~params (outer @ [ l ]))
       in
-      (* reference + its instance loop stack (this DOALL outermost) *)
+      (* reference + its instance loop stack (this DOALL outermost) + the
+         lock of its innermost enclosing critical section *)
       let refs = ref [] in
-      let rec collect loops stmts =
+      let rec collect lock loops stmts =
         List.iter
           (fun s ->
             (match Stmt.direct_write s with
-            | Some r -> refs := (true, r, loops) :: !refs
+            | Some r -> refs := (true, r, loops, lock) :: !refs
             | None -> ());
             List.iter
-              (fun r -> refs := (false, r, loops) :: !refs)
+              (fun r -> refs := (false, r, loops, lock) :: !refs)
               (Stmt.direct_reads s);
             match s with
-            | Stmt.For m -> collect (loops @ [ m ]) m.Stmt.body
+            | Stmt.For m -> collect lock (loops @ [ m ]) m.Stmt.body
             | Stmt.If (c, a, b) ->
                 (match c with
                 | Stmt.Fcond (_, x, y) ->
                     List.iter
-                      (fun r -> refs := (false, r, loops) :: !refs)
+                      (fun r -> refs := (false, r, loops, lock) :: !refs)
                       (Fexpr.reads x @ Fexpr.reads y)
                 | Stmt.Icond _ -> ());
-                collect loops a;
-                collect loops b
-            | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ -> ())
+                collect lock loops a;
+                collect lock loops b
+            | Stmt.Critical c -> collect (Some c.Stmt.lock) loops c.Stmt.cbody
+            | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Reduce _ | Stmt.Call _ ->
+                ())
           stmts
       in
-      collect [ l ] l.Stmt.body;
+      collect None [ l ] l.Stmt.body;
       let refs = List.rev !refs in
-      let conflict = ref None in
+      (* one representative finding per category, first in syntactic
+         order: a plain carried dependence (W003), a one-sided lock
+         (W009), an inconsistent lock pair (W010). Pairs where both sides
+         hold the same lock are discharged: the sections mutually
+         exclude, and the in-critical staleness obligation (checked by
+         Coverage) makes the protected values current. *)
+      let plain = ref None and one_sided = ref None and mixed = ref None in
       List.iter
-        (fun (wa, (a : Reference.t), loops_a) ->
+        (fun (wa, (a : Reference.t), loops_a, lka) ->
           List.iter
-            (fun (wb, (b : Reference.t), loops_b) ->
+            (fun (wb, (b : Reference.t), loops_b, lkb) ->
               if
-                !conflict = None && (wa || wb)
+                (wa || wb)
                 && String.equal a.Reference.array_name b.Reference.array_name
                 && pair_carries ~var:l.Stmt.var ~trip ~shared_env ~loops_a
                      ~loops_b a b
               then
-                conflict :=
-                  Some
-                    (Printf.sprintf
-                       "references %d and %d of %s may touch the same element \
-                        in different iterations"
-                       a.Reference.id b.Reference.id a.Reference.array_name))
+                match (lka, lkb) with
+                | Some la, Some lb when String.equal la lb -> ()
+                | Some la, Some lb ->
+                    if !mixed = None then
+                      mixed :=
+                        Some
+                          (Diag.makef Diag.Inconsistent_lock ~loc:l.Stmt.loc
+                             ~ref_id:a.Reference.id ~loop_id:l.Stmt.loop_id
+                             ~epoch:eid
+                             "references %d and %d of %s conflict under \
+                              different locks (%s vs %s): mutual exclusion \
+                              does not compose across locks"
+                             a.Reference.id b.Reference.id
+                             a.Reference.array_name la lb)
+                | (Some lk, None | None, Some lk) ->
+                    if !one_sided = None then
+                      one_sided :=
+                        Some
+                          (Diag.makef Diag.Unprotected_conflict
+                             ~loc:l.Stmt.loc ~ref_id:a.Reference.id
+                             ~loop_id:l.Stmt.loop_id ~epoch:eid
+                             "references %d and %d of %s may touch the same \
+                              element on different PEs but only one side \
+                              holds lock %s"
+                             a.Reference.id b.Reference.id
+                             a.Reference.array_name lk)
+                | None, None ->
+                    if !plain = None then
+                      plain :=
+                        Some
+                          (doall_diag
+                             "loop %s is marked DOALL but references %d and \
+                              %d of %s may touch the same element in \
+                              different iterations"
+                             l.Stmt.var a.Reference.id b.Reference.id
+                             a.Reference.array_name))
             refs)
         refs;
-      !conflict)
+      red_diags @ List.filter_map Fun.id [ !plain; !one_sided; !mixed ]
 
 let check ~params (epochs : Epoch.t) =
   let diags = ref [] in
@@ -211,15 +342,8 @@ let check ~params (epochs : Epoch.t) =
     List.iter
       (fun node ->
         match node with
-        | Epoch.E (eid, Epoch.Par l) -> (
-            match judge_doall ~params ~outer l with
-            | None -> ()
-            | Some why ->
-                diags :=
-                  Diag.makef Diag.Doall_race ~loc:l.Stmt.loc
-                    ~loop_id:l.Stmt.loop_id ~epoch:eid
-                    "loop %s is marked DOALL but %s" l.Stmt.var why
-                  :: !diags)
+        | Epoch.E (eid, Epoch.Par l) ->
+            diags := List.rev_append (judge_doall ~params ~outer ~eid l) !diags
         | Epoch.E (_, Epoch.Ser _) -> ()
         | Epoch.Loop (l, body) -> walk (outer @ [ l ]) body
         | Epoch.Branch (_, t, e) ->

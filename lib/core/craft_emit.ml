@@ -157,6 +157,15 @@ let emit ppf (c : Pipeline.t) =
           (if l.step = 1 then "" else Printf.sprintf ", %d" l.step);
         List.iter (stmt (ind + 2)) l.body;
         line "%sENDDO" pad
+    | Stmt.Critical c ->
+        line "CDIR$ CRITICAL(%s)" (String.uppercase_ascii c.lock);
+        List.iter (stmt (ind + 2)) c.cbody;
+        line "CDIR$ ENDCRITICAL"
+    | Stmt.Reduce r ->
+        line "CDIR$ REDUCTION(%s)" (String.uppercase_ascii r.rvar);
+        line "%s%s = %s" pad
+          (String.uppercase_ascii r.rvar)
+          (fortran_expr (Fexpr.Binop (r.rop, Fexpr.Svar r.rvar, r.rexpr)))
   in
   Format.fprintf ppf "@[<v>";
   line "      PROGRAM %s" (String.uppercase_ascii p.Program.name);

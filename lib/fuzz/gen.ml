@@ -12,6 +12,11 @@ type stmt_desc = {
   guarded : bool;
 }
 
+(* Commutative-associative reduction operators the generator draws; Add
+   stays exact because every generated value is a small dyadic (powers of
+   two times small integers), Min/Max are order-independent outright. *)
+type rop = Radd | Rmin | Rmax
+
 type epoch_desc =
   | Par of {
       sched : sched;
@@ -20,6 +25,23 @@ type epoch_desc =
       stmts : stmt_desc list;
     }
   | Sweep of { src : int; col : int; dst : int }
+  | Lock of {
+      sched : sched;  (** Block or Cyclic (varies PE contribution order) *)
+      src : int;
+      dst : int;  (** forced distinct from [src] by [sanitize_epoch] *)
+      col : int;
+      col2 : int;
+      fused : bool;  (** both accumulator cells under one lock *)
+    }
+      (** every task folds a column entry into two fixed accumulator cells
+          [dst(0,col)] and [dst(1,col2)] inside critical sections — the
+          cross-PE conflict lock-domination must discharge, and the
+          in-critical accumulator reads are the acquire-frontier staleness
+          obligation *)
+  | Red of { sched : sched; op : rop; src : int; dst : int; seed : bool }
+      (** a recognized [rs = rs op src(i,j)] reduction over the whole
+          array, consumed by a serial write into [dst(0,1)]; [seed] binds
+          [rs] before the DOALL (otherwise the first contribution seeds) *)
 
 type desc = {
   n : int;
@@ -53,28 +75,49 @@ let gen_stmt rng =
   { dst; doi; reads; guarded }
 
 let gen_epoch rng n =
-  if int_range rng 0 4 = 0 then
-    Sweep
-      {
-        src = int_range rng 0 (n_arrays - 1);
-        col = int_range rng 1 (n - 2);
-        dst = int_range rng 0 (n_arrays - 1);
-      }
-  else
-    let sched =
-      match int_range rng 0 3 with
-      | 0 -> Block
-      | 1 -> Aligned
-      | 2 -> Cyclic
-      | _ -> Dynamic (pick rng [ 1; 2; 3 ])
-    in
-    Par
-      {
-        sched;
-        lo1 = Random.State.bool rng;
-        opaque_hi = int_range rng 0 3 = 0;
-        stmts = List.init (int_range rng 1 2) (fun _ -> gen_stmt rng);
-      }
+  match int_range rng 0 9 with
+  | 0 | 1 ->
+      Sweep
+        {
+          src = int_range rng 0 (n_arrays - 1);
+          col = int_range rng 1 (n - 2);
+          dst = int_range rng 0 (n_arrays - 1);
+        }
+  | 2 | 3 ->
+      let src = int_range rng 0 (n_arrays - 1) in
+      Lock
+        {
+          sched = (if Random.State.bool rng then Block else Cyclic);
+          src;
+          dst = (src + 1 + int_range rng 0 (n_arrays - 2)) mod n_arrays;
+          col = int_range rng 0 (n - 1);
+          col2 = int_range rng 0 (n - 1);
+          fused = Random.State.bool rng;
+        }
+  | 4 ->
+      Red
+        {
+          sched = (if Random.State.bool rng then Block else Cyclic);
+          op = pick rng [ Radd; Radd; Rmin; Rmax ];
+          src = int_range rng 0 (n_arrays - 1);
+          dst = int_range rng 0 (n_arrays - 1);
+          seed = Random.State.bool rng;
+        }
+  | _ ->
+      let sched =
+        match int_range rng 0 3 with
+        | 0 -> Block
+        | 1 -> Aligned
+        | 2 -> Cyclic
+        | _ -> Dynamic (pick rng [ 1; 2; 3 ])
+      in
+      Par
+        {
+          sched;
+          lo1 = Random.State.bool rng;
+          opaque_hi = int_range rng 0 3 = 0;
+          stmts = List.init (int_range rng 1 2) (fun _ -> gen_stmt rng);
+        }
 
 let generate rng =
   let n = pick rng [ 8; 12; 16 ] in
@@ -102,7 +145,13 @@ let generate rng =
    written the statement degenerates to a constant store. *)
 let sanitize_epoch e =
   match e with
-  | Sweep _ -> e
+  | Sweep _ | Red _ -> e
+  | Lock l ->
+      (* the accumulator array must not double as the contribution source:
+         a mid-epoch read of a cell other tasks are accumulating into
+         would observe an order-dependent partial sum *)
+      if l.dst = l.src then Lock { l with dst = (l.src + 1) mod n_arrays }
+      else e
   | Par p ->
       let written = List.map (fun s -> s.dst) p.stmts in
       let stmts =
@@ -145,6 +194,54 @@ let build (d : desc) =
   in
   let mk_epoch e =
     match sanitize_epoch e with
+    | Lock { sched; src; dst; col; col2; fused } ->
+        let sched =
+          match sched with
+          | Cyclic -> Stmt.Static_cyclic
+          | Block | Aligned | Dynamic _ -> Stmt.Static_block
+        in
+        let l2 = if fused then "l0" else "l1" in
+        let acc row col lk scale =
+          B.critical lk
+            [
+              B.assign b (arr dst)
+                [ c row; c col ]
+                F.(
+                  B.rd b (arr dst) [ c row; c col ]
+                  + (B.rd b (arr src) [ v "j"; c col ] * const scale));
+            ]
+        in
+        [
+          B.doall b ~sched "j" (bc 0)
+            (bc (n - 1))
+            [ acc 0 col "l0" 0.0625; acc 1 col2 l2 0.03125 ];
+        ]
+    | Red { sched; op; src; dst; seed } ->
+        let sched =
+          match sched with
+          | Cyclic -> Stmt.Static_cyclic
+          | Block | Aligned | Dynamic _ -> Stmt.Static_block
+        in
+        let fop =
+          match op with
+          | Radd -> Fexpr.Add
+          | Rmin -> Fexpr.Min
+          | Rmax -> Fexpr.Max
+        in
+        (if seed then [ Stmt.Sassign ("rs", F.const 0.5) ] else [])
+        @ [
+            B.doall b ~sched "j" (bc 0)
+              (bc (n - 1))
+              [
+                B.for_ b "i" (bc 0)
+                  (bc (n - 1))
+                  [
+                    B.reduce fop "rs"
+                      F.(B.rd b (arr src) [ v "i"; v "j" ] * const 0.0625);
+                  ];
+              ];
+            B.assign b (arr dst) [ c 0; c 1 ] F.(sv "rs" * const 0.5);
+          ]
     | Sweep { src; col; dst } ->
         [
           Stmt.Sassign ("acc", F.const 0.0);
@@ -268,7 +365,8 @@ let subscript_problems (p : Program.t) =
         | Stmt.If (_, a, b) ->
             walk loops a;
             walk loops b
-        | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ -> ())
+        | Stmt.Critical cr -> walk loops cr.Stmt.cbody
+        | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Reduce _ | Stmt.Call _ -> ())
       stmts
   in
   walk [] p.Program.main;
@@ -280,6 +378,16 @@ let validate (d : desc) =
   let small o = -1 <= o && o <= 1 in
   let check_epoch i e =
     match e with
+    | Lock { src; dst; col; col2; _ } ->
+        if not (in_arrays src && in_arrays dst) then
+          err "epoch %d: lock array index out of range" i
+        else if col < 0 || col >= d.n || col2 < 0 || col2 >= d.n then
+          err "epoch %d: lock accumulator column outside [0, %d)" i d.n
+        else Ok ()
+    | Red { src; dst; _ } ->
+        if not (in_arrays src && in_arrays dst) then
+          err "epoch %d: reduction array index out of range" i
+        else Ok ()
     | Sweep { src; col; dst } ->
         if not (in_arrays src && in_arrays dst) then
           err "epoch %d: sweep array index out of range" i
@@ -339,7 +447,25 @@ let pp_sched ppf = function
   | Cyclic -> Format.fprintf ppf "cyclic"
   | Dynamic c -> Format.fprintf ppf "dynamic(%d)" c
 
+let pp_rop ppf = function
+  | Radd -> Format.fprintf ppf "add"
+  | Rmin -> Format.fprintf ppf "min"
+  | Rmax -> Format.fprintf ppf "max"
+
 let pp_epoch ppf = function
+  | Lock { sched; src; dst; col; col2; fused } ->
+      Format.fprintf ppf "lock %a %s(0,%d),%s(1,%d) += %s%s" pp_sched sched
+        (List.nth array_names dst)
+        col
+        (List.nth array_names dst)
+        col2
+        (List.nth array_names src)
+        (if fused then " fused" else "")
+  | Red { sched; op; src; dst; seed } ->
+      Format.fprintf ppf "red %a %a over %s -> %s%s" pp_sched sched pp_rop op
+        (List.nth array_names src)
+        (List.nth array_names dst)
+        (if seed then " seeded" else "")
   | Sweep { src; col; dst } ->
       Format.fprintf ppf "sweep %s(:,%d) -> %s" (List.nth array_names src) col
         (List.nth array_names dst)

@@ -23,6 +23,12 @@ type stmt_desc = {
   guarded : bool;  (** wrap in a structural IF (paper Fig. 2 case 5) *)
 }
 
+(** Reduction operators the generator draws — commutative-associative
+    only: Add stays exact over the generated dyadics, Min/Max are
+    order-independent outright, so the PE-major barrier merge is bit-equal
+    to sequential evaluation in any contribution order. *)
+type rop = Radd | Rmin | Rmax
+
 type epoch_desc =
   | Par of {
       sched : sched;
@@ -33,6 +39,23 @@ type epoch_desc =
   | Sweep of { src : int; col : int; dst : int }
       (** serial epoch: scalar reduction over one column, result written to
           one element *)
+  | Lock of {
+      sched : sched;  (** Block or Cyclic (varies PE contribution order) *)
+      src : int;
+      dst : int;  (** forced distinct from [src] by sanitization *)
+      col : int;
+      col2 : int;
+      fused : bool;  (** both accumulator cells under one lock *)
+    }
+      (** parallel epoch where every task folds a column entry into two
+          fixed accumulator cells inside critical sections: the cross-PE
+          conflict is discharged by lock domination and the in-critical
+          accumulator reads carry the acquire-frontier staleness
+          obligation *)
+  | Red of { sched : sched; op : rop; src : int; dst : int; seed : bool }
+      (** parallel epoch with a recognized scalar reduction over the whole
+          source array, consumed by a serial write; [seed] binds the
+          scalar before the DOALL *)
 
 type desc = {
   n : int;  (** array edge *)

@@ -29,6 +29,27 @@ let stmt_steps (s : stmt_desc) =
 let epoch_steps e =
   match e with
   | Sweep _ -> []
+  | Lock l ->
+      List.concat
+        [
+          (if not l.fused then [ Lock { l with fused = true } ] else []);
+          (match l.sched with
+          | Block -> []
+          | _ -> [ Lock { l with sched = Block } ]);
+          (if l.col <> 0 then [ Lock { l with col = 0 } ] else []);
+          (if l.col2 <> 0 then [ Lock { l with col2 = 0 } ] else []);
+        ]
+  | Red r ->
+      List.concat
+        [
+          (if r.seed then [ Red { r with seed = false } ] else []);
+          (match r.sched with
+          | Block -> []
+          | _ -> [ Red { r with sched = Block } ]);
+          (match r.op with
+          | Radd -> []
+          | _ -> [ Red { r with op = Radd } ]);
+        ]
   | Par p ->
       List.concat
         [
@@ -84,7 +105,14 @@ let candidates (d : desc) =
                List.map
                  (function
                    | Sweep s -> Sweep { s with col = min s.col (8 - 2) }
-                   | Par _ as e -> e)
+                   | Lock l ->
+                       Lock
+                         {
+                           l with
+                           col = min l.col (8 - 1);
+                           col2 = min l.col2 (8 - 1);
+                         }
+                   | (Par _ | Red _) as e -> e)
                  d.epochs;
            };
          ]

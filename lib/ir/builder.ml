@@ -36,6 +36,12 @@ let doall b ?(step = 1) ?(sched = Stmt.Static_block) ?loc var lo hi body =
 
 let call name args = Stmt.Call (name, args)
 
+let critical ?(loc = Loc.Synthetic) lock body =
+  Stmt.Critical { Stmt.lock; cbody = body; cloc = loc }
+
+let reduce ?(loc = Loc.Synthetic) op var e =
+  Stmt.Reduce { Stmt.rop = op; rvar = var; rexpr = e; rloc = loc }
+
 let finish b main =
   let p =
     {

@@ -42,6 +42,12 @@ val doall :
 
 val call : string -> (string * Affine.t) list -> Stmt.t
 
+(** [critical lk body] is a lock-protected section (mini-epoch). *)
+val critical : ?loc:Loc.t -> string -> Stmt.t list -> Stmt.t
+
+(** [reduce op s e] is a recognized reduction update [s = s op e]. *)
+val reduce : ?loc:Loc.t -> Fexpr.binop -> string -> Fexpr.t -> Stmt.t
+
 (** Finish: package main body into a validated program.
     @raise Invalid_argument when validation fails. *)
 val finish : t -> Stmt.t list -> Program.t

@@ -290,6 +290,9 @@ type line =
   | Lendif
   | Lassign_arr of string * Affine.t list * Fexpr.t * Loc.t
   | Lassign_sca of string * Fexpr.t
+  | Lcritical of string * Loc.t
+  | Lendcritical
+  | Lreduction of string * Loc.t
   | Lend
 
 let parse_bound st =
@@ -459,6 +462,23 @@ let classify env ln toks =
             else Stmt.Static_block
           in
           Some (Ldoshared sched)
+      | Some (IDENT d) when low d = "critical" ->
+          let kwcol = col st in
+          advance st;
+          expect_sym st '(';
+          let lk = low (expect_ident st) in
+          expect_sym st ')';
+          Some (Lcritical (lk, Loc.src ~line:ln ~col:kwcol))
+      | Some (IDENT d) when low d = "endcritical" ->
+          advance st;
+          Some Lendcritical
+      | Some (IDENT d) when low d = "reduction" ->
+          let kwcol = col st in
+          advance st;
+          expect_sym st '(';
+          let sv = low (expect_ident st) in
+          expect_sym st ')';
+          Some (Lreduction (sv, Loc.src ~line:ln ~col:kwcol))
       | _ -> fail_at st "unknown CDIR$ directive")
   | Some (IDENT t) when low t = "do" ->
       let kwcol = col st in
@@ -554,10 +574,16 @@ let program src =
         || starts_with_kw trimmed "real"
         || (String.length trimmed >= 5
            && String.lowercase_ascii (String.sub trimmed 0 5) = "cdir$"
-           && not
-                (starts_with_kw
-                   (String.trim (String.sub trimmed 5 (String.length trimmed - 5)))
-                   "doshared"))
+           &&
+           let dir =
+             String.trim (String.sub trimmed 5 (String.length trimmed - 5))
+           in
+           (* doshared/critical/reduction directives belong to the body *)
+           not
+             (starts_with_kw dir "doshared"
+             || starts_with_kw dir "critical"
+             || starts_with_kw dir "endcritical"
+             || starts_with_kw dir "reduction"))
       then
         match classify env ln (lex_line ln line) with
         | Some (Lprogram n) -> name := n
@@ -592,7 +618,8 @@ let program src =
           | None -> fail ln "empty statement"
         in
         match item with
-        | Lend | Lenddo | Lendif | Lelse -> ([], rest, Some item)
+        | Lend | Lenddo | Lendif | Lelse | Lendcritical ->
+            ([], rest, Some item)
         | Ldoshared sched -> parse_block rest ~pending_sched:(Some sched)
         | Ldo (var, lo, hi, step, loc) ->
             env.loop_vars <- var :: env.loop_vars;
@@ -630,6 +657,36 @@ let program src =
         | Lassign_sca (v, e) ->
             let more, rest', term = parse_block rest ~pending_sched:None in
             (Stmt.Sassign (v, e) :: more, rest', term)
+        | Lcritical (lk, loc) ->
+            let body, rest', term = parse_block rest ~pending_sched:None in
+            (match term with
+            | Some Lendcritical -> ()
+            | _ -> fail ln "CRITICAL without matching ENDCRITICAL");
+            let stmt = Builder.critical ~loc lk body in
+            let more, rest'', term' = parse_block rest' ~pending_sched:None in
+            (stmt :: more, rest'', term')
+        | Lreduction (sv, loc) -> (
+            (* the directive names the reduction variable; the next line
+               must be the recognized update s = s op e (or s = MIN(s, e) /
+               MAX), whose operator the parser infers from the statement
+               shape *)
+            match rest with
+            | [] -> fail ln "REDUCTION directive without a following update"
+            | (ln2, toks2) :: rest2 -> (
+                match classify env ln2 toks2 with
+                | Some (Lassign_sca (v, Fexpr.Binop (op, Fexpr.Svar v', e)))
+                  when String.equal v sv && String.equal v' sv ->
+                    let stmt = Builder.reduce ~loc op sv e in
+                    let more, rest', term =
+                      parse_block rest2 ~pending_sched:None
+                    in
+                    (stmt :: more, rest', term)
+                | _ ->
+                    let s = String.uppercase_ascii sv in
+                    fail ln2
+                      "REDUCTION(%s) must be followed by an update of the \
+                       form %s = %s op expr (or %s = MIN(%s, expr) / MAX)"
+                      s s s s s))
         | Lprogram _ | Lparameter _ | Lreal _ | Lshared _ ->
             fail ln "declaration after the body began")
   in

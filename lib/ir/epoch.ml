@@ -14,7 +14,8 @@ let rec contains_doall stmts =
       | Stmt.For { kind = Stmt.Doall _; _ } -> true
       | Stmt.For { body; _ } -> contains_doall body
       | Stmt.If (_, t, e) -> contains_doall t || contains_doall e
-      | Stmt.Assign _ | Stmt.Sassign _ -> false
+      | Stmt.Critical { cbody; _ } -> contains_doall cbody
+      | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Reduce _ -> false
       | Stmt.Call _ -> invalid_arg "Epoch.partition: program contains calls; inline first")
     stmts
 
@@ -37,7 +38,10 @@ let partition stmts =
               ([], Branch (c, walk t, walk e) :: flush buf acc)
           | Stmt.Call _ ->
               invalid_arg "Epoch.partition: program contains calls; inline first"
-          | Stmt.Assign _ | Stmt.Sassign _ | Stmt.For _ | Stmt.If _ ->
+          | Stmt.Critical { cbody; _ } when contains_doall cbody ->
+              invalid_arg "Epoch.partition: DOALL inside critical section"
+          | Stmt.Assign _ | Stmt.Sassign _ | Stmt.For _ | Stmt.If _
+          | Stmt.Critical _ | Stmt.Reduce _ ->
               (s :: buf, acc))
         ([], []) stmts
     in

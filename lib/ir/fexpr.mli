@@ -33,4 +33,5 @@ val flops : t -> int
 
 val apply_unop : unop -> float -> float
 val apply_binop : binop -> float -> float -> float
+val string_of_binop : binop -> string
 val pp : Format.formatter -> t -> unit

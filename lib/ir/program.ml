@@ -142,7 +142,8 @@ let check_no_nested_doall p problems =
               Printf.sprintf "nested DOALL loop %s (id %d)" l.var l.loop_id :: problems
             else walk (in_doall || is_doall) problems l.body
         | Stmt.If (_, t, e) -> walk in_doall (walk in_doall problems t) e
-        | Stmt.Assign _ | Stmt.Sassign _ -> problems
+        | Stmt.Critical c -> walk in_doall problems c.cbody
+        | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Reduce _ -> problems
         | Stmt.Call (name, _) -> (
             (* conservatively: a DOALL must not call into procedures
                containing DOALLs *)
@@ -152,6 +153,49 @@ let check_no_nested_doall p problems =
       problems stmts
   in
   walk false problems p.main
+
+let check_sync p problems =
+  (* structural discipline for the synchronization constructs: no DOALL or
+     nested critical inside a critical body, and a reduction's expression
+     must not read the reduction variable itself *)
+  let rec walk in_crit problems stmts =
+    List.fold_left
+      (fun problems s ->
+        match s with
+        | Stmt.Critical c ->
+            let problems =
+              if in_crit then
+                Printf.sprintf "nested critical section (lock %s)" c.lock
+                :: problems
+              else problems
+            in
+            walk true problems c.cbody
+        | Stmt.For l ->
+            let problems =
+              match l.kind with
+              | Stmt.Doall _ when in_crit ->
+                  Printf.sprintf "DOALL loop %s (id %d) inside critical section"
+                    l.var l.loop_id
+                  :: problems
+              | _ -> problems
+            in
+            walk in_crit problems l.body
+        | Stmt.If (_, t, e) -> walk in_crit (walk in_crit problems t) e
+        | Stmt.Reduce r ->
+            let rec reads_rvar = function
+              | Fexpr.Svar v -> String.equal v r.rvar
+              | Fexpr.Const _ | Fexpr.Ivar _ | Fexpr.Ref _ -> false
+              | Fexpr.Unop (_, e) -> reads_rvar e
+              | Fexpr.Binop (_, a, b) -> reads_rvar a || reads_rvar b
+            in
+            if reads_rvar r.rexpr then
+              Printf.sprintf "reduction expression for %s reads %s" r.rvar r.rvar
+              :: problems
+            else problems
+        | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ -> problems)
+      problems stmts
+  in
+  List.fold_left (walk false) problems (all_stmt_bodies p)
 
 let validate p =
   []
@@ -165,6 +209,7 @@ let validate p =
   |> check_call_graph p
   |> check_unique_ids p
   |> check_no_nested_doall p
+  |> check_sync p
   |> List.rev
 
 (* ------------------------------------------------------------------ *)
@@ -181,7 +226,9 @@ let inline p =
   let fresh_loop _ = let id = !next_loop in incr next_loop; id in
   let rec expand s =
     match s with
-    | Stmt.Assign _ | Stmt.Sassign _ -> [ s ]
+    | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Reduce _ -> [ s ]
+    | Stmt.Critical c ->
+        [ Stmt.Critical { c with cbody = List.concat_map expand c.cbody } ]
     | Stmt.For l -> [ Stmt.For { l with body = List.concat_map expand l.body } ]
     | Stmt.If (c, t, e) ->
         [ Stmt.If (c, List.concat_map expand t, List.concat_map expand e) ]

@@ -12,6 +12,11 @@ type t =
   | For of loop
   | If of cond * t list * t list
   | Call of string * (string * Affine.t) list
+  | Critical of critical
+  | Reduce of reduce
+
+and critical = { lock : string; cbody : t list; cloc : Loc.t }
+and reduce = { rop : Fexpr.binop; rvar : string; rexpr : Fexpr.t; rloc : Loc.t }
 
 and loop = {
   loop_id : int;
@@ -43,21 +48,22 @@ let eval_fcmp op (a : float) (b : float) =
   | Ne -> a <> b
 
 let direct_reads = function
-  | Assign (_, e) | Sassign (_, e) -> Fexpr.reads e
-  | For _ | If _ | Call _ -> []
+  | Assign (_, e) | Sassign (_, e) | Reduce { rexpr = e; _ } -> Fexpr.reads e
+  | For _ | If _ | Call _ | Critical _ -> []
 
 let direct_write = function
   | Assign (r, _) -> Some r
-  | Sassign _ | For _ | If _ | Call _ -> None
+  | Sassign _ | For _ | If _ | Call _ | Critical _ | Reduce _ -> None
 
 let rec fold f acc stmts =
   List.fold_left
     (fun acc s ->
       let acc = f acc s in
       match s with
-      | Assign _ | Sassign _ | Call _ -> acc
+      | Assign _ | Sassign _ | Call _ | Reduce _ -> acc
       | For l -> fold f acc l.body
-      | If (_, t, e) -> fold f (fold f acc t) e)
+      | If (_, t, e) -> fold f (fold f acc t) e
+      | Critical c -> fold f acc c.cbody)
     acc stmts
 
 let fold_refs f acc stmts =
@@ -74,7 +80,9 @@ let fold_refs f acc stmts =
             Fexpr.fold_reads (fun acc r -> f acc ~write:false r)
               (Fexpr.fold_reads (fun acc r -> f acc ~write:false r) acc a)
               b
-        | Assign _ | Sassign _ | For _ | Call _ | If (Icond _, _, _) -> acc
+        | Assign _ | Sassign _ | For _ | Call _ | Critical _ | Reduce _
+        | If (Icond _, _, _) ->
+            acc
       in
       List.fold_left (fun acc r -> f acc ~write:false r) acc (direct_reads s))
     acc stmts
@@ -105,6 +113,8 @@ let rec subst_env s env =
           List.map (fun s -> subst_env s env) e )
   | Call (p, args) ->
       Call (p, List.map (fun (formal, a) -> (formal, Affine.subst_env a env)) args)
+  | Critical c -> Critical { c with cbody = List.map (fun s -> subst_env s env) c.cbody }
+  | Reduce r -> Reduce { r with rexpr = Fexpr.subst_env r.rexpr env }
 
 let rec map_ref_ids f s =
   match s with
@@ -120,18 +130,22 @@ let rec map_ref_ids f s =
       in
       If (c, List.map (map_ref_ids f) t, List.map (map_ref_ids f) e)
   | Call _ -> s
+  | Critical c -> Critical { c with cbody = List.map (map_ref_ids f) c.cbody }
+  | Reduce r -> Reduce { r with rexpr = Fexpr.map_ref_ids f r.rexpr }
 
 let rec map_loop_ids f s =
   match s with
-  | Assign _ | Sassign _ | Call _ -> s
+  | Assign _ | Sassign _ | Call _ | Reduce _ -> s
   | For l ->
       For { l with loop_id = f l.loop_id; body = List.map (map_loop_ids f) l.body }
   | If (c, t, e) -> If (c, List.map (map_loop_ids f) t, List.map (map_loop_ids f) e)
+  | Critical c -> Critical { c with cbody = List.map (map_loop_ids f) c.cbody }
 
 let direct_flops = function
   | Assign (_, e) | Sassign (_, e) -> Fexpr.flops e
+  | Reduce { rexpr = e; _ } -> 1 + Fexpr.flops e
   | If (Fcond (_, a, b), _, _) -> 1 + Fexpr.flops a + Fexpr.flops b
-  | For _ | If (Icond _, _, _) | Call _ -> 0
+  | For _ | If (Icond _, _, _) | Call _ | Critical _ -> 0
 
 let string_of_cmp = function
   | Lt -> "<"
@@ -174,6 +188,11 @@ let rec pp ppf s =
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
            (fun ppf (formal, a) -> Format.fprintf ppf "%s=%a" formal Affine.pp a))
         args
+  | Critical c ->
+      Format.fprintf ppf "@[<v 2>critical(%s) {@,%a@]@,}" c.lock pp_list c.cbody
+  | Reduce r ->
+      Format.fprintf ppf "@[<2>reduce(%s) $%s =@ %a@]"
+        (Fexpr.string_of_binop r.rop) r.rvar Fexpr.pp r.rexpr
 
 and pp_list ppf stmts =
   Format.pp_print_list ~pp_sep:Format.pp_print_cut pp ppf stmts

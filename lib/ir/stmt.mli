@@ -35,6 +35,25 @@ type t =
   | If of cond * t list * t list
   | Call of string * (string * Affine.t) list
       (** procedure call; the alist maps formal names to affine actuals *)
+  | Critical of critical
+      (** lock-protected section: on each executing PE the body runs between
+          an acquire and a release of the named lock. Acquire is a
+          potential-staleness frontier (data written under the same lock by
+          other PEs may have newer versions than any cached copy); release
+          publishes the section's writes to the next acquirer. *)
+  | Reduce of reduce
+      (** recognized reduction update [s = s op e]: each PE accumulates a
+          task-private partial; partials are combined PE-major and broadcast
+          at the enclosing DOALL's barrier *)
+
+and critical = { lock : string; cbody : t list; cloc : Loc.t }
+
+and reduce = {
+  rop : Fexpr.binop;
+  rvar : string;
+  rexpr : Fexpr.t;  (** must not read [rvar] *)
+  rloc : Loc.t;
+}
 
 and loop = {
   loop_id : int;

@@ -24,6 +24,8 @@ type t = {
   barrier_per_level : int;
   flop : int;
   loop_overhead : int;
+  lock_acquire : int;
+  lock_release : int;
 }
 
 let t3d ~n_pes =
@@ -53,6 +55,8 @@ let t3d ~n_pes =
     barrier_per_level = 8;
     flop = 4 (* EV4 FP latency dominates issue *);
     loop_overhead = 2;
+    lock_acquire = 180 (* uncontended remote atomic swap: ~2 one-way trips *);
+    lock_release = 90 (* release store + publication fence *);
   }
 
 let tiny ~n_pes =
@@ -82,6 +86,8 @@ let tiny ~n_pes =
     barrier_per_level = 2;
     flop = 1;
     loop_overhead = 1;
+    lock_acquire = 80;
+    lock_release = 40;
   }
 
 (* Rebalance a distance-model preset so the machine-average remote cost
@@ -177,6 +183,8 @@ let validate t =
   check (t.barrier_per_level >= 0) "barrier_per_level must be >= 0";
   check (t.flop >= 0) "flop must be >= 0";
   check (t.loop_overhead >= 0) "loop_overhead must be >= 0";
+  check (t.lock_acquire >= 0) "lock_acquire must be >= 0";
+  check (t.lock_release >= 0) "lock_release must be >= 0";
   List.rev !problems
 
 let pp ppf t =
@@ -187,10 +195,10 @@ let pp ppf t =
      prefetch queue: %d words; annex: %d entries@,\
      latency: hit=%d local=%d/%d remote=%d store=%d/%d@,\
      prefetch: issue=%d extract=%d annex=%d vget=%d+%d/word@,\
-     barrier: %d; flop=%d loop=%d@]"
+     barrier: %d; flop=%d loop=%d; lock=%d/%d@]"
     t.n_pes (Net.kind_name t.net) t.hop t.link_occ t.bus_occ t.cache_words
     t.line_words
     t.assoc t.prefetch_queue_words t.annex_entries t.hit t.local
     t.uncached_local t.remote t.store_local t.store_remote t.pf_issue
     t.pf_extract t.annex_setup t.vget_startup t.vget_per_word (barrier_cost t)
-    t.flop t.loop_overhead
+    t.flop t.loop_overhead t.lock_acquire t.lock_release

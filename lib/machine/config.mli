@@ -63,6 +63,10 @@ type t = {
   barrier_per_level : int;  (** per log2(PE) tree level *)
   flop : int;  (** cost of one floating-point operation *)
   loop_overhead : int;  (** per-iteration control overhead *)
+  lock_acquire : int;
+      (** acquiring an uncontended lock (remote atomic read-modify-write);
+          contention adds queueing delay on top ({!Memsys} arbitration) *)
+  lock_release : int;  (** releasing a lock (store + publication fence) *)
 }
 
 (** Cray T3D preset at the given machine width (uniform remote latency). *)

@@ -27,6 +27,8 @@ type t = {
   mutable stall_cycles : int;
   mutable link_conflicts : int;
   mutable link_occ_max : int;
+  mutable lock_acquires : int;
+  mutable lock_stall_cycles : int;
 }
 
 let create () =
@@ -59,6 +61,8 @@ let create () =
     stall_cycles = 0;
     link_conflicts = 0;
     link_occ_max = 0;
+    lock_acquires = 0;
+    lock_stall_cycles = 0;
   }
 
 let reset t =
@@ -89,7 +93,9 @@ let reset t =
   t.flop_cycles <- 0;
   t.stall_cycles <- 0;
   t.link_conflicts <- 0;
-  t.link_occ_max <- 0
+  t.link_occ_max <- 0;
+  t.lock_acquires <- 0;
+  t.lock_stall_cycles <- 0
 
 let merge a b =
   {
@@ -121,6 +127,8 @@ let merge a b =
     stall_cycles = a.stall_cycles + b.stall_cycles;
     link_conflicts = a.link_conflicts + b.link_conflicts;
     link_occ_max = max a.link_occ_max b.link_occ_max;
+    lock_acquires = a.lock_acquires + b.lock_acquires;
+    lock_stall_cycles = a.lock_stall_cycles + b.lock_stall_cycles;
   }
 
 let total_misses t = t.miss_local + t.miss_remote
@@ -133,11 +141,11 @@ let pp ppf t =
      unused=%d evicted=%d@,\
      annex hit/miss=%d/%d invalidations=%d barriers=%d flops=%d stall=%d@,\
      coherence: upgrades=%d dir-msgs=%d bus-conflicts=%d@,\
-     link: conflicts=%d max-occ=%d@]"
+     link: conflicts=%d max-occ=%d locks: acquires=%d stall=%d@]"
     t.reads t.writes t.hits t.miss_local t.miss_remote t.uncached_local
     t.uncached_remote t.bypass_reads t.pf_issued t.pf_vector t.pf_vector_words
     t.pf_on_time t.pf_late t.pf_late_cycles t.pf_dropped t.pf_unused t.pf_evicted
     t.annex_hits
     t.annex_misses t.invalidations t.barriers t.flop_cycles t.stall_cycles
     t.upgrades t.dir_msgs t.bus_conflicts
-    t.link_conflicts t.link_occ_max
+    t.link_conflicts t.link_occ_max t.lock_acquires t.lock_stall_cycles

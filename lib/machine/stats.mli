@@ -47,6 +47,10 @@ type t = {
           (only charged when [Config.link_occ > 0]) *)
   mutable link_occ_max : int;
       (** peak transfers sharing one link's busy burst *)
+  mutable lock_acquires : int;  (** critical-section entries *)
+  mutable lock_stall_cycles : int;
+      (** cycles spent waiting for a held lock (beyond the uncontended
+          acquire latency) *)
 }
 
 val create : unit -> t

@@ -335,6 +335,23 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) ?pool
         if eval_cond pe memo c then Array.iter (exec_stmt pe memo) tb
         else Array.iter (exec_stmt pe memo) eb
     | Xplan.XFor l -> exec_loop pe l
+    | Xplan.XCritical { xc_lock; xc_body } ->
+        Memsys.lock_acquire sys ~pe xc_lock;
+        (* the acquire is a coherence frontier: registers holding shared
+           values cannot be trusted past it *)
+        memo.mn <- 0;
+        Array.iter (exec_stmt pe memo) xc_body;
+        Memsys.lock_release sys ~pe xc_lock
+    | Xplan.XReduce { xflops; slot; rop; src } ->
+        Memsys.charge sys ~pe (xflops * cfg.Config.flop);
+        let v = eval_f pe memo src in
+        let fr = fframe.(pe) and fb = fbound.(pe) in
+        if fb.(slot) then fr.(slot) <- Fexpr.apply_binop rop fr.(slot) v
+        else begin
+          (* first contribution seeds the partial *)
+          fr.(slot) <- v;
+          fb.(slot) <- true
+        end
     in
     {
       e_range = exec_range;
@@ -349,9 +366,23 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) ?pool
      it, so a one-shard run is exactly the pre-shard interpreter *)
   let engines = Array.init nshards (fun _ -> make_engine (make_scratch ())) in
   let main = engines.(0) in
-  let exec_parallel id (l : Xplan.loop) =
+  let exec_parallel id (l : Xplan.loop) (reds : Xplan.xred array) =
     incr epochs_executed;
     let t0 = Machine.time (Memsys.machine sys) in
+    (* reduction prologue: capture the incoming binding (PE0's view) and
+       unbind the scalar on every PE — each PE's first contribution seeds
+       its partial, so no identity element is ever materialized *)
+    let incoming =
+      Array.map
+        (fun (rd : Xplan.xred) ->
+          let s = rd.Xplan.rd_slot in
+          let inc = if fbound.(0).(s) then Some fframe.(0).(s) else None in
+          for pe = 0 to n - 1 do
+            fbound.(pe).(s) <- false
+          done;
+          inc)
+        reds
+    in
     if mode = Memsys.Seq then main.e_loop 0 l
     else begin
       let first = eval_bound 0 l.Xplan.l_lo in
@@ -422,6 +453,29 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) ?pool
             chunks);
       ()
     end;
+    (* reduction merge: fold the per-PE partials PE-major onto the
+       incoming value and broadcast the result — the combining happens in
+       the barrier's combining tree, so it charges no PE cycles *)
+    Array.iteri
+      (fun k (rd : Xplan.xred) ->
+        let s = rd.Xplan.rd_slot in
+        let acc = ref incoming.(k) in
+        for pe = 0 to n - 1 do
+          if fbound.(pe).(s) then
+            acc :=
+              Some
+                (match !acc with
+                | Some x -> Fexpr.apply_binop rd.Xplan.rd_op x fframe.(pe).(s)
+                | None -> fframe.(pe).(s))
+        done;
+        match !acc with
+        | Some v ->
+            for pe = 0 to n - 1 do
+              fframe.(pe).(s) <- v;
+              fbound.(pe).(s) <- true
+            done
+        | None -> ())
+      reds;
     Memsys.epoch_boundary sys;
     record_epoch id (Machine.time (Memsys.machine sys) - t0)
   in
@@ -438,7 +492,7 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) ?pool
     Array.iter
       (fun node ->
         match node with
-        | Xplan.NPar (id, l) -> exec_parallel id l
+        | Xplan.NPar (id, l, reds) -> exec_parallel id l reds
         | Xplan.NSer (id, stmts, memo_id) -> exec_serial_epoch id stmts memo_id
         | Xplan.NLoop { s_var; s_lo; s_hi; s_step; s_body } ->
             let first = eval_bound 0 s_lo in

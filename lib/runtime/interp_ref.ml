@@ -133,7 +133,9 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
                 match find_loop lid a with
                 | Some _ as r -> r
                 | None -> find_loop lid b)
-            | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ -> None))
+            | Stmt.Critical c -> find_loop lid c.Stmt.cbody
+            | Stmt.Assign _ | Stmt.Sassign _ | Stmt.Call _ | Stmt.Reduce _ ->
+                None))
       None stmts
   in
   (* issue the vector prefetches attached to a loop, for the given range *)
@@ -250,11 +252,50 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
         if eval_cond pe memo c then List.iter (exec_stmt pe memo) tb
         else List.iter (exec_stmt pe memo) eb
     | Stmt.For l -> exec_loop pe l
+    | Stmt.Critical c ->
+        Memsys.lock_acquire sys ~pe c.Stmt.lock;
+        (* the acquire is a staleness frontier: register copies of shared
+           values loaded before it cannot be trusted past it *)
+        Hashtbl.reset memo;
+        List.iter (exec_stmt pe memo) c.Stmt.cbody;
+        Memsys.lock_release sys ~pe c.Stmt.lock
+    | Stmt.Reduce r ->
+        Memsys.charge sys ~pe (Stmt.direct_flops s * cfg.Config.flop);
+        let v = eval_f pe memo r.Stmt.rexpr in
+        Hashtbl.replace svs.(pe) r.Stmt.rvar
+          (match Hashtbl.find_opt svs.(pe) r.Stmt.rvar with
+          | Some x -> Fexpr.apply_binop r.Stmt.rop x v
+          | None -> v (* first contribution seeds the partial *))
     | Stmt.Call _ -> invalid_arg "Interp: program contains calls; inline first"
+  in
+  (* reduction variables of a DOALL, in syntactic order, deduplicated *)
+  let reds_of (l : Stmt.loop) =
+    let seen = Hashtbl.create 4 in
+    List.rev
+      (Stmt.fold
+         (fun acc s ->
+           match s with
+           | Stmt.Reduce r when not (Hashtbl.mem seen r.Stmt.rvar) ->
+               Hashtbl.add seen r.Stmt.rvar ();
+               (r.Stmt.rvar, r.Stmt.rop) :: acc
+           | _ -> acc)
+         [] [ Stmt.For l ])
   in
   let exec_parallel id (l : Stmt.loop) =
     incr epochs_executed;
     let t0 = Machine.time (Memsys.machine sys) in
+    (* reduction prologue: capture the incoming value, unbind the variable
+       on every PE so each accumulates a private partial seeded by its
+       first contribution (no identity element, so -0.0 and min/max need
+       no special cases) *)
+    let reds =
+      List.map
+        (fun (v, op) ->
+          let inc = Hashtbl.find_opt svs.(0) v in
+          Array.iter (fun h -> Hashtbl.remove h v) svs;
+          (v, op, inc))
+        (reds_of l)
+    in
     if mode = Memsys.Seq then exec_loop 0 l
     else begin
       let first = Bound.eval_exec l.lo (lookup 0) in
@@ -288,6 +329,26 @@ let run cfg ?(oracle = false) ?(sabotage = Memsys.No_fault) (program : Program.t
             chunks);
       ()
     end;
+    (* reduction merge: combine the partials PE-major onto the incoming
+       value and broadcast the result (the barrier's combining tree does
+       the arithmetic, so no cycles are charged beyond the barrier) *)
+    List.iter
+      (fun (v, op, inc) ->
+        let acc = ref inc in
+        for pe = 0 to n - 1 do
+          match Hashtbl.find_opt svs.(pe) v with
+          | Some p ->
+              acc :=
+                Some
+                  (match !acc with
+                  | Some a -> Fexpr.apply_binop op a p
+                  | None -> p)
+          | None -> ()
+        done;
+        match !acc with
+        | Some x -> Array.iter (fun h -> Hashtbl.replace h v x) svs
+        | None -> ())
+      reds;
     Memsys.epoch_boundary sys;
     record_epoch id (Machine.time (Memsys.machine sys) - t0)
   in

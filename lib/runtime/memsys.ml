@@ -111,6 +111,13 @@ type pe_ctx = {
    established modes never touch the new state. *)
 type hw = Hw_none | Hw_snoop of bool  (** [true] = MESI *) | Hw_dir of Coherence.Dir.t
 
+(* A named intra-epoch lock. [free_at] is the cycle at which the last
+   granted holder released it; grants are booked in the order PEs execute
+   (PE-major under serial replay), which makes arbitration deterministic:
+   a later-executed PE queues behind every earlier booking even when its
+   simulated arrival cycle is smaller. *)
+type lock_state = { mutable free_at : int }
+
 type t = {
   cfg : Config.t;
   md : mode;
@@ -146,6 +153,13 @@ type t = {
       (** per-word [epoch * n_pes + pe] stamp of the current epoch's write,
           never reset (stale stamps cannot collide: the base grows
           monotonically); [[||]] when unbuffered *)
+  locks : (string, lock_state) Hashtbl.t;
+      (** named critical-section locks, created on first acquire and reset
+          at every epoch boundary (the barrier subsumes any release) *)
+  has_sync : bool;
+      (** the program contains critical sections: locked bypass reads
+          observe other PEs' current-epoch writes through [mem], so DOALL
+          epochs must replay serially (see {!shardable}) *)
 }
 
 let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
@@ -190,6 +204,15 @@ let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
     | Hscd | Msi | Mesi | Directory -> false
   in
   let words = Addr_map.total_words amap in
+  let has_sync =
+    let is_crit acc s =
+      acc || match s with Stmt.Critical _ -> true | _ -> false
+    in
+    Stmt.fold is_crit false p.Program.main
+    || List.exists
+         (fun (pr : Program.proc) -> Stmt.fold is_crit false pr.Program.body)
+         p.Program.procs
+  in
   {
     cfg;
     md;
@@ -234,6 +257,8 @@ let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
     buffered;
     shadow = (if buffered then Array.make words 0.0 else [||]);
     wstamp = (if buffered then Array.make words min_int else [||]);
+    locks = Hashtbl.create 4;
+    has_sync;
   }
 
 let cfg t = t.cfg
@@ -271,6 +296,45 @@ let charge t ~pe c =
   ctx.pe.Pe.stats.Stats.flop_cycles <- ctx.pe.Pe.stats.Stats.flop_cycles + c;
   Pe.advance ctx.pe c
 let clock t ~pe = t.ctxs.(pe).pe.Pe.clock
+
+(* ------------------------------------------------------------------ *)
+(* Intra-epoch locks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Acquire: an uncontended acquire costs [lock_acquire] cycles (a remote
+   atomic swap round trip); a contended one additionally stalls until the
+   holder's release. Grants are booked in PE execution order — serial
+   PE-major replay makes the arbitration deterministic. *)
+let lock_acquire t ~pe name =
+  let ctx = t.ctxs.(pe) in
+  let st =
+    match Hashtbl.find_opt t.locks name with
+    | Some st -> st
+    | None ->
+        let st = { free_at = 0 } in
+        Hashtbl.replace t.locks name st;
+        st
+  in
+  let arrival = ctx.pe.Pe.clock in
+  let grant = max (arrival + t.cfg.Config.lock_acquire) st.free_at in
+  let stall = grant - arrival - t.cfg.Config.lock_acquire in
+  let s = ctx.pe.Pe.stats in
+  s.Stats.lock_acquires <- s.Stats.lock_acquires + 1;
+  if stall > 0 then begin
+    s.Stats.lock_stall_cycles <- s.Stats.lock_stall_cycles + stall;
+    s.Stats.stall_cycles <- s.Stats.stall_cycles + stall
+  end;
+  Pe.advance ctx.pe (grant - arrival)
+
+(* Release: the publication fence — [lock_release] cycles, after which the
+   section's writes are visible to the next holder (locked readers bypass
+   the cache, so memory itself is already current). *)
+let lock_release t ~pe name =
+  let ctx = t.ctxs.(pe) in
+  Pe.advance ctx.pe t.cfg.Config.lock_release;
+  match Hashtbl.find_opt t.locks name with
+  | Some st -> if ctx.pe.Pe.clock > st.free_at then st.free_at <- ctx.pe.Pe.clock
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Internals                                                           *)
@@ -445,7 +509,13 @@ let record_arrival ctx ~stall =
    older than the last write settled before the current epoch. Writes of
    the current epoch are exempt — under the epoch model's race-freedom a
    same-epoch writer of a read location can only be the reading PE itself,
-   whose write-through patched the cached copy (and its version). *)
+   whose write-through patched the cached copy (and its version). Two
+   refinements close the same-epoch blind spot for synchronized programs:
+   under an eagerly-invalidating hardware protocol every hit must carry
+   the globally latest version (the protocol invalidates on write, so
+   same-epoch lock writes are not exempt), and under buffering a foreign
+   current-epoch write stamp on a hit word is a certain miss of a
+   published intra-epoch value (see [foreign_fresh] below). *)
 let oracle_check t ctx (r : Reference.t) idx addr =
   match t.ora with
   | None -> ()
@@ -455,7 +525,29 @@ let oracle_check t ctx (r : Reference.t) idx addr =
         | Some v -> v
         | None -> 0
       in
-      let stale = o.wver.(addr) > cv && o.wepoch.(addr) < t.epoch_tick in
+      (* Mini-epoch refinement: under buffering a cached copy can never
+         contain another PE's current-epoch write (fills observe the
+         epoch-start shadow, write-through patches only the writer, and
+         drains happen at the barrier). So a tracked cache hit on a word
+         carrying a foreign current-epoch stamp has — with certainty —
+         missed a write published inside this epoch: exactly the escape a
+         misclassified (cached instead of bypassed) in-critical read
+         produces. Race-free lock-free programs never trip this test: only
+         the reading PE itself writes its read set within an epoch. *)
+      let foreign_fresh =
+        t.buffered
+        &&
+        let st = t.wstamp.(addr) in
+        let base = t.epoch_tick * Array.length t.ctxs in
+        st >= base && st <> base + ctx.pe.Pe.id
+      in
+      let eager =
+        match t.hw with Hw_none -> false | Hw_snoop _ | Hw_dir _ -> true
+      in
+      let stale =
+        (o.wver.(addr) > cv && (eager || o.wepoch.(addr) < t.epoch_tick))
+        || foreign_fresh
+      in
       if t.buffered then begin
         (* stage in the PE's private ledger; merged PE-major at the
            barrier — serial replay executes PEs in exactly that order, so
@@ -473,7 +565,8 @@ let oracle_check t ctx (r : Reference.t) idx addr =
                 v_addr = addr;
                 v_cached_version = cv;
                 v_mem_version = o.wver.(addr);
-                v_write_epoch = o.wepoch.(addr);
+                v_write_epoch =
+                  (if foreign_fresh then t.epoch_tick else o.wepoch.(addr));
                 v_read_epoch = t.epoch_tick;
               }
               :: ctx.pviol
@@ -1250,7 +1343,10 @@ let drain_buffered t =
    mode must buffer every cross-PE effect until the barrier, and the
    link-contention model must be off (Net.acquire serializes bookings
    through shared per-link state mid-epoch). *)
-let shardable t = t.buffered && t.cfg.Config.link_occ = 0
+(* Critical sections additionally forbid sharding: locked (bypassed) reads
+   observe other PEs' current-epoch writes through [mem], so concurrent
+   shards would race on it. *)
+let shardable t = t.buffered && t.cfg.Config.link_occ = 0 && not t.has_sync
 
 let epoch_boundary t =
   if t.buffered then drain_buffered t;
@@ -1275,6 +1371,9 @@ let epoch_boundary t =
   t.epoch_tick <- t.epoch_tick + 1;
   (* the barrier drains the network: link bookings do not cross epochs *)
   Net.reset_links t.net;
+  (* the barrier subsumes any lock release: lock state does not cross
+     epochs either *)
+  Hashtbl.reset t.locks;
   (match t.md with
   | Seq -> ()
   (* the hardware rivals keep cache and protocol state across epochs —

@@ -161,6 +161,21 @@ val charge : t -> pe:int -> int -> unit
 
 val clock : t -> pe:int -> int
 
+(** {1 Intra-epoch locks (critical sections)}
+
+    A named lock serializes its critical sections within an epoch under
+    deterministic PE-major arbitration: grants are booked in the order PEs
+    execute (the serial replay order), so a later-executed PE queues behind
+    every earlier booking even when its simulated arrival cycle is smaller.
+    An uncontended acquire costs [Config.lock_acquire] cycles, a release
+    [Config.lock_release]; contention stalls the acquirer until the
+    holder's release and is counted in [Stats.lock_stall_cycles]. Lock
+    state is reset at every epoch boundary (the barrier subsumes any
+    release). *)
+
+val lock_acquire : t -> pe:int -> string -> unit
+val lock_release : t -> pe:int -> string -> unit
+
 (** Epoch boundary: synchronize (barrier), drain prefetch state, apply
     mode-specific invalidation. [seq] mode skips the barrier cost. In the
     buffered modes this is also where the epoch's write versions settle,
@@ -176,7 +191,9 @@ val epoch_boundary : t -> unit
     link-contention model is off. HSCD couples PEs through its write-
     version registers and MSI/MESI/Directory probe other caches
     mid-epoch, so they must replay serially; [Net.acquire] bookings
-    (link_occ > 0) serialize PEs through shared per-link state likewise. *)
+    (link_occ > 0) serialize PEs through shared per-link state likewise.
+    Programs with critical sections also replay serially: locked (bypassed)
+    reads observe other PEs' current-epoch writes through memory. *)
 val shardable : t -> bool
 
 val time : t -> int

@@ -48,6 +48,46 @@ let check_kind_coverage () =
   Format.printf "interconnects: torus=%s mesh=%s crossbar=%s@."
     (covered Net.Torus3d) (covered Net.Mesh2d) (covered Net.Crossbar)
 
+(* Synchronization coverage: the corpus must exercise both intra-epoch
+   synchronization forms — critical-section (Lock) epochs and recognized
+   reduction (Red) epochs — so the differential campaign and the staleness
+   oracle see the mini-epoch machinery on every smoke run. A form the draw
+   frequencies missed gets an explicit differential check on a pinned
+   description, same policy as the interconnect pin above. *)
+let check_sync_coverage () =
+  let descs = corpus () in
+  let has_lock d =
+    List.exists (function Gen.Lock _ -> true | _ -> false) d.Gen.epochs
+  and has_red d =
+    List.exists (function Gen.Red _ -> true | _ -> false) d.Gen.epochs
+  in
+  let pin label epoch =
+    let d = { (List.hd descs) with Gen.epochs = [ epoch ]; Gen.wrap = false } in
+    (match Gen.validate d with
+    | Ok () -> ()
+    | Error m ->
+        Format.eprintf "fuzz-smoke: pinned %s desc invalid: %s@." label m;
+        exit 1);
+    match Ccdp_fuzz.Driver.check_desc d with
+    | None -> ()
+    | Some (variant, _, detail) ->
+        Format.eprintf "fuzz-smoke: pinned %s diverged on %s: %s@." label
+          variant detail;
+        exit 1
+  in
+  let locks = List.length (List.filter has_lock descs)
+  and reds = List.length (List.filter has_red descs) in
+  if locks = 0 then
+    pin "lock"
+      (Gen.Lock
+         { sched = Gen.Block; src = 0; dst = 1; col = 0; col2 = 1; fused = false });
+  if reds = 0 then
+    pin "reduction"
+      (Gen.Red { sched = Gen.Block; op = Gen.Radd; src = 0; dst = 1; seed = true });
+  Format.printf "sync epochs: lock=%s reduction=%s@."
+    (if locks = 0 then "pinned" else Printf.sprintf "drawn(%d)" locks)
+    (if reds = 0 then "pinned" else Printf.sprintf "drawn(%d)" reds)
+
 (* CCDP_SHARDS=N runs every variant with intra-run epoch sharding over N
    domains (Driver.campaign ?shards) — CI uses this to push the whole
    corpus through the parallel simulation path; the summary must be
@@ -64,4 +104,5 @@ let () =
   | _ -> ());
   Format.printf "%a@." Ccdp_fuzz.Driver.pp_summary s;
   check_kind_coverage ();
+  check_sync_coverage ();
   if s.Ccdp_fuzz.Driver.s_failures <> [] then exit 1

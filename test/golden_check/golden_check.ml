@@ -34,6 +34,8 @@ let first_matching f tbl =
 
 let () =
   let heat2d = Sys.argv.(1) and racy = Sys.argv.(2) in
+  let locked_hist = Sys.argv.(3) and minmax_red = Sys.argv.(4) in
+  let onesided = Sys.argv.(5) and badred = Sys.argv.(6) in
   Format.printf "== clean targets ==@.";
   List.iter
     (fun (w : Ccdp_workloads.Workload.t) ->
@@ -42,9 +44,17 @@ let () =
            (compile w.Ccdp_workloads.Workload.program)))
     (Suite.all ());
   print (report "heat2d" (compile (Ccdp_ir.Craft_parse.file heat2d)));
+  (* the synchronization examples certify clean: lock domination discharges
+     the cross-PE accumulator conflict, the in-critical reads are bypassed,
+     and the marked reductions are recognized as associative folds *)
+  print
+    (report "locked_hist" (compile (Ccdp_ir.Craft_parse.file locked_hist)));
+  print (report "minmax_red" (compile (Ccdp_ir.Craft_parse.file minmax_red)));
 
   Format.printf "== fault classes ==@.";
   print (report "racy.craft" (compile (Ccdp_ir.Craft_parse.file racy)));
+  print (report "onesided.craft" (compile (Ccdp_ir.Craft_parse.file onesided)));
+  print (report "badred.craft" (compile (Ccdp_ir.Craft_parse.file badred)));
   let mxm = (Ccdp_workloads.Workload.find (Suite.all ()) "mxm").program in
   let tomcatv =
     (Ccdp_workloads.Workload.find (Suite.all ()) "tomcatv").program

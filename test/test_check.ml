@@ -121,6 +121,44 @@ let property_suite =
                 (List.mem id independent))
             (Stale.stale_ids t.Pipeline.stale)
         done);
+    case "lock/reduction corpus: Stale ⊆ Maystale, acquire verdicts witnessed"
+      (fun () ->
+        (* draw until 40 descriptions carry intra-epoch synchronization
+           (critical sections or recognized reductions): every stale mark —
+           including the new acquire-frontier verdicts — must be re-derived
+           by the independent walk, and the corpus must actually exercise
+           the mini-epoch rule at least once *)
+        let rng = Random.State.make [| 4097 |] in
+        let has_sync d =
+          List.exists
+            (function Gen.Lock _ | Gen.Red _ -> true | _ -> false)
+            d.Gen.epochs
+        in
+        let acquires = ref 0 and seen = ref 0 in
+        while !seen < 40 do
+          let d = Gen.generate rng in
+          if has_sync d then begin
+            incr seen;
+            let cfg = Config.of_kind d.Gen.net ~n_pes:d.Gen.n_pes in
+            let t =
+              Pipeline.compile cfg ~prefetch_clean:d.Gen.pclean (Gen.build d)
+            in
+            let independent =
+              Ccdp_check.Maystale.stale_ids (Check.maystale t)
+            in
+            List.iter
+              (fun id ->
+                (match Stale.verdict t.Pipeline.stale id with
+                | Stale.Stale { at_acquire = true; _ } -> incr acquires
+                | _ -> ());
+                check_true
+                  (Printf.sprintf "stale ref %d derived independently" id)
+                  (List.mem id independent))
+              (Stale.stale_ids t.Pipeline.stale)
+          end
+        done;
+        check_true "corpus exercises the acquire-frontier rule"
+          (!acquires > 0));
     case "witnesses are sorted write ids of the same region" (fun () ->
         let t = compile (workload "mxm") in
         let ms = Check.maystale t in

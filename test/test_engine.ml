@@ -121,6 +121,56 @@ let machine_cases =
             modes))
     Ccdp_core.Experiment.machine_presets
 
+(* pinned intra-epoch synchronization programs: the cycle-costed lock
+   (PE-major arbitration; the sharded engine falls back to the serial
+   walk, which must still match) and the recognized-reduction barrier
+   merge must agree engine-for-engine in every mode *)
+let sync_cases =
+  let mk name ~wrap epochs =
+    case (name ^ " agrees in every mode") (fun () ->
+        let d =
+          {
+            Gen.n = 8;
+            dist_dim = 0;
+            n_pes = 4;
+            net = Ccdp_machine.Net.Uniform;
+            pclean = false;
+            epochs;
+            wrap;
+          }
+        in
+        (match Gen.validate d with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail ("invalid sync desc: " ^ m));
+        let program = Gen.build d in
+        List.iter
+          (fun mode -> assert_equal_runs name program ~n_pes:d.Gen.n_pes mode)
+          modes)
+  in
+  [
+    mk "locked accumulation (block)" ~wrap:false
+      [
+        Gen.Lock
+          { sched = Gen.Block; src = 0; dst = 1; col = 0; col2 = 1; fused = false };
+      ];
+    mk "locked accumulation (cyclic, fused, wrapped)" ~wrap:true
+      [
+        Gen.Lock
+          { sched = Gen.Cyclic; src = 2; dst = 0; col = 1; col2 = 2; fused = true };
+      ];
+    mk "recognized reductions (add then max)" ~wrap:false
+      [
+        Gen.Red { sched = Gen.Block; op = Gen.Radd; src = 0; dst = 1; seed = true };
+        Gen.Red { sched = Gen.Cyclic; op = Gen.Rmax; src = 1; dst = 2; seed = false };
+      ];
+    mk "lock feeding a reduction (wrapped)" ~wrap:true
+      [
+        Gen.Lock
+          { sched = Gen.Block; src = 0; dst = 1; col = 0; col2 = 0; fused = false };
+        Gen.Red { sched = Gen.Block; op = Gen.Rmin; src = 1; dst = 2; seed = true };
+      ];
+  ]
+
 (* minor-heap words of one run of [f], after one warm-up run *)
 let minor_words_of f =
   ignore (f ());
@@ -155,6 +205,7 @@ let () =
         [
           ("fuzz corpus", fuzz_cases);
           ("workloads", workload_cases);
+          ("synchronization", sync_cases);
           ("machines", machine_cases);
           ("allocation", alloc_cases);
         ])

@@ -36,7 +36,7 @@ let plan_with cls op =
      Stale verdict they would count as clean latency-hiding prefetches and
      take the relaxed read path *)
   Hashtbl.replace p.Annot.stale.Stale.verdicts 0
-    (Stale.Stale { writer_ref = 99; writer_epoch = 0 });
+    (Stale.Stale { writer_ref = 99; writer_epoch = 0; at_acquire = false });
   (match op with Some o -> Hashtbl.replace p.Annot.ops 0 o | None -> ());
   p
 
