@@ -125,9 +125,12 @@ let sweeps sizes jobs =
 (* ---- machine sweep -------------------------------------------------- *)
 
 (* Workload x mode x interconnect: the same kernels on each of the four
-   T3D interconnect variants (uniform / torus / mesh / crossbar). The
-   t3d rows are the paper machine; the others show how much of the CCDP
-   advantage survives a distance model and link contention. *)
+   T3D interconnect variants (uniform / torus / mesh / crossbar), plus
+   the coherence-cluster sweep — the Clustered mode on the CXL island
+   presets anchored against flat CCDP and the flat directory on the same
+   crossbar fabric. The t3d rows are the paper machine; the others show
+   how much of the CCDP advantage survives a distance model and link
+   contention. *)
 let machines_bench sizes ~quick ~machine jobs =
   let n = if quick then 24 else sizes.n in
   let iters = if quick then 1 else sizes.iters in
@@ -138,11 +141,29 @@ let machines_bench sizes ~quick ~machine jobs =
        n iters sizes.abl_pes);
   let ws = Suite.spec_four ~n ~iters () in
   with_bench_json ~bench:"machines" ~jobs (fun doc ->
+      (* a cxl-* --machine filter belongs to the cluster sweep below, not
+         the flat BASE/CCDP table (whose presets it would re-island) *)
+      let flat_only =
+        match machine with
+        | Some m
+          when Experiment.(
+                 List.mem_assoc (String.lowercase_ascii m) cluster_presets) ->
+            None
+        | m -> m
+      in
       let tbl =
-        Experiment.machines_table ~n_pes:sizes.abl_pes ?only:machine ~jobs ws
+        Experiment.machines_table ~n_pes:sizes.abl_pes ?only:flat_only ~jobs
+          ws
       in
       Bench_json.add_table doc tbl;
-      Experiment.print_tbl ppf tbl)
+      Experiment.print_tbl ppf tbl;
+      let ctbl =
+        Experiment.clusters_table ~n_pes:sizes.abl_pes ?only:machine ~jobs ws
+      in
+      if ctbl.Experiment.trows <> [] then begin
+        Bench_json.add_table doc ctbl;
+        Experiment.print_tbl ppf ctbl
+      end)
 
 (* ---- hardware-coherence rivals -------------------------------------- *)
 

@@ -38,19 +38,45 @@ let workload_arg =
     & pos 0 (some string) None
     & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,ccdp list)).")
 
+(* --mode and --machine parsing and help text are generated from the
+   runtime's own mode list and the machine preset table, so a new mode or
+   preset shows up here without touching the CLI. *)
+
+let mode_of_string s =
+  match Ccdp_runtime.Memsys.mode_of_string s with
+  | Some m -> Some m
+  | None -> (
+      (* long-form spellings kept for compatibility *)
+      match String.lowercase_ascii s with
+      | "invalidate" -> Some Ccdp_runtime.Memsys.Invalidate
+      | "incoherent" -> Some Ccdp_runtime.Memsys.Incoherent
+      | "directory" -> Some Ccdp_runtime.Memsys.Directory
+      | "clustered" -> Some Ccdp_runtime.Memsys.Clustered
+      | _ -> None)
+
+let mode_doc =
+  String.concat "; "
+    (List.map
+       (fun m ->
+         Printf.sprintf "$(b,%s): %s"
+           (String.lowercase_ascii (Ccdp_runtime.Memsys.mode_name m))
+           (Ccdp_runtime.Memsys.mode_describe m))
+       Ccdp_runtime.Memsys.all_modes)
+  ^ "."
+
 let mode_conv =
   let parse s =
-    match String.lowercase_ascii s with
-    | "seq" -> Ok Ccdp_runtime.Memsys.Seq
-    | "base" -> Ok Ccdp_runtime.Memsys.Base
-    | "ccdp" -> Ok Ccdp_runtime.Memsys.Ccdp
-    | "inv" | "invalidate" -> Ok Ccdp_runtime.Memsys.Invalidate
-    | "inc" | "incoherent" -> Ok Ccdp_runtime.Memsys.Incoherent
-    | "hscd" -> Ok Ccdp_runtime.Memsys.Hscd
-    | "msi" -> Ok Ccdp_runtime.Memsys.Msi
-    | "mesi" -> Ok Ccdp_runtime.Memsys.Mesi
-    | "dir" | "directory" -> Ok Ccdp_runtime.Memsys.Directory
-    | _ -> Error (`Msg ("unknown mode " ^ s))
+    match mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown mode %S (modes: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun m ->
+                       String.lowercase_ascii (Ccdp_runtime.Memsys.mode_name m))
+                     Ccdp_runtime.Memsys.all_modes))))
   in
   Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Ccdp_runtime.Memsys.mode_name m))
 
@@ -58,8 +84,15 @@ let mode_arg =
   Arg.(
     value
     & opt mode_conv Ccdp_runtime.Memsys.Ccdp
-    & info [ "mode" ] ~docv:"MODE"
-        ~doc:"seq | base | ccdp | inv | inc | hscd | msi | mesi | dir.")
+    & info [ "mode" ] ~docv:"MODE" ~doc:mode_doc)
+
+let machine_doc =
+  Printf.sprintf
+    "Machine preset: %s. Bare interconnect kind names (%s) select the \
+     matching T3D variant."
+    (String.concat " | "
+       (List.map (fun n -> "$(b," ^ n ^ ")") Ccdp_machine.Config.preset_names))
+    (String.concat "/" Ccdp_machine.Net.kind_names)
 
 let machine_conv =
   let parse s =
@@ -77,11 +110,7 @@ let machine_arg =
   Arg.(
     value
     & opt machine_conv ("t3d", Ccdp_machine.Config.t3d)
-    & info [ "machine" ] ~docv:"MACHINE"
-        ~doc:
-          "Machine preset or interconnect kind: t3d | t3d-torus | t3d-mesh \
-           | t3d-xbar | tiny (kind names uniform/torus/mesh2d/crossbar also \
-           accepted).")
+    & info [ "machine" ] ~docv:"MACHINE" ~doc:machine_doc)
 
 (* resolved through CCDP_JOBS and the domain count when not given; -j 1
    bypasses the domain pool entirely (results are identical either way) *)
@@ -214,7 +243,8 @@ let load_cmd =
     Format.printf "%a@.@." Ccdp_core.Pipeline.report compiled;
     let plan =
       match mode with
-      | Ccdp_runtime.Memsys.Ccdp -> compiled.Ccdp_core.Pipeline.plan
+      | Ccdp_runtime.Memsys.Ccdp | Ccdp_runtime.Memsys.Clustered ->
+          compiled.Ccdp_core.Pipeline.plan
       | _ -> Ccdp_analysis.Annot.empty ()
     in
     let r =
@@ -360,8 +390,9 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Differential soundness fuzzing: random CRAFT programs through BASE, \
-          every CCDP scheduling variant and the hardware-coherence rivals \
-          (MSI, MESI, directory), checked against sequential execution and \
+          every CCDP scheduling variant, the hardware-coherence rivals \
+          (MSI, MESI, directory) and the clustered islands mode on a \
+          re-islanded machine, checked against sequential execution and \
           the dynamic staleness oracle")
     Term.(
       const run $ seed_arg $ count_arg $ dump_arg $ break_stale_arg
@@ -457,6 +488,11 @@ let perf_cmd =
       match mode with
       | Ccdp_runtime.Memsys.Ccdp ->
           let compiled = Ccdp_core.Pipeline.compile cfg w.program in
+          (compiled.Ccdp_core.Pipeline.program, compiled.Ccdp_core.Pipeline.plan)
+      | Ccdp_runtime.Memsys.Clustered ->
+          let compiled =
+            Ccdp_core.Pipeline.compile cfg ~cluster_coherent:true w.program
+          in
           (compiled.Ccdp_core.Pipeline.program, compiled.Ccdp_core.Pipeline.plan)
       | _ -> (Ccdp_ir.Program.inline w.program, Ccdp_analysis.Annot.empty ())
     in

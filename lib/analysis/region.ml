@@ -110,6 +110,43 @@ let aligned t ~(reader : Ref_info.t) ~(writer : Ref_info.t) =
   done;
   !ok
 
+(* Cluster-relaxed owner-computes test: the reading PE need not have
+   written the touched elements itself, as long as some single PE of its
+   own coherence island provably did — that island sibling's writes reach
+   the reader through the island's hardware snoop, so the reader's cached
+   copy can never survive them stale. The writer side stays a must-set
+   per candidate sibling (a union over the island is not representable
+   exactly, so one covering sibling is what may be relied on); [pe]
+   itself is a candidate, which makes the test subsume [aligned], and
+   [cluster_pes = 1] degenerates to it exactly. *)
+let aligned_cluster t ~cluster_pes ~(reader : Ref_info.t)
+    ~(writer : Ref_info.t) =
+  if cluster_pes <= 1 then aligned t ~reader ~writer
+  else
+    String.equal reader.ref_.Reference.array_name
+      writer.ref_.Reference.array_name
+    &&
+    let w_all = section_all t writer in
+    let ok = ref true in
+    for pe = 0 to t.np - 1 do
+      if !ok then begin
+        let r_pe = section_pe t reader ~pe in
+        let touched = Section.inter r_pe w_all in
+        if not (Section.is_empty touched) then begin
+          let lo = pe / cluster_pes * cluster_pes in
+          let covered = ref false in
+          for q = lo to min (t.np - 1) (lo + cluster_pes - 1) do
+            if
+              (not !covered)
+              && Section.contains (section_pe_must t writer ~pe:q) touched
+            then covered := true
+          done;
+          if not !covered then ok := false
+        end
+      end
+    done;
+    !ok
+
 let all_local t (i : Ref_info.t) =
   let lay = layout t i.ref_.Reference.array_name in
   let ok = ref true in

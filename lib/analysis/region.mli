@@ -43,6 +43,16 @@ val section_all_must : t -> Ref_info.t -> Ccdp_ir.Section.t
     ones). *)
 val aligned : t -> reader:Ref_info.t -> writer:Ref_info.t -> bool
 
+(** Cluster-relaxed alignment for machines with hardware-coherent islands
+    of [cluster_pes] PEs (owner-computes modulo the island): every element
+    a PE reads of the written region must have been provably written by
+    {e some single} PE of the reader's own island — that sibling's writes
+    invalidate the reader's copy through the island snoop, so no prefetch
+    or bypass obligation is needed. Subsumes {!aligned} (the reader itself
+    is a candidate sibling); [cluster_pes <= 1] is exactly {!aligned}. *)
+val aligned_cluster :
+  t -> cluster_pes:int -> reader:Ref_info.t -> writer:Ref_info.t -> bool
+
 (** Is every element this reference touches owned (local) to the touching
     PE? (VPENTA's access pattern; interesting diagnostically.) *)
 val all_local : t -> Ref_info.t -> bool

@@ -29,7 +29,7 @@ let may_precede ~(writer : Ref_info.t) ~(reader : Ref_info.t) =
 
 let straight_line (i : Ref_info.t) = i.Ref_info.outer_serial = []
 
-let analyze region infos =
+let analyze ?(cluster_pes = 1) region infos =
   let tracked name =
     let d = Region.decl region name in
     d.Array_decl.shared && d.Array_decl.dist <> Dist.Replicated
@@ -62,7 +62,7 @@ let analyze region infos =
     match Hashtbl.find_opt aligned_memo key with
     | Some v -> v
     | None ->
-        let v = Region.aligned region ~reader ~writer in
+        let v = Region.aligned_cluster region ~cluster_pes ~reader ~writer in
         Hashtbl.replace aligned_memo key v;
         v
   in

@@ -43,7 +43,13 @@ type result = {
   diags : string list;  (** warnings (e.g. writes to replicated arrays) *)
 }
 
-val analyze : Region.t -> Ref_info.t list -> result
+(** [cluster_pes] (default 1, flat) relaxes the alignment discharge to the
+    cluster-aware {!Region.aligned_cluster} test: a potentially-stale read
+    whose covering writer provably lands in the reader's own hardware-
+    coherent island carries no prefetch/bypass obligation — the island
+    snoop keeps the reader's copy honest. Only sound when the runtime
+    actually runs the clustered protocol ([Memsys.Clustered]). *)
+val analyze : ?cluster_pes:int -> Region.t -> Ref_info.t list -> result
 
 val verdict : result -> int -> verdict
 

@@ -1,7 +1,8 @@
 module Pipeline = Ccdp_core.Pipeline
 
 let maystale (t : Pipeline.t) =
-  Maystale.derive t.Pipeline.region t.Pipeline.epochs t.Pipeline.infos
+  Maystale.derive ~cluster_pes:t.Pipeline.cluster_pes t.Pipeline.region
+    t.Pipeline.epochs t.Pipeline.infos
 
 let coverage (t : Pipeline.t) =
   Coverage.check ~plan:t.Pipeline.plan ~maystale:(maystale t)

@@ -20,7 +20,7 @@ type t = {
       (** tracked read ref id -> witness write ref ids (sorted; [] = clean) *)
 }
 
-let derive region (epochs : Epoch.t) infos =
+let derive ?(cluster_pes = 1) region (epochs : Epoch.t) infos =
   let tracked name =
     let d = Region.decl region name in
     d.Array_decl.shared && d.Array_decl.dist <> Dist.Replicated
@@ -43,7 +43,7 @@ let derive region (epochs : Epoch.t) infos =
     match Hashtbl.find_opt aligned_memo key with
     | Some v -> v
     | None ->
-        let v = Region.aligned region ~reader ~writer in
+        let v = Region.aligned_cluster region ~cluster_pes ~reader ~writer in
         Hashtbl.replace aligned_memo key v;
         v
   in

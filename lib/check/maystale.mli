@@ -11,7 +11,12 @@
 
 type t
 
+(** [cluster_pes] (default 1) must match the value the plan under scrutiny
+    was compiled with: it selects the same cluster-aware alignment
+    discharge ({!Ccdp_analysis.Region.aligned_cluster}) so the second
+    opinion re-derives the same obligation set independently. *)
 val derive :
+  ?cluster_pes:int ->
   Ccdp_analysis.Region.t -> Ccdp_ir.Epoch.t -> Ccdp_analysis.Ref_info.t list
   -> t
 

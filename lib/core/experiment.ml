@@ -42,6 +42,16 @@ let run_mode ?tuning ?(machine = Config.t3d) ?jobs ~n_pes mode (w : Workload.t)
         let compiled = Pipeline.compile cfg ?tuning w.program in
         Interp.run cfg ?pool compiled.Pipeline.program
           ~plan:compiled.Pipeline.plan ~mode ()
+    | Memsys.Clustered ->
+        (* the clustered runtime still consumes a CCDP plan for its
+           inter-island traffic; compiling with the cluster-aware
+           discharge drops the obligations the island snoop makes
+           redundant *)
+        let compiled =
+          Pipeline.compile cfg ?tuning ~cluster_coherent:true w.program
+        in
+        Interp.run cfg ?pool compiled.Pipeline.program
+          ~plan:compiled.Pipeline.plan ~mode ()
     | Memsys.Seq ->
         let cfg = machine ~n_pes:1 in
         Interp.run cfg ?pool
@@ -476,6 +486,83 @@ let machines_table ?(n_pes = 16) ?only ?jobs workloads =
 
 let machines ?n_pes ?only workloads ppf =
   print_tbl ppf (machines_table ?n_pes ?only workloads)
+
+(* ------------------------------------------------------------------ *)
+(* Coherence-cluster sweep                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The CXL-style island presets share the crossbar fabric with t3d-xbar,
+   so the honest anchors are flat CCDP and the flat full-map directory on
+   t3d-xbar: same distance model, same shared-port contention, no
+   islands. A positive "vs" column means the islands won. *)
+let cluster_presets =
+  [
+    ("cxl-2x32", Config.cxl_2x32);
+    ("cxl-4x16", Config.cxl_4x16);
+    ("cxl-8x8", Config.cxl_8x8);
+  ]
+
+let clusters_table ?(n_pes = 16) ?only ?jobs workloads =
+  let presets =
+    match only with
+    | None -> cluster_presets
+    | Some name ->
+        let name = String.lowercase_ascii name in
+        List.filter (fun (mname, _) -> mname = name) cluster_presets
+  in
+  let groups =
+    if presets = [] then []
+    else
+      Pool.run ?jobs
+        ~label:(fun i -> (List.nth workloads i).Workload.name ^ "@clusters")
+        (fun _ (w : Workload.t) ->
+          let ccdp = run_mode ~machine:Config.t3d_xbar ~n_pes Memsys.Ccdp w in
+          let dir =
+            run_mode ~machine:Config.t3d_xbar ~n_pes Memsys.Directory w
+          in
+          List.map
+            (fun (mname, preset) ->
+              let clu = run_mode ~machine:preset ~n_pes Memsys.Clustered w in
+              let s = clu.Interp.stats in
+              let pct (anchor : Interp.result) =
+                Report.fpct
+                  (100.
+                  *. float_of_int (anchor.Interp.cycles - clu.Interp.cycles)
+                  /. float_of_int anchor.Interp.cycles)
+              in
+              [
+                w.Workload.name;
+                mname;
+                string_of_int clu.Interp.cycles;
+                string_of_int ccdp.Interp.cycles;
+                string_of_int dir.Interp.cycles;
+                pct ccdp;
+                pct dir;
+                string_of_int s.Stats.cluster_hits;
+                string_of_int s.Stats.cluster_inter;
+                string_of_int s.Stats.bus_conflicts;
+              ])
+            presets)
+        workloads
+  in
+  {
+    title =
+      Printf.sprintf
+        "Coherence-cluster sweep (%d PEs): CLU on the CXL island presets \
+         vs flat CCDP and the flat directory on the same crossbar fabric \
+         (cycles; positive %% = islands win)"
+        n_pes;
+    headers =
+      [
+        "workload"; "machine"; "CLU"; "flat CCDP"; "flat DIR";
+        "vs flat CCDP"; "vs flat DIR"; "cluster hits"; "cluster inter";
+        "bus conflicts";
+      ];
+    trows = List.concat groups;
+  }
+
+let clusters ?n_pes ?only workloads ppf =
+  print_tbl ppf (clusters_table ?n_pes ?only workloads)
 
 (* ------------------------------------------------------------------ *)
 (* Hardware-coherence rivals sweep                                     *)

@@ -134,6 +134,32 @@ val machines :
   Format.formatter ->
   unit
 
+(** The CXL-style coherence-cluster presets the cluster sweep reports, in
+    table order: 2, 4 and 8 islands on the crossbar fabric. *)
+val cluster_presets :
+  (string * (n_pes:int -> Ccdp_machine.Config.t)) list
+
+(** Coherence-cluster sweep: one row per (workload, cxl preset) running
+    the Clustered mode, anchored against flat CCDP and the flat full-map
+    directory on [t3d-xbar] (the same crossbar fabric without islands).
+    Rows report cycles, the improvement over each anchor, and the
+    intra-cluster hit / inter-cluster CCDP traffic counters. [only]
+    restricts to a single cxl preset; a non-cxl [only] yields an empty
+    table (the sweep has nothing to say about flat machines). *)
+val clusters_table :
+  ?n_pes:int ->
+  ?only:string ->
+  ?jobs:int ->
+  Ccdp_workloads.Workload.t list ->
+  table
+
+val clusters :
+  ?n_pes:int ->
+  ?only:string ->
+  Ccdp_workloads.Workload.t list ->
+  Format.formatter ->
+  unit
+
 (** {1 Hardware-coherence rivals}
 
     Workload × mode × machine sweep pitting the compiler-directed schemes

@@ -13,16 +13,30 @@ type t = {
   cfg : Ccdp_machine.Config.t;
   tuning : Schedule.tuning;
   prefetch_clean : bool;
+  cluster_pes : int;
+      (* effective cluster width of the alignment discharge: [cfg.cluster_pes]
+         when compiling for the clustered runtime, 1 otherwise *)
 }
 
 let compile cfg ?(tuning = Schedule.default_tuning) ?innermost_only
-    ?group_spatial ?(prefetch_clean = false) ?(mutate_stale = fun s -> s)
-    program =
+    ?group_spatial ?(prefetch_clean = false) ?(cluster_coherent = false)
+    ?(mutate_stale = fun s -> s) program =
   let program = Program.inline program in
   let epochs = Epoch.partition program.Program.main in
   let infos = Ref_info.collect epochs in
   let region = Region.make program ~n_pes:cfg.Ccdp_machine.Config.n_pes in
-  let stale = mutate_stale (Stale.analyze region infos) in
+  (* the cluster-aware discharge is sound only under the clustered
+     protocol, so it is opt-in per compile, and mirrors the runtime's
+     degradation to a flat machine when the clustering is ragged *)
+  let cluster_pes =
+    if
+      cluster_coherent
+      && cfg.Ccdp_machine.Config.n_pes mod cfg.Ccdp_machine.Config.cluster_pes
+         = 0
+    then cfg.Ccdp_machine.Config.cluster_pes
+    else 1
+  in
+  let stale = mutate_stale (Stale.analyze ~cluster_pes region infos) in
   let target =
     Target.analyze ?innermost_only ?group_spatial ~prefetch_clean region cfg
       infos stale
@@ -40,6 +54,7 @@ let compile cfg ?(tuning = Schedule.default_tuning) ?innermost_only
     cfg;
     tuning;
     prefetch_clean;
+    cluster_pes;
   }
 
 let report ppf t =

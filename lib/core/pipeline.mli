@@ -18,18 +18,31 @@ type t = {
   cfg : Ccdp_machine.Config.t;  (** machine the plan was scheduled for *)
   tuning : Ccdp_analysis.Schedule.tuning;  (** resolved scheduling knobs *)
   prefetch_clean : bool;  (** were clean reads eligible for prefetching? *)
+  cluster_pes : int;
+      (** effective island width of the alignment discharge: the machine's
+          [cluster_pes] when compiled with [~cluster_coherent:true] (and
+          the clustering divides the machine), 1 otherwise. The certifier
+          re-derives obligations with the same width. *)
 }
 
 (** [mutate_stale] rewrites the stale-analysis result before target
     analysis and scheduling consume it — a fault-injection hook: the
     differential fuzzer drops a mark to prove the staleness oracle catches
-    an unsound analysis. Defaults to the identity. *)
+    an unsound analysis. Defaults to the identity.
+
+    [cluster_coherent] (default false) compiles for the clustered runtime
+    ([Memsys.Clustered]): the stale analysis discharges reads whose
+    writers provably land in the reader's hardware-coherent island
+    ({!Ccdp_analysis.Region.aligned_cluster} at the machine's
+    [Config.cluster_pes]). Unsound for every other mode — flat runs on a
+    clustered machine must leave it off. *)
 val compile :
   Ccdp_machine.Config.t ->
   ?tuning:Ccdp_analysis.Schedule.tuning ->
   ?innermost_only:bool ->
   ?group_spatial:bool ->
   ?prefetch_clean:bool ->
+  ?cluster_coherent:bool ->
   ?mutate_stale:(Ccdp_analysis.Stale.result -> Ccdp_analysis.Stale.result) ->
   Ccdp_ir.Program.t ->
   t

@@ -65,12 +65,25 @@ let variants =
     { vname = "MSI"; mode = Memsys.Msi; tuning = None };
     { vname = "MESI"; mode = Memsys.Mesi; tuning = None };
     { vname = "DIR"; mode = Memsys.Directory; tuning = None };
+    (* hardware-coherent islands under a cluster-aware CCDP plan: the
+       machine is re-islanded (see [cluster_cfg]) and the compile runs
+       with the cluster discharge enabled *)
+    { vname = "CLU"; mode = Memsys.Clustered; tuning = Some t };
   ]
 
 let variant_names = List.map (fun v -> v.vname) variants
 
 let cfg_of (d : Gen.desc) =
   Config.of_kind d.Gen.net ~n_pes:d.Gen.n_pes
+
+(* The clustered variant re-islands the generated machine: two islands
+   when the width divides, flat singleton islands otherwise (odd widths
+   still exercise the protocol — every remote-homed write then crosses a
+   cluster boundary). *)
+let cluster_cfg cfg =
+  let n = cfg.Config.n_pes in
+  let cp = if n > 1 && n mod 2 = 0 then n / 2 else 1 in
+  { cfg with Config.cluster_pes = cp }
 
 let drop_stale_mark k (r : Stale.result) =
   match List.sort compare (Stale.stale_ids r) with
@@ -83,6 +96,11 @@ let drop_stale_mark k (r : Stale.result) =
       { r with Stale.verdicts; n_stale = r.Stale.n_stale - 1 }
 
 let run_variant ?mutate_stale ?pool cfg (d : Gen.desc) program v =
+  let cfg, cluster_coherent =
+    match v.mode with
+    | Memsys.Clustered -> (cluster_cfg cfg, true)
+    | _ -> (cfg, false)
+  in
   match v.tuning with
   | None ->
       Interp.run cfg ~oracle:true ?pool program ~plan:(Annot.empty ())
@@ -90,7 +108,7 @@ let run_variant ?mutate_stale ?pool cfg (d : Gen.desc) program v =
   | Some tuning ->
       let compiled =
         Pipeline.compile cfg ~tuning ~prefetch_clean:d.Gen.pclean ?mutate_stale
-          program
+          ~cluster_coherent program
       in
       Interp.run cfg ~oracle:true ?pool compiled.Pipeline.program
         ~plan:compiled.Pipeline.plan ~mode:v.mode ()
@@ -187,7 +205,7 @@ let check_full ?mutate_stale ?pool (d : Gen.desc) =
   let program = Gen.build d in
   let seq =
     Interp.run
-      { cfg with Config.n_pes = 1 }
+      { cfg with Config.n_pes = 1; Config.cluster_pes = 1 }
       program ~plan:(Annot.empty ()) ~mode:Memsys.Seq ()
   in
   let runs = ref 0 and checks = ref 0 in
@@ -371,6 +389,11 @@ let sabotage_cases =
       sb_mode = Memsys.Directory;
       sb_fault = Memsys.Corrupt_presence;
     };
+    {
+      sb_name = "CLU/drop-back-inval";
+      sb_mode = Memsys.Clustered;
+      sb_fault = Memsys.Drop_inter_cluster_invalidate;
+    };
   ]
 
 type sabotage_summary = {
@@ -386,12 +409,28 @@ let run_sabotage case (d : Gen.desc) =
   let program = Gen.build d in
   let seq =
     Interp.run
-      { cfg with Config.n_pes = 1 }
+      { cfg with Config.n_pes = 1; Config.cluster_pes = 1 }
       program ~plan:(Annot.empty ()) ~mode:Memsys.Seq ()
   in
+  (* the snooping/directory rivals are plan-free; the clustered mode keeps
+     the CCDP discipline across islands, so its sabotage run needs the
+     re-islanded machine and a plan compiled with the cluster discharge —
+     exactly the configuration whose soundness leans on the back-
+     invalidations the fault drops *)
+  let cfg, run_program, plan =
+    match case.sb_mode with
+    | Memsys.Clustered ->
+        let ccfg = cluster_cfg cfg in
+        let compiled =
+          Pipeline.compile ccfg ~cluster_coherent:true
+            ~prefetch_clean:d.Gen.pclean program
+        in
+        (ccfg, compiled.Pipeline.program, compiled.Pipeline.plan)
+    | _ -> (cfg, program, Annot.empty ())
+  in
   let r =
-    Interp.run cfg ~oracle:true ~sabotage:case.sb_fault program
-      ~plan:(Annot.empty ()) ~mode:case.sb_mode ()
+    Interp.run cfg ~oracle:true ~sabotage:case.sb_fault run_program ~plan
+      ~mode:case.sb_mode ()
   in
   let fired = Memsys.sabotage_fired r.Interp.sys in
   let caught = Memsys.oracle_violation_count r.Interp.sys > 0 in

@@ -1,5 +1,6 @@
 type t = {
   n_pes : int;
+  cluster_pes : int;
   cache_words : int;
   line_words : int;
   assoc : int;
@@ -31,6 +32,7 @@ type t = {
 let t3d ~n_pes =
   {
     n_pes;
+    cluster_pes = 1;
     cache_words = 1024 (* 8 KB of 64-bit words *);
     line_words = 4 (* 32-byte lines *);
     assoc = 1 (* direct-mapped EV4 *);
@@ -62,6 +64,7 @@ let t3d ~n_pes =
 let tiny ~n_pes =
   {
     n_pes;
+    cluster_pes = 1;
     cache_words = 64;
     line_words = 4;
     assoc = 1;
@@ -121,12 +124,32 @@ let of_kind kind ~n_pes =
   | Net.Mesh2d -> t3d_mesh ~n_pes
   | Net.Crossbar -> t3d_xbar ~n_pes
 
+(* CXL-style partially-coherent machine: PEs grouped into [clusters]
+   hardware-coherent islands over the crossbar fabric. The preset name
+   records the shape at the nominal 64-PE width (cxl-2x32 = 2 islands of
+   32); at other widths the island count is preserved and the island
+   width follows [n_pes / clusters], degrading to a flat machine when the
+   division does not come out even (validation would reject a ragged
+   clustering). *)
+let cxl ~clusters ~n_pes =
+  {
+    (t3d_xbar ~n_pes) with
+    cluster_pes = (if n_pes mod clusters = 0 then n_pes / clusters else 1);
+  }
+
+let cxl_2x32 ~n_pes = cxl ~clusters:2 ~n_pes
+let cxl_4x16 ~n_pes = cxl ~clusters:4 ~n_pes
+let cxl_8x8 ~n_pes = cxl ~clusters:8 ~n_pes
+
 let presets =
   [
     ("t3d", t3d);
     ("t3d-torus", t3d_torus);
     ("t3d-mesh", t3d_mesh);
     ("t3d-xbar", t3d_xbar);
+    ("cxl-2x32", cxl_2x32);
+    ("cxl-4x16", cxl_4x16);
+    ("cxl-8x8", cxl_8x8);
     ("tiny", tiny);
   ]
 
@@ -155,6 +178,9 @@ let validate t =
   let problems = ref [] in
   let check cond msg = if not cond then problems := msg :: !problems in
   check (t.n_pes > 0) "n_pes must be positive";
+  check (t.cluster_pes > 0) "cluster_pes must be positive";
+  if t.n_pes > 0 && t.cluster_pes > 0 then
+    check (t.n_pes mod t.cluster_pes = 0) "cluster_pes must divide n_pes";
   check (t.line_words > 0) "line_words must be positive";
   check (t.assoc > 0) "assoc must be positive";
   if t.line_words > 0 && t.assoc > 0 then begin
@@ -189,14 +215,15 @@ let validate t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>machine: %d PEs@,\
+    "@[<v>machine: %d PEs (clusters of %d)@,\
      network: %s hop=%d link-occ=%d bus-occ=%d@,\
      cache: %d words, %d-word lines, %d-way@,\
      prefetch queue: %d words; annex: %d entries@,\
      latency: hit=%d local=%d/%d remote=%d store=%d/%d@,\
      prefetch: issue=%d extract=%d annex=%d vget=%d+%d/word@,\
      barrier: %d; flop=%d loop=%d; lock=%d/%d@]"
-    t.n_pes (Net.kind_name t.net) t.hop t.link_occ t.bus_occ t.cache_words
+    t.n_pes t.cluster_pes (Net.kind_name t.net) t.hop t.link_occ t.bus_occ
+    t.cache_words
     t.line_words
     t.assoc t.prefetch_queue_words t.annex_entries t.hit t.local
     t.uncached_local t.remote t.store_local t.store_remote t.pf_issue

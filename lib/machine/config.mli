@@ -19,6 +19,12 @@
 
 type t = {
   n_pes : int;
+  cluster_pes : int;
+      (** PEs per coherence cluster (must divide [n_pes]; 1 = flat
+          machine). Clusters are hardware-coherent islands: the [Clustered]
+          runtime mode snoops MESI-style inside an island and falls back to
+          the CCDP stale discipline across islands, and {!Net} charges
+          intra-cluster transfers at the cheap local rate. *)
   (* cache *)
   cache_words : int;  (** data cache capacity, 64-bit words *)
   line_words : int;  (** cache line size, 64-bit words *)
@@ -83,6 +89,17 @@ val t3d_mesh : n_pes:int -> t
 (** T3D preset over a crossbar: constant one-hop distance, shared-port
     link contention on by default ([link_occ > 0]). *)
 val t3d_xbar : n_pes:int -> t
+
+(** CXL-style partially-coherent presets over the crossbar: PEs grouped
+    into hardware-coherent islands ([cluster_pes > 1]) with inter-island
+    transfers keeping the full hop/link-occupancy costs. The name records
+    the island shape at the nominal 64-PE width (2x32 = 2 islands of 32
+    PEs); at other widths the island {e count} is preserved, degrading to
+    a flat machine when it does not divide [n_pes]. *)
+val cxl_2x32 : n_pes:int -> t
+
+val cxl_4x16 : n_pes:int -> t
+val cxl_8x8 : n_pes:int -> t
 
 (** Preset with uniform tiny latencies, for algorithm-level tests. *)
 val tiny : n_pes:int -> t

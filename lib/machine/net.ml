@@ -15,9 +15,49 @@ let kind_of_string s =
   | _ -> None
 
 let all_kinds = [ Uniform; Torus3d; Mesh2d; Crossbar ]
+let kind_names = List.map kind_name all_kinds
+
+(* 3-D torus geometry (the Cray T3D's interconnect). Near-cubic
+   factorization: prefer nx >= ny >= nz with nx*ny*nz >= n, exact when n
+   factors nicely (powers of two always do). *)
+type torus = { nx : int; ny : int; nz : int }
+
+let torus_of_pes n =
+  if n <= 0 then invalid_arg "Net.torus_of_pes: n_pes <= 0";
+  let cube = int_of_float (Float.round (Float.cbrt (float_of_int n))) in
+  let best = ref (n, 1, 1) in
+  let volume (a, b, c) = a * b * c in
+  let badness (a, b, c) = (a - c) + abs (volume (a, b, c) - n) in
+  for nz = 1 to cube + 1 do
+    for ny = nz to n do
+      if ny * nz <= n then begin
+        let nx = (n + (ny * nz) - 1) / (ny * nz) in
+        let cand = (max nx ny, ny, nz) in
+        if volume cand >= n && badness cand < badness !best then best := cand
+      end
+    done
+  done;
+  let nx, ny, nz = !best in
+  { nx; ny; nz }
+
+let torus_coords t pe =
+  let x = pe mod t.nx in
+  let y = pe / t.nx mod t.ny in
+  let z = pe / (t.nx * t.ny) in
+  (x, y, z)
+
+let ring_dist n a b =
+  let d = abs (a - b) in
+  min d (n - d)
+
+let torus_hops t a b =
+  let xa, ya, za = torus_coords t a and xb, yb, zb = torus_coords t b in
+  ring_dist t.nx xa xb + ring_dist t.ny ya yb + ring_dist t.nz za zb
+
+let torus_diameter t = (t.nx / 2) + (t.ny / 2) + (t.nz / 2)
 
 (* Near-square factorization nx >= ny with nx * ny >= n: the 2-D analogue
-   of [Torus.of_pes]'s near-cubic packing. *)
+   of the torus's near-cubic packing. *)
 let mesh_dims n =
   let best = ref (n, 1) in
   let badness (a, b) = a - b + abs ((a * b) - n) in
@@ -31,7 +71,7 @@ let mesh_dims n =
 
 type geom =
   | Guniform
-  | Gtorus of Torus.t
+  | Gtorus of torus
   | Gmesh of int * int  (** nx, ny *)
   | Gxbar
 
@@ -39,21 +79,27 @@ type t = {
   kind : kind;
   n_pes : int;
   hop : int;
+  cluster_pes : int;  (** PEs per coherence cluster; 1 = flat machine *)
   geom : geom;
   costs : int array;
       (** pre-folded [hop * hops src dst] matrix, row-major [src * n_pes +
-          dst]; [[||]] when every pair costs zero (per-access lookups then
-          skip the table entirely) *)
+          dst], with same-cluster pairs folded to 0 (intra-cluster
+          transfers ride the island's local fabric); [[||]] when every
+          pair costs zero (per-access lookups then skip the table
+          entirely) *)
   link_busy : int array;  (** per destination port: next free cycle *)
   link_depth : int array;  (** transfers queued in the current busy burst *)
   mutable bus_booked : int;
       (** snoop bus: cycles of service demanded since the last barrier *)
+  cbus_booked : int array;
+      (** per-cluster snoop bus: cycles of service demanded since the last
+          barrier on each island's local bus *)
 }
 
 let hops_geom geom a b =
   match geom with
   | Guniform -> 0
-  | Gtorus torus -> Torus.hops torus a b
+  | Gtorus torus -> torus_hops torus a b
   | Gmesh (nx, _) ->
       let ax = a mod nx and ay = a / nx in
       let bx = b mod nx and by = b / nx in
@@ -63,17 +109,20 @@ let hops_geom geom a b =
 let diameter_geom geom n_pes =
   match geom with
   | Guniform -> 0
-  | Gtorus torus -> Torus.diameter torus
+  | Gtorus torus -> torus_diameter torus
   | Gmesh (nx, ny) -> nx - 1 + (ny - 1)
   | Gxbar -> if n_pes > 1 then 1 else 0
 
-let create ?(hop = 0) kind ~n_pes =
+let create ?(hop = 0) ?(cluster_pes = 1) kind ~n_pes =
   if n_pes <= 0 then invalid_arg "Net.create: n_pes must be positive";
   if hop < 0 then invalid_arg "Net.create: hop must be >= 0";
+  if cluster_pes <= 0 then invalid_arg "Net.create: cluster_pes must be positive";
+  if n_pes mod cluster_pes <> 0 then
+    invalid_arg "Net.create: cluster_pes must divide n_pes";
   let geom =
     match kind with
     | Uniform -> Guniform
-    | Torus3d -> Gtorus (Torus.of_pes n_pes)
+    | Torus3d -> Gtorus (torus_of_pes n_pes)
     | Mesh2d ->
         let nx, ny = mesh_dims n_pes in
         Gmesh (nx, ny)
@@ -83,23 +132,31 @@ let create ?(hop = 0) kind ~n_pes =
     if hop = 0 || kind = Uniform then [||]
     else
       Array.init (n_pes * n_pes) (fun i ->
-          hop * hops_geom geom (i / n_pes) (i mod n_pes))
+          let src = i / n_pes and dst = i mod n_pes in
+          if src / cluster_pes = dst / cluster_pes then 0
+          else hop * hops_geom geom src dst)
   in
   {
     kind;
     n_pes;
     hop;
+    cluster_pes;
     geom;
     costs;
     link_busy = Array.make n_pes 0;
     link_depth = Array.make n_pes 0;
     bus_booked = 0;
+    cbus_booked = Array.make (n_pes / cluster_pes) 0;
   }
 
 let kind t = t.kind
 let n_pes t = t.n_pes
 let hops t a b = hops_geom t.geom a b
 let diameter t = diameter_geom t.geom t.n_pes
+let cluster_pes t = t.cluster_pes
+let n_clusters t = t.n_pes / t.cluster_pes
+let cluster_of t pe = pe / t.cluster_pes
+let same_cluster t a b = a / t.cluster_pes = b / t.cluster_pes
 
 let cost t ~src ~dst =
   if t.costs == [||] then 0 else t.costs.((src * t.n_pes) + dst)
@@ -152,14 +209,27 @@ let acquire_bus t ~now ~since ~hold =
   t.bus_booked <- t.bus_booked + hold;
   if backlog > 0 then (backlog, (backlog / hold) + 1) else (0, 1)
 
+(* Same throughput-backlog model, one counter per coherence cluster: the
+   Clustered mode's island snoops serialize on their island's local bus,
+   never the machine-wide one, so congestion in one cluster cannot delay
+   another. *)
+let acquire_cluster_bus t ~cluster ~now ~since ~hold =
+  let backlog = t.cbus_booked.(cluster) - (now - since) in
+  t.cbus_booked.(cluster) <- t.cbus_booked.(cluster) + hold;
+  if backlog > 0 then (backlog, (backlog / hold) + 1) else (0, 1)
+
 let reset_links t =
   Array.fill t.link_busy 0 t.n_pes 0;
   Array.fill t.link_depth 0 t.n_pes 0;
-  t.bus_booked <- 0
+  t.bus_booked <- 0;
+  Array.fill t.cbus_booked 0 (Array.length t.cbus_booked) 0
 
 let pp ppf t =
-  match t.geom with
+  (match t.geom with
   | Guniform -> Format.fprintf ppf "uniform (%d PEs)" t.n_pes
-  | Gtorus torus -> Torus.pp ppf torus
+  | Gtorus torus ->
+      Format.fprintf ppf "%dx%dx%d torus" torus.nx torus.ny torus.nz
   | Gmesh (nx, ny) -> Format.fprintf ppf "%dx%d mesh" nx ny
-  | Gxbar -> Format.fprintf ppf "%d-port crossbar" t.n_pes
+  | Gxbar -> Format.fprintf ppf "%d-port crossbar" t.n_pes);
+  if t.cluster_pes > 1 then
+    Format.fprintf ppf ", %d clusters of %d PEs" (n_clusters t) t.cluster_pes

@@ -22,6 +22,8 @@ type t = {
   mutable upgrades : int;
   mutable dir_msgs : int;
   mutable bus_conflicts : int;
+  mutable cluster_hits : int;
+  mutable cluster_inter : int;
   mutable barriers : int;
   mutable flop_cycles : int;
   mutable stall_cycles : int;
@@ -56,6 +58,8 @@ let create () =
     upgrades = 0;
     dir_msgs = 0;
     bus_conflicts = 0;
+    cluster_hits = 0;
+    cluster_inter = 0;
     barriers = 0;
     flop_cycles = 0;
     stall_cycles = 0;
@@ -89,6 +93,8 @@ let reset t =
   t.upgrades <- 0;
   t.dir_msgs <- 0;
   t.bus_conflicts <- 0;
+  t.cluster_hits <- 0;
+  t.cluster_inter <- 0;
   t.barriers <- 0;
   t.flop_cycles <- 0;
   t.stall_cycles <- 0;
@@ -122,6 +128,8 @@ let merge a b =
     upgrades = a.upgrades + b.upgrades;
     dir_msgs = a.dir_msgs + b.dir_msgs;
     bus_conflicts = a.bus_conflicts + b.bus_conflicts;
+    cluster_hits = a.cluster_hits + b.cluster_hits;
+    cluster_inter = a.cluster_inter + b.cluster_inter;
     barriers = max a.barriers b.barriers;
     flop_cycles = a.flop_cycles + b.flop_cycles;
     stall_cycles = a.stall_cycles + b.stall_cycles;
@@ -140,12 +148,12 @@ let pp ppf t =
      pf: issued=%d vector=%d (%d words) on-time=%d late=%d (+%d cyc) dropped=%d \
      unused=%d evicted=%d@,\
      annex hit/miss=%d/%d invalidations=%d barriers=%d flops=%d stall=%d@,\
-     coherence: upgrades=%d dir-msgs=%d bus-conflicts=%d@,\
+     coherence: upgrades=%d dir-msgs=%d bus-conflicts=%d cluster(hit/inter)=%d/%d@,\
      link: conflicts=%d max-occ=%d locks: acquires=%d stall=%d@]"
     t.reads t.writes t.hits t.miss_local t.miss_remote t.uncached_local
     t.uncached_remote t.bypass_reads t.pf_issued t.pf_vector t.pf_vector_words
     t.pf_on_time t.pf_late t.pf_late_cycles t.pf_dropped t.pf_unused t.pf_evicted
     t.annex_hits
     t.annex_misses t.invalidations t.barriers t.flop_cycles t.stall_cycles
-    t.upgrades t.dir_msgs t.bus_conflicts
+    t.upgrades t.dir_msgs t.bus_conflicts t.cluster_hits t.cluster_inter
     t.link_conflicts t.link_occ_max t.lock_acquires t.lock_stall_cycles

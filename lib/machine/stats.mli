@@ -38,7 +38,15 @@ type t = {
           invalidations, replacement hints); zero outside [Directory] *)
   mutable bus_conflicts : int;
       (** snoop-bus transactions that queued behind a busy bus; zero
-          outside [Msi]/[Mesi] (or when [Config.bus_occ = 0]) *)
+          outside [Msi]/[Mesi]/[Clustered] (or when [Config.bus_occ = 0]).
+          [Clustered] charges its island-local buses here. *)
+  mutable cluster_hits : int;
+      (** reads resolved entirely inside the requester's coherence island
+          (intra-cluster MESI snoop, hit or island fill); zero outside
+          [Clustered] *)
+  mutable cluster_inter : int;
+      (** reads that crossed an island boundary and fell back to the CCDP
+          stale discipline; zero outside [Clustered] *)
   mutable barriers : int;
   mutable flop_cycles : int;
   mutable stall_cycles : int;

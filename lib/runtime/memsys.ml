@@ -11,6 +11,7 @@ type mode =
   | Msi
   | Mesi
   | Directory
+  | Clustered
 
 let mode_name = function
   | Seq -> "SEQ"
@@ -22,6 +23,26 @@ let mode_name = function
   | Msi -> "MSI"
   | Mesi -> "MESI"
   | Directory -> "DIR"
+  | Clustered -> "CLU"
+
+let all_modes =
+  [ Seq; Base; Ccdp; Invalidate; Incoherent; Hscd; Msi; Mesi; Directory; Clustered ]
+
+let mode_describe = function
+  | Seq -> "sequential reference execution (1 PE)"
+  | Base -> "parallel, shared data never cached"
+  | Ccdp -> "compiler-directed coherence with data prefetching"
+  | Incoherent -> "parallel, caches left incoherent (unsound; ground truth)"
+  | Invalidate -> "parallel, full cache invalidation at every barrier"
+  | Hscd -> "hardware-supported compiler-directed version checks"
+  | Msi -> "MSI bus snooping"
+  | Mesi -> "MESI bus snooping"
+  | Directory -> "full-map directory protocol"
+  | Clustered -> "hardware-coherent islands, CCDP discipline across clusters"
+
+let mode_of_string s =
+  let s = String.uppercase_ascii s in
+  List.find_opt (fun m -> mode_name m = s) all_modes
 
 (* Protocol fault injection for the differential campaign: each fault
    class breaks exactly the coherence action whose absence the staleness
@@ -36,6 +57,9 @@ type sabotage =
   | Corrupt_presence
       (** directory: the first sharer of a write's invalidation set is
           dropped from the presence bitset instead of invalidated *)
+  | Drop_inter_cluster_invalidate
+      (** clustered: the first copy a cross-cluster write's home-island
+          back-invalidation should kill survives *)
 
 (* HSCD write-version state of one array: [settled] is the last completed
    epoch tick that contained any write; [writers] is a bitmask of the PEs
@@ -68,6 +92,10 @@ type violation = {
 type oracle = {
   wver : int array;  (** per-word last-write version *)
   wepoch : int array;  (** epoch tick of the last write; -1 = init *)
+  wpe : int array;
+      (** PE that produced the last write; -1 = init. Consulted only by the
+          clustered exemption rule (and only meaningful unbuffered, where
+          versions settle at the write itself). *)
   mutable next_ver : int;
   mutable checked : int;
   mutable n_violations : int;
@@ -109,7 +137,13 @@ type pe_ctx = {
    MESI flag; the directory carries its presence/owner table. Everything
    protocol-specific dispatches on this once-per-run value, so the
    established modes never touch the new state. *)
-type hw = Hw_none | Hw_snoop of bool  (** [true] = MESI *) | Hw_dir of Coherence.Dir.t
+type hw =
+  | Hw_none
+  | Hw_snoop of bool  (** [true] = MESI *)
+  | Hw_dir of Coherence.Dir.t
+  | Hw_cluster
+      (** hardware-coherent islands: MESI snooping scoped to the
+          requester's cluster, CCDP stale discipline across clusters *)
 
 (* A named intra-epoch lock. [free_at] is the cycle at which the last
    granted holder released it; grants are booked in the order PEs execute
@@ -179,6 +213,7 @@ let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
         {
           wver = Array.make words 0;
           wepoch = Array.make words (-1);
+          wpe = Array.make words (-1);
           next_ver = 0;
           checked = 0;
           n_violations = 0;
@@ -196,12 +231,13 @@ let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
           / cfg.Config.line_words
         in
         Hw_dir (Coherence.Dir.create ~n_pes:cfg.Config.n_pes ~n_lines)
+    | Clustered -> Hw_cluster
     | Seq | Base | Ccdp | Invalidate | Incoherent | Hscd -> Hw_none
   in
   let buffered =
     match md with
     | Seq | Base | Ccdp | Invalidate | Incoherent -> true
-    | Hscd | Msi | Mesi | Directory -> false
+    | Hscd | Msi | Mesi | Directory | Clustered -> false
   in
   let words = Addr_map.total_words amap in
   let has_sync =
@@ -248,7 +284,17 @@ let create cfg ?(oracle = false) ?(sabotage = No_fault) (p : Program.t) ~plan
     decls;
     handles = Hashtbl.create 16;
     pl = plan;
-    net = Net.create ~hop:cfg.Config.hop cfg.Config.net ~n_pes:cfg.Config.n_pes;
+    net =
+      (* a machine width the configured clustering cannot tile (the seq
+         baseline's 1-PE rebuild of a clustered config, mainly) degrades
+         to flat rather than failing: a machine of one PE has no islands *)
+      (let cluster_pes =
+         if cfg.Config.n_pes mod cfg.Config.cluster_pes = 0 then
+           cfg.Config.cluster_pes
+         else 1
+       in
+       Net.create ~hop:cfg.Config.hop ~cluster_pes cfg.Config.net
+         ~n_pes:cfg.Config.n_pes);
     epoch_tick = 0;
     versions = Hashtbl.create 16;
     observed_stale = Hashtbl.create 16;
@@ -286,7 +332,8 @@ let set t name idx v =
           (* untimed initialization: versioned, but settled before epoch 0 *)
           o.next_ver <- o.next_ver + 1;
           o.wver.(a) <- o.next_ver;
-          o.wepoch.(a) <- -1
+          o.wepoch.(a) <- -1;
+          o.wpe.(a) <- -1
       | None -> ())
     (Addr_map.all_copies t.amap name idx)
 
@@ -348,13 +395,18 @@ let lock_release t ~pe name =
    array lookup — no dispatch, no allocation. *)
 let net_dist t ~pe owner = Net.cost t.net ~src:pe ~dst:owner
 
+(* Intra-cluster transfers ride the island's local fabric at the cheap
+   local rate; only genuinely inter-cluster references pay the base remote
+   latency plus per-hop distance. On a flat machine ([cluster_pes = 1]) a
+   remote target is never same-cluster, so nothing changes. *)
 let latency_of t ~pe tgt =
-  if tgt < 0 then t.cfg.Config.local else t.cfg.Config.remote + net_dist t ~pe tgt
+  if tgt < 0 || Net.same_cluster t.net pe tgt then t.cfg.Config.local
+  else t.cfg.Config.remote + net_dist t ~pe tgt
 
 (* Latency of a read that does not allocate in the cache: local reads
    stream through the T3D read-ahead buffer. *)
 let uncached_latency_of t ~pe tgt =
-  if tgt < 0 then t.cfg.Config.uncached_local
+  if tgt < 0 || Net.same_cluster t.net pe tgt then t.cfg.Config.uncached_local
   else t.cfg.Config.remote + net_dist t ~pe tgt
 
 (* Link-occupancy accounting: a remote transfer of [lines] cache lines
@@ -363,7 +415,10 @@ let uncached_latency_of t ~pe tgt =
    Free (and counter-silent) when the contention model is off or the
    access is local. *)
 let contend t ctx tgt ~now ~lines =
-  if t.cfg.Config.link_occ = 0 || tgt < 0 then 0
+  if
+    t.cfg.Config.link_occ = 0 || tgt < 0
+    || Net.same_cluster t.net ctx.pe.Pe.id tgt
+  then 0
   else begin
     let delay, depth =
       Net.acquire t.net ~dst:tgt ~now
@@ -376,8 +431,9 @@ let contend t ctx tgt ~now ~lines =
     delay
   end
 
-let store_cost t tgt =
-  if tgt < 0 then t.cfg.Config.store_local else t.cfg.Config.store_remote
+let store_cost t ~pe tgt =
+  if tgt < 0 || Net.same_cluster t.net pe tgt then t.cfg.Config.store_local
+  else t.cfg.Config.store_remote
 
 (* Snoop-bus arbitration: every MSI/MESI coherence transaction (miss
    fetch, upgrade, write-allocate) serializes through one machine-wide
@@ -389,6 +445,26 @@ let bus_acquire t ctx ~lines =
   else begin
     let delay, _depth =
       Net.acquire_bus t.net ~now:ctx.pe.Pe.clock ~since:ctx.epoch_start
+        ~hold:(t.cfg.Config.bus_occ * lines)
+    in
+    if delay > 0 then begin
+      let s = ctx.pe.Pe.stats in
+      s.Stats.bus_conflicts <- s.Stats.bus_conflicts + 1
+    end;
+    delay
+  end
+
+(* Island-bus arbitration: the clustered mode's intra-cluster coherence
+   transactions serialize on their island's local bus — the same
+   throughput-backlog model, but one counter per cluster, so one island's
+   storm never delays another's. *)
+let cluster_bus_acquire t ctx ~lines =
+  if t.cfg.Config.bus_occ = 0 then 0
+  else begin
+    let delay, _depth =
+      Net.acquire_cluster_bus t.net
+        ~cluster:(Net.cluster_of t.net ctx.pe.Pe.id)
+        ~now:ctx.pe.Pe.clock ~since:ctx.epoch_start
         ~hold:(t.cfg.Config.bus_occ * lines)
     in
     if delay > 0 then begin
@@ -485,7 +561,7 @@ let fill ?(state = 1 (* Coherence.shared *)) t ctx line =
       ~pos:(line * t.cfg.Config.line_words) ();
   (match t.hw with
   | Hw_none -> ()
-  | Hw_snoop _ ->
+  | Hw_snoop _ | Hw_cluster ->
       (* displacing a Modified line pays the write-back injection (memory
          itself is already current — write-through keeps the functional
          state exact; this is the protocol's timing debt) *)
@@ -541,12 +617,27 @@ let oracle_check t ctx (r : Reference.t) idx addr =
         let base = t.epoch_tick * Array.length t.ctxs in
         st >= base && st <> base + ctx.pe.Pe.id
       in
-      let eager =
-        match t.hw with Hw_none -> false | Hw_snoop _ | Hw_dir _ -> true
-      in
       let stale =
-        (o.wver.(addr) > cv && (eager || o.wepoch.(addr) < t.epoch_tick))
-        || foreign_fresh
+        match t.hw with
+        | Hw_cluster ->
+            (* clustered exemption: only a same-cluster write of the
+               current epoch may be observed without a violation — the
+               island's snoop keeps such copies coherent, while any
+               cross-epoch or cross-cluster stale observation is exactly
+               the escape the inter-cluster CCDP discipline must prevent *)
+            o.wver.(addr) > cv
+            && not
+                 (o.wepoch.(addr) = t.epoch_tick
+                 && o.wpe.(addr) >= 0
+                 && Net.same_cluster t.net o.wpe.(addr) ctx.pe.Pe.id)
+        | Hw_none | Hw_snoop _ | Hw_dir _ ->
+            let eager =
+              match t.hw with
+              | Hw_none | Hw_cluster -> false
+              | Hw_snoop _ | Hw_dir _ -> true
+            in
+            (o.wver.(addr) > cv && (eager || o.wepoch.(addr) < t.epoch_tick))
+            || foreign_fresh
       in
       if t.buffered then begin
         (* stage in the PE's private ledger; merged PE-major at the
@@ -834,7 +925,7 @@ let snoop_write mesi t ctx wh ~addr =
       (* S -> M upgrade: an ownership broadcast, no data transfer *)
       s.Stats.upgrades <- s.Stats.upgrades + 1;
       Cache.set_line_state c ~line Coherence.modified;
-      Pe.advance ctx.pe (store_cost t tgt + bus + wb)
+      Pe.advance ctx.pe (store_cost t ~pe:self tgt + bus + wb)
     end
     else begin
       (* write miss: bus read-exclusive — fetch, invalidate, allocate M *)
@@ -939,10 +1030,134 @@ let dir_write d t ctx wh ~addr =
     end
     else begin
       Cache.set_line_state c ~line Coherence.modified;
-      Pe.advance ctx.pe (store_cost t tgt + wb + ack)
+      Pe.advance ctx.pe (store_cost t ~pe:self tgt + wb + ack)
     end;
     Coherence.Dir.set_owner d ~line self
   end
+
+(* ------------------------------------------------------------------ *)
+(* Coherence clusters: MESI snooping scoped to hardware-coherent
+   islands, with the CCDP stale discipline across islands. A cluster
+   read serves only data homed inside the requester's island (the
+   dispatch falls back to the compiled CCDP route otherwise), so the
+   protocol must keep exactly the island's copies of island-homed data
+   coherent: an island write snoops its own bus, and a write landing in
+   another island's home memory back-invalidates that island's copies
+   (the CXL back-invalidation channel). Copies in third islands are
+   allowed to go stale — their readers cross a cluster boundary and
+   carry CCDP prefetch/bypass obligations.                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Snoop phase scoped to one island: probe every other cache whose PE
+   lives in [cluster]. Semantics mirror [snoop_others]; [sab] requests the
+   Drop_inter_cluster_invalidate skip of the first copy (armed only for
+   cross-cluster back-invalidations). *)
+let snoop_cluster t ~cluster ~self ~line ~invalidate ~sab =
+  let cp = Net.cluster_pes t.net in
+  let lo = cluster * cp in
+  let copies = ref 0 and wb = ref 0 in
+  let drop = ref sab in
+  for p = lo to lo + cp - 1 do
+    if p <> self then begin
+      let c = t.ctxs.(p).pe.Pe.cache in
+      let st = Cache.line_state c ~line in
+      if st <> Coherence.invalid then begin
+        incr copies;
+        if st = Coherence.modified then wb := t.cfg.Config.store_remote;
+        if invalidate then begin
+          if !drop then begin
+            drop := false;
+            t.sab_fired <- true
+          end
+          else Cache.invalidate_line c ~line
+        end
+        else if st > Coherence.shared then
+          Cache.set_line_state c ~line Coherence.shared
+      end
+    end
+  done;
+  (!copies, !wb)
+
+(* Intra-cluster read: MESI over the island. Reaches only addresses homed
+   in the requester's island (or locally), so the latency model charges
+   the cheap local rate and the transaction arbitrates the island's own
+   bus. Every call is an access the flat machine would have sent across
+   the interconnect under the stale discipline — counted as a cluster
+   hit. *)
+let cluster_read t ctx (r : Reference.t) idx addr tgt =
+  let s = ctx.pe.Pe.stats in
+  s.Stats.cluster_hits <- s.Stats.cluster_hits + 1;
+  let off = Cache.locate ctx.pe.Pe.cache ~addr in
+  if off >= 0 then begin
+    oracle_check t ctx r idx addr;
+    s.Stats.hits <- s.Stats.hits + 1;
+    Pe.advance ctx.pe t.cfg.Config.hit;
+    Cache.data_at ctx.pe.Pe.cache off
+  end
+  else begin
+    let self = ctx.pe.Pe.id in
+    let line = addr / t.cfg.Config.line_words in
+    if tgt < 0 then s.Stats.miss_local <- s.Stats.miss_local + 1
+    else s.Stats.miss_remote <- s.Stats.miss_remote + 1;
+    let ac = annex_cost t ctx tgt in
+    let bus = cluster_bus_acquire t ctx ~lines:1 in
+    let copies, wb =
+      snoop_cluster t
+        ~cluster:(Net.cluster_of t.net self)
+        ~self ~line ~invalidate:false ~sab:false
+    in
+    Pe.advance ctx.pe (ac + bus + latency_of t ~pe:self tgt + wb);
+    (* island-exclusive fill when no island sibling holds a copy *)
+    let state =
+      if copies = 0 then Coherence.exclusive else Coherence.shared
+    in
+    fill ~state t ctx line;
+    t.mem.(addr)
+  end
+
+(* Clustered write: snoop the writer's own island on every tracked write,
+   plus the CXL-style back-invalidation — the write-through lands in the
+   home memory, and when the home is another island that island's bus
+   kills its local copies (which its own cluster reads would otherwise
+   trust).
+
+   No silent M/E write-hit shortcut, deliberately: unlike the flat MSI/
+   MESI rivals (which run plan-free, so {e every} fill is a snooped bus
+   transaction), the clustered machine keeps the CCDP plan alive for
+   inter-island traffic, and the plan's prefetch/vector staging fills
+   whole cache lines without touching any bus. A staged line can alias
+   island-homed words, so "I hold M" never certifies "no sibling holds a
+   copy" — skipping the snoop on a write hit would let a sibling's staged
+   copy go silently stale right where its reads trust the island
+   protocol. The write therefore always arbitrates the island bus and
+   probes the siblings; states still track sharing for the read side
+   (E/S fills, upgrade accounting). *)
+let cluster_write t ctx wh ~addr =
+  let line = addr / t.cfg.Config.line_words in
+  let self = ctx.pe.Pe.id in
+  let c = ctx.pe.Pe.cache in
+  let s = ctx.pe.Pe.stats in
+  let tgt = Addr_map.target_of wh ~pe:self ~addr in
+  let home = if tgt < 0 then self else tgt in
+  let my_cluster = Net.cluster_of t.net self in
+  let home_cluster = Net.cluster_of t.net home in
+  let bus = cluster_bus_acquire t ctx ~lines:1 in
+  let own, wb_own =
+    snoop_cluster t ~cluster:my_cluster ~self ~line ~invalidate:true ~sab:false
+  in
+  let inter, wb_home =
+    if home_cluster = my_cluster then (0, 0)
+    else
+      snoop_cluster t ~cluster:home_cluster ~self ~line ~invalidate:true
+        ~sab:(t.sab = Drop_inter_cluster_invalidate)
+  in
+  s.Stats.invalidations <- s.Stats.invalidations + own + inter;
+  (let st = Cache.line_state c ~line in
+   if st = Coherence.shared || st = Coherence.exclusive then begin
+     s.Stats.upgrades <- s.Stats.upgrades + 1;
+     Cache.set_line_state c ~line Coherence.modified
+   end);
+  Pe.advance ctx.pe (store_cost t ~pe:self tgt + bus + wb_own + wb_home)
 
 (* The read protocol a reference executes, decided once per static
    reference (mode + classification + scheduled op + stale verdict never
@@ -959,6 +1174,37 @@ type route =
   | RLeadStaged  (** stale lead with SP/vector staging: staged-or-bypass *)
   | RSnoop of bool  (** MSI/MESI bus-snooped read ([true] = MESI) *)
   | RDir of Coherence.Dir.t  (** directory-protocol read *)
+  | RCluster of route
+      (** clustered: island-homed accesses snoop MESI inside the island;
+          everything else falls back to the carried CCDP route. The
+          same-cluster test is a per-access integer compare — the route
+          pair itself is resolved once at preparation time. *)
+
+(* The compiler-directed route of a tracked shared read: the CCDP plan's
+   classification, demoted to plain caching wherever the stale verdict is
+   Clean (pure latency hiding). Shared between the flat Ccdp mode and the
+   clustered mode's inter-cluster fallback. *)
+let ccdp_route t (r : Reference.t) =
+  let open Ccdp_analysis in
+  match Annot.cls_of t.pl r.id with
+  | Annot.Normal -> RPlain
+  | Annot.Covered _ ->
+      (* a stale covered read may only hit lines its leader staged
+         this epoch: at loop boundaries the covered span can reach one
+         element past the leader's clamped range, and when chunk and
+         line sizes misalign that element lands in a line the leader
+         never touched — a leftover stale copy. Fresh-only turns that
+         corner into a demand miss of current memory. Clean covers
+         (latency-hiding groups) may trust any copy. *)
+      if clean_lead t r.id then RPlain else RCovered
+  | Annot.Bypass -> RBypass
+  | Annot.Lead -> (
+      match Annot.op_of t.pl r.id with
+      | Some (Annot.Back { cycles; _ }) ->
+          if clean_lead t r.id then RPlain else RBack cycles
+      | Some (Annot.Pipelined _) | Some (Annot.Vector _) ->
+          if clean_lead t r.id then RPlain else RLeadStaged
+      | None -> RBypass)
 
 let route_of t (r : Reference.t) =
   if not (tracked_shared t r.array_name) then RPrivate
@@ -972,30 +1218,11 @@ let route_of t (r : Reference.t) =
         match t.hw with
         | Hw_snoop m -> RSnoop m
         | Hw_dir d -> RDir d
-        | Hw_none -> assert false)
-    | Ccdp -> (
-        let open Ccdp_analysis in
-        match Annot.cls_of t.pl r.id with
-        | Annot.Normal -> RPlain
-        | Annot.Covered _ ->
-            (* a stale covered read may only hit lines its leader staged
-               this epoch: at loop boundaries the covered span can reach one
-               element past the leader's clamped range, and when chunk and
-               line sizes misalign that element lands in a line the leader
-               never touched — a leftover stale copy. Fresh-only turns that
-               corner into a demand miss of current memory. Clean covers
-               (latency-hiding groups) may trust any copy. *)
-            if clean_lead t r.id then RPlain else RCovered
-        | Annot.Bypass -> RBypass
-        | Annot.Lead -> (
-            match Annot.op_of t.pl r.id with
-            | Some (Annot.Back { cycles; _ }) ->
-                if clean_lead t r.id then RPlain else RBack cycles
-            | Some (Annot.Pipelined _) | Some (Annot.Vector _) ->
-                if clean_lead t r.id then RPlain else RLeadStaged
-            | None -> RBypass))
+        | Hw_none | Hw_cluster -> assert false)
+    | Ccdp -> ccdp_route t r
+    | Clustered -> RCluster (ccdp_route t r)
 
-let dispatch_read t ctx (r : Reference.t) ~idx ~addr ~tgt ~ver route =
+let rec dispatch_read t ctx (r : Reference.t) ~idx ~addr ~tgt ~ver route =
   match route with
   | RPrivate -> cached_read t ctx r idx addr (-1)
   | RPlain -> cached_read ~track:true t ctx r idx addr tgt
@@ -1029,6 +1256,16 @@ let dispatch_read t ctx (r : Reference.t) ~idx ~addr ~tgt ~ver route =
         || Hashtbl.mem ctx.fresh line
       then cached_read ~fresh_only:true ~track:true t ctx r idx addr tgt
       else bypass_read t ctx addr tgt
+  | RCluster inner ->
+      (* resolved per access: island-homed data runs the island protocol,
+         everything else falls through to the compiled CCDP route *)
+      if tgt < 0 || Net.same_cluster t.net ctx.pe.Pe.id tgt then
+        cluster_read t ctx r idx addr tgt
+      else begin
+        let s = ctx.pe.Pe.stats in
+        s.Stats.cluster_inter <- s.Stats.cluster_inter + 1;
+        dispatch_read t ctx r ~idx ~addr ~tgt ~ver inner
+      end
 
 let read t ~pe (r : Reference.t) ~idx =
   let ctx = t.ctxs.(pe) in
@@ -1075,7 +1312,11 @@ let read_c t ~pe acc ~idx ~addr =
 (* The write protocol a tracked store executes, resolved once per static
    reference like the read route. [Wplain] is the established write-through
    costing; the hardware rivals additionally run their state machine. *)
-type wproto = Wplain | Wsnoop of bool | Wdir of Coherence.Dir.t
+type wproto =
+  | Wplain
+  | Wsnoop of bool
+  | Wdir of Coherence.Dir.t
+  | Wcluster  (** island MESI write + cross-island back-invalidation *)
 
 type waccess = {
   wh : Addr_map.handle;
@@ -1100,7 +1341,8 @@ let prepare_write t (r : Reference.t) =
          match t.hw with
          | Hw_none -> Wplain
          | Hw_snoop m -> Wsnoop m
-         | Hw_dir d -> Wdir d);
+         | Hw_dir d -> Wdir d
+         | Hw_cluster -> Wcluster);
   }
 
 let write_addr _t wa ~pe ~idx = Addr_map.resolve_h wa.wh ~pe idx
@@ -1136,6 +1378,7 @@ let write_c t ~pe wa ~addr v =
           o.next_ver <- o.next_ver + 1;
           o.wver.(addr) <- o.next_ver;
           o.wepoch.(addr) <- t.epoch_tick;
+          o.wpe.(addr) <- pe;
           Some o.next_ver
   in
   (match wa.wver with
@@ -1145,10 +1388,12 @@ let write_c t ~pe wa ~addr v =
   match wa.wproto with
   | Wplain ->
       Pe.advance ctx.pe
-        (if wa.wtracked then store_cost t (Addr_map.target_of wa.wh ~pe ~addr)
+        (if wa.wtracked then
+           store_cost t ~pe (Addr_map.target_of wa.wh ~pe ~addr)
          else t.cfg.Config.store_local)
   | Wsnoop mesi -> snoop_write mesi t ctx wa.wh ~addr
   | Wdir d -> dir_write d t ctx wa.wh ~addr
+  | Wcluster -> cluster_write t ctx wa.wh ~addr
 
 let write t ~pe (r : Reference.t) ~idx v =
   let wa = prepare_write t r in
@@ -1159,11 +1404,22 @@ let write t ~pe (r : Reference.t) ~idx v =
 (* Prefetch issue                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Under the clustered protocol, island-homed addresses are served
+   coherently by [cluster_read] — which never consumes staged lines, so
+   staging them would be a wasted transfer (and a wasted invalidation of a
+   possibly-valid copy). The prefetch instruction itself still executes
+   (the compiled code is mode-agnostic); only the transfer is elided. *)
+let island_coherent t ~pe ~tgt =
+  match t.hw with
+  | Hw_cluster -> tgt < 0 || Net.same_cluster t.net pe tgt
+  | Hw_none | Hw_snoop _ | Hw_dir _ -> false
+
 let issue_prefetch_at ~skip_cached t ctx ~addr ~tgt =
   let lw = t.cfg.Config.line_words in
   let line = addr / lw in
   let already =
-    Hashtbl.mem ctx.vget line
+    island_coherent t ~pe:ctx.pe.Pe.id ~tgt
+    || Hashtbl.mem ctx.vget line
     || Prefetch_queue.find ctx.pe.Pe.queue ~line <> None
     || ((skip_cached || Hashtbl.mem ctx.fresh line)
        && Cache.probe_line ctx.pe.Pe.cache ~line)
@@ -1215,11 +1471,14 @@ let vget_issue_h ~skip_cached t ~pe h idxs =
       let line = addr / lw in
       if not (Hashtbl.mem lines line) then begin
         Hashtbl.replace lines line ();
-        (* skip lines this epoch's machinery already staged or fetched *)
+        (* skip lines this epoch's machinery already staged or fetched,
+           and island-homed lines under the clustered protocol (served
+           coherently; staging would only displace valid copies) *)
         if
           not
-            (((skip_cached || Hashtbl.mem ctx.fresh line)
-             && Cache.probe_line ctx.pe.Pe.cache ~line)
+            (island_coherent t ~pe ~tgt
+            || ((skip_cached || Hashtbl.mem ctx.fresh line)
+               && Cache.probe_line ctx.pe.Pe.cache ~line)
             || Hashtbl.mem ctx.vget line)
         then ordered := line :: !ordered
       end)
@@ -1378,7 +1637,7 @@ let epoch_boundary t =
   | Seq -> ()
   (* the hardware rivals keep cache and protocol state across epochs —
      coherence is maintained continuously, not at barriers *)
-  | Base | Ccdp | Incoherent | Hscd | Msi | Mesi | Directory ->
+  | Base | Ccdp | Incoherent | Hscd | Msi | Mesi | Directory | Clustered ->
       Machine.barrier t.mach
   | Invalidate ->
       Machine.barrier t.mach;
@@ -1445,12 +1704,12 @@ let line_state t ~pe ~line = Cache.line_state t.ctxs.(pe).pe.Pe.cache ~line
 let dir_sharers t ~line =
   match t.hw with
   | Hw_dir d -> Coherence.Dir.sharers d ~line
-  | Hw_none | Hw_snoop _ -> []
+  | Hw_none | Hw_snoop _ | Hw_cluster -> []
 
 let dir_owner t ~line =
   match t.hw with
   | Hw_dir d -> Coherence.Dir.owner d ~line
-  | Hw_none | Hw_snoop _ -> -1
+  | Hw_none | Hw_snoop _ | Hw_cluster -> -1
 
 let sabotage t = t.sab
 let sabotage_fired t = t.sab_fired

@@ -32,6 +32,15 @@
       forwarding through the configured interconnect, writes pay the worst
       home->sharer invalidation round trip. No broadcast bus: traffic
       scales with sharers, not PEs.
+    - [Clustered]: CXL-style partial hardware coherence over the machine's
+      coherence clusters ([Config.cluster_pes]). Reads of island-homed data
+      run MESI snooping scoped to the island (per-cluster buses); reads
+      crossing an island boundary fall back to the compiled CCDP stale
+      discipline. A write snoop-invalidates the writer's own island, and
+      when the written word is homed in a {e different} island it
+      back-invalidates the home island's copies too (the CXL
+      back-invalidation channel) — third islands' copies legitimately go
+      stale, their readers carry CCDP obligations.
 
     Writes are write-through (memory always current; the writer's own cached
     copy is patched, other PEs' copies go stale — the coherence problem; the
@@ -50,8 +59,18 @@ type mode =
   | Msi
   | Mesi
   | Directory
+  | Clustered
 
 val mode_name : mode -> string
+
+(** Every mode, in canonical presentation order (the order above). *)
+val all_modes : mode list
+
+(** One-line description of a mode, for generated CLI help. *)
+val mode_describe : mode -> string
+
+(** Inverse of {!mode_name} (case-insensitive). *)
+val mode_of_string : string -> mode option
 
 (** Protocol fault injection for the differential campaign: each class
     breaks exactly the coherence action whose absence the staleness oracle
@@ -65,6 +84,10 @@ type sabotage =
   | Corrupt_presence
       (** directory: the first sharer of a write's invalidation set is
           dropped from the presence bitset instead of invalidated *)
+  | Drop_inter_cluster_invalidate
+      (** clustered: the first home-island copy a cross-island write should
+          back-invalidate silently survives (a lost CXL back-invalidation);
+          intra-island snooping stays intact *)
 
 type t
 

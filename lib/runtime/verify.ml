@@ -49,7 +49,12 @@ let compare_states ?(tol = 0.0) ?(max_report = 5) ~expected ~got
 let against_sequential ?tol (program : Program.t) ~init (r : Interp.result) =
   let program = if program.Program.procs = [] then program else Program.inline program in
   let cfg_seq =
-    { (Memsys.cfg r.Interp.sys) with Ccdp_machine.Config.n_pes = 1 }
+    (* one flat PE: a singleton machine has no clusters to speak of *)
+    {
+      (Memsys.cfg r.Interp.sys) with
+      Ccdp_machine.Config.n_pes = 1;
+      Ccdp_machine.Config.cluster_pes = 1;
+    }
   in
   let seq =
     Interp.run cfg_seq program ~plan:(Ccdp_analysis.Annot.empty ())

@@ -19,7 +19,15 @@
      cached word disagreeing with memory, so [stale_cached_words] must be
      zero and the staleness oracle silent;
    - random traces against the flat-memory reference: final shared-array
-     contents must equal the one-PE sequential execution bit-for-bit. *)
+     contents must equal the one-PE sequential execution bit-for-bit.
+
+   The clustered (CXL-island) mode gets its own deterministic micro-trace
+   suite at the bottom — its island-scoped obligations (always-snoop,
+   cross-island back-invalidation, sabotage witnessed) are directional
+   and easier to pin one transition at a time than as end-state
+   invariants. Note SWMR is deliberately NOT asserted island-wide there:
+   prefetch-staged cross-homed lines may transiently alias island-homed
+   words, which is exactly why the protocol's writes always snoop. *)
 
 open Ccdp_test_support.Tutil
 module Memsys = Ccdp_runtime.Memsys
@@ -179,6 +187,152 @@ let sharing_cases =
         check_true "corpus exercises sharing" !shared_seen);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Clustered (CXL-style island) protocol                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic micro-traces through the raw Memsys API on an 8-PE
+   machine with two islands of 4 ({0..3} and {4..7}): column j of A is
+   owned by PE j, so A[0,0] is homed in island 0. The protocol's two
+   hardware obligations — a writer always snoops its own island, and a
+   cross-island writer back-invalidates the home island — are each pinned
+   directly, as is the sabotage that drops the latter being witnessed by
+   the staleness oracle. *)
+let clustered_setup ?sabotage () =
+  let open Ccdp_ir in
+  let module B = Builder in
+  let b = B.create ~name:"clu" () in
+  B.array_ b "A" [| 8; 8 |] ~dist:(Dist.block_along ~rank:2 ~dim:1);
+  let p =
+    B.finish b
+      [ Stmt.Assign (B.ref_ b "A" [ B.A.c 0; B.A.c 0 ], Builder.F.const 0.0) ]
+  in
+  let cfg = Config.cxl_2x32 ~n_pes:8 in
+  Alcotest.(check int) "islands of 4" 4 cfg.Config.cluster_pes;
+  let sys =
+    Memsys.create cfg ~oracle:true ?sabotage p ~plan:(Annot.empty ())
+      Memsys.Clustered
+  in
+  let r id =
+    Ccdp_ir.Reference.make ~id "A"
+      [| Ccdp_ir.Affine.var "i"; Ccdp_ir.Affine.var "j" |]
+  in
+  (sys, r)
+
+let clustered_cases =
+  [
+    case "a sibling's read is served by the island and counted" (fun () ->
+        let sys, r = clustered_setup () in
+        ignore (Memsys.read sys ~pe:1 (r 0) ~idx:[| 0; 0 |]);
+        ignore (Memsys.read sys ~pe:1 (r 1) ~idx:[| 0; 0 |]);
+        let s = Memsys.total_stats sys in
+        check_int "both reads rode the island path" 2 s.Stats.cluster_hits;
+        check_int "no inter-cluster traffic" 0 s.Stats.cluster_inter;
+        check_true "second read hit the cache" (s.Stats.hits >= 1);
+        let line = Memsys.line_of sys ~pe:1 "A" ~idx:[| 0; 0 |] in
+        check_true "copy cached"
+          (Memsys.line_state sys ~pe:1 ~line <> Coherence.invalid));
+    case "an island write always snoops its own island" (fun () ->
+        let sys, r = clustered_setup () in
+        ignore (Memsys.read sys ~pe:1 (r 0) ~idx:[| 0; 0 |]);
+        let line = Memsys.line_of sys ~pe:1 "A" ~idx:[| 0; 0 |] in
+        (* PE 0 owns column 0; the write is island-local, yet must still
+           invalidate the sibling's copy (a silent owned-write shortcut
+           would leave PE 1 trusting a stale line) *)
+        Memsys.write sys ~pe:0 (r 2) ~idx:[| 0; 0 |] 7.0;
+        check_int "sibling invalidated" Coherence.invalid
+          (Memsys.line_state sys ~pe:1 ~line);
+        check_true "invalidation counted"
+          ((Memsys.total_stats sys).Stats.invalidations >= 1);
+        (* the refetch reads the write-through-fresh memory *)
+        check_true "refetch is fresh"
+          (Memsys.read sys ~pe:1 (r 3) ~idx:[| 0; 0 |] = 7.0);
+        check_int "oracle silent" 0 (Memsys.oracle_violation_count sys));
+    case "a cross-island write back-invalidates the home island" (fun () ->
+        let sys, r = clustered_setup () in
+        ignore (Memsys.read sys ~pe:1 (r 0) ~idx:[| 0; 0 |]);
+        let line = Memsys.line_of sys ~pe:1 "A" ~idx:[| 0; 0 |] in
+        (* PE 5 lives in island 1; A[0,0] is homed in island 0 *)
+        Memsys.write sys ~pe:5 (r 2) ~idx:[| 0; 0 |] 9.0;
+        check_int "home-island copy invalidated" Coherence.invalid
+          (Memsys.line_state sys ~pe:1 ~line);
+        let wline = Memsys.line_of sys ~pe:5 "A" ~idx:[| 0; 0 |] in
+        check_int "cross-homed writes never allocate ownership"
+          Coherence.invalid
+          (Memsys.line_state sys ~pe:5 ~line:wline);
+        check_true "refetch is fresh"
+          (Memsys.read sys ~pe:1 (r 3) ~idx:[| 0; 0 |] = 9.0);
+        check_int "oracle silent" 0 (Memsys.oracle_violation_count sys));
+    case "dropping the back-invalidation is witnessed by the oracle"
+      (fun () ->
+        let sys, r =
+          clustered_setup ~sabotage:Memsys.Drop_inter_cluster_invalidate ()
+        in
+        ignore (Memsys.read sys ~pe:1 (r 0) ~idx:[| 0; 0 |]);
+        let line = Memsys.line_of sys ~pe:1 "A" ~idx:[| 0; 0 |] in
+        Memsys.write sys ~pe:5 (r 2) ~idx:[| 0; 0 |] 9.0;
+        check_true "fault fired" (Memsys.sabotage_fired sys);
+        check_true "stale copy survives"
+          (Memsys.line_state sys ~pe:1 ~line <> Coherence.invalid);
+        (* the reader hits its stale copy; the writer is cross-island, so
+           the oracle's same-cluster exemption must NOT apply *)
+        ignore (Memsys.read sys ~pe:1 (r 3) ~idx:[| 0; 0 |]);
+        check_true "oracle caught the stale hit"
+          (Memsys.oracle_violation_count sys >= 1));
+    case "same-island sabotage never fires (the fault is cross-island only)"
+      (fun () ->
+        let sys, r =
+          clustered_setup ~sabotage:Memsys.Drop_inter_cluster_invalidate ()
+        in
+        ignore (Memsys.read sys ~pe:1 (r 0) ~idx:[| 0; 0 |]);
+        Memsys.write sys ~pe:0 (r 2) ~idx:[| 0; 0 |] 7.0;
+        check_true "island snoop unaffected"
+          (not (Memsys.sabotage_fired sys));
+        check_true "refetch is fresh"
+          (Memsys.read sys ~pe:1 (r 3) ~idx:[| 0; 0 |] = 7.0);
+        check_int "oracle silent" 0 (Memsys.oracle_violation_count sys));
+  ]
+
+(* End-to-end: random fuzz traces on a re-islanded machine (two islands
+   when the width divides) under a plan compiled with the cluster-aware
+   discharge — the oracle must stay silent and the final memory must
+   match the flat sequential reference. *)
+let prop_clustered_matches_flat d =
+  let base = Config.of_kind d.Gen.net ~n_pes:d.Gen.n_pes in
+  let cp =
+    if d.Gen.n_pes > 1 && d.Gen.n_pes mod 2 = 0 then d.Gen.n_pes / 2 else 1
+  in
+  let cfg = { base with Config.cluster_pes = cp } in
+  let program = Gen.build d in
+  let compiled =
+    Ccdp_core.Pipeline.compile cfg ~cluster_coherent:true program
+  in
+  let r =
+    Interp.run cfg ~oracle:true compiled.Ccdp_core.Pipeline.program
+      ~plan:compiled.Ccdp_core.Pipeline.plan ~mode:Memsys.Clustered ()
+  in
+  let seq =
+    Interp.run
+      { base with Config.n_pes = 1; Config.cluster_pes = 1 }
+      program ~plan:(Annot.empty ()) ~mode:Memsys.Seq ()
+  in
+  Memsys.oracle_violation_count r.Interp.sys = 0
+  && (Verify.compare_states ~expected:seq.Interp.sys ~got:r.Interp.sys program)
+       .Verify.ok
+
+let clustered_property =
+  [
+    qcheck ~count:60
+      "random clustered traces keep the oracle silent and match the flat \
+       reference"
+      desc_arb prop_clustered_matches_flat;
+  ]
+
 let () =
   Alcotest.run "coherence"
-    [ ("protocol invariants", property_suite); ("sharing", sharing_cases) ]
+    [
+      ("protocol invariants", property_suite);
+      ("sharing", sharing_cases);
+      ("clustered protocol", clustered_cases);
+      ("clustered traces", clustered_property);
+    ]

@@ -22,11 +22,16 @@ module Gen = Ccdp_fuzz.Gen
 module Workload = Ccdp_workloads.Workload
 
 let modes =
-  Memsys.[ Seq; Base; Ccdp; Invalidate; Incoherent; Hscd; Msi; Mesi; Directory ]
+  Memsys.
+    [
+      Seq; Base; Ccdp; Invalidate; Incoherent; Hscd; Msi; Mesi; Directory;
+      Clustered;
+    ]
 
 (* same per-mode setup as Experiment.run_mode: CCDP compiles the full
-   pipeline, every other mode runs the inlined program unannotated, Seq
-   forces one PE. [machine] picks the interconnect preset (default: the
+   pipeline (Clustered additionally with the cluster-aware discharge),
+   every other mode runs the inlined program unannotated, Seq forces one
+   PE. [machine] picks the interconnect preset (default: the
    uniform-latency t3d). *)
 let setup ?(machine = Ccdp_machine.Config.t3d) ~n_pes mode
     (program : Ccdp_ir.Program.t) =
@@ -34,6 +39,11 @@ let setup ?(machine = Ccdp_machine.Config.t3d) ~n_pes mode
   match mode with
   | Memsys.Ccdp ->
       let compiled = Ccdp_core.Pipeline.compile cfg program in
+      (cfg, compiled.Ccdp_core.Pipeline.program, compiled.Ccdp_core.Pipeline.plan)
+  | Memsys.Clustered ->
+      let compiled =
+        Ccdp_core.Pipeline.compile cfg ~cluster_coherent:true program
+      in
       (cfg, compiled.Ccdp_core.Pipeline.program, compiled.Ccdp_core.Pipeline.plan)
   | _ -> (cfg, Ccdp_ir.Program.inline program, Ccdp_analysis.Annot.empty ())
 
@@ -121,6 +131,24 @@ let machine_cases =
             modes))
     Ccdp_core.Experiment.machine_presets
 
+(* the coherence-cluster machines: at 8 PEs cxl-2x32 gives real islands
+   of 4, cxl-4x16 islands of 2, and cxl-8x8 degrades to the flat
+   crossbar — Clustered (and every flat mode riding the cheap local
+   fabric) must stay cycle-identical across both engines and under the
+   sharded run's serial fallback on all three *)
+let cluster_machine_cases =
+  List.map
+    (fun (mname, machine) ->
+      case ("tomcatv agrees in every mode on " ^ mname) (fun () ->
+          let w = Ccdp_workloads.Tomcatv.workload ~n:16 ~iters:1 in
+          List.iter
+            (fun mode ->
+              assert_equal_runs ~machine
+                (w.Workload.name ^ "@" ^ mname)
+                w.Workload.program ~n_pes:8 mode)
+            modes))
+    Ccdp_core.Experiment.cluster_presets
+
 (* pinned intra-epoch synchronization programs: the cycle-costed lock
    (PE-major arbitration; the sharded engine falls back to the serial
    walk, which must still match) and the recognized-reduction barrier
@@ -207,5 +235,6 @@ let () =
           ("workloads", workload_cases);
           ("synchronization", sync_cases);
           ("machines", machine_cases);
+          ("cluster machines", cluster_machine_cases);
           ("allocation", alloc_cases);
         ])
